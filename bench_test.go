@@ -1,0 +1,424 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (reduced instance counts — cmd/qaoa-exp runs full
+// scale) plus ablation benches for the design choices called out in
+// DESIGN.md §5.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/qaoac"
+)
+
+// --- Figure benchmarks -----------------------------------------------------
+
+// BenchmarkFig7 regenerates the Fig. 7 mapping comparison (NAIVE vs GreedyV
+// vs QAIM) at reduced instance count.
+func BenchmarkFig7(b *testing.B) {
+	cfg := qaoac.DefaultFig7()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Fig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the Fig. 8 problem-size sweep.
+func BenchmarkFig8(b *testing.B) {
+	cfg := qaoac.DefaultFig8()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the Fig. 9 ordering comparison (QAIM vs IP vs
+// IC).
+func BenchmarkFig9(b *testing.B) {
+	cfg := qaoac.DefaultFig9()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the Fig. 10 VIC/IC success-probability study.
+func BenchmarkFig10(b *testing.B) {
+	cfg := qaoac.DefaultFig10()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Fig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11a regenerates the Fig. 11(a) performance-summary table.
+func BenchmarkFig11a(b *testing.B) {
+	cfg := qaoac.DefaultFig11a()
+	cfg.InstancesPerPoint = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Fig11a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11b regenerates the Fig. 11(b) ARG validation on the noisy
+// melbourne model (heavily reduced shots/trajectories).
+func BenchmarkFig11b(b *testing.B) {
+	cfg := qaoac.DefaultFig11b()
+	cfg.Nodes = 10
+	cfg.Instances = 2
+	cfg.Shots = 1024
+	cfg.Trajectories = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Fig11b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates the Fig. 12 packing-density sweep.
+func BenchmarkFig12(b *testing.B) {
+	cfg := qaoac.DefaultFig12()
+	cfg.Instances = 2
+	cfg.PackingLimits = []int{1, 5, 9, 13, 18}
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Fig12(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscussion regenerates the §VI ring-architecture comparison.
+func BenchmarkDiscussion(b *testing.B) {
+	cfg := qaoac.DefaultDiscussion()
+	cfg.Instances = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.Discussion(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Pass micro-benchmarks ---------------------------------------------------
+
+func benchProblem(n, d int, seed int64) *qaoac.Problem {
+	g := qaoac.MustRandomRegular(n, d, rand.New(rand.NewSource(seed)))
+	return &qaoac.Problem{G: g, MaxCut: 1}
+}
+
+// BenchmarkQAIMMapping measures the QAIM initial-mapping pass alone.
+func BenchmarkQAIMMapping(b *testing.B) {
+	prob := benchProblem(18, 4, 1)
+	dev := qaoac.Tokyo20()
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.QAIMMapping(prob.G, dev, 2, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIPOrder measures the instruction-parallelization pass alone.
+func BenchmarkIPOrder(b *testing.B) {
+	prob := benchProblem(20, 8, 3)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := qaoac.IPOrder(prob.G, rng, 0); len(got) != prob.G.M() {
+			b.Fatal("short order")
+		}
+	}
+}
+
+// BenchmarkCompile measures one full compilation per preset on a 20-node
+// 4-regular instance targeting tokyo.
+func BenchmarkCompile(b *testing.B) {
+	prob := benchProblem(20, 4, 5)
+	devT := qaoac.Tokyo20()
+	devM := qaoac.Melbourne15()
+	params := qaoac.P1Params(0.5, 0.2)
+	for _, preset := range qaoac.Presets {
+		preset := preset
+		dev := devT
+		if preset == qaoac.PresetVIC {
+			dev = devM // VIC needs calibration; melbourne carries one
+		}
+		b.Run(preset.String(), func(b *testing.B) {
+			p := prob
+			if dev == devM {
+				p = benchProblem(14, 4, 5)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := qaoac.Compile(p, params, dev, preset.Options(rand.New(rand.NewSource(6)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures state-vector execution of a compiled 12-node
+// circuit on the melbourne register (2^15 amplitudes).
+func BenchmarkSimulator(b *testing.B) {
+	prob := benchProblem(12, 4, 7)
+	dev := qaoac.Melbourne15()
+	res, err := qaoac.Compile(prob, qaoac.P1Params(0.5, 0.2), dev,
+		qaoac.PresetIC.Options(rand.New(rand.NewSource(8))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qaoac.Simulate(res.Circuit)
+	}
+}
+
+// BenchmarkNoisySampling measures one noisy trajectory + sampling pass.
+func BenchmarkNoisySampling(b *testing.B) {
+	prob := benchProblem(12, 4, 9)
+	dev := qaoac.Melbourne15()
+	res, err := qaoac.Compile(prob, qaoac.P1Params(0.5, 0.2), dev,
+		qaoac.PresetVIC.Options(rand.New(rand.NewSource(10))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nm := qaoac.NoiseFromDevice(dev)
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qaoac.SampleNoisy(res.Circuit, nm, 64, 1, rng)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ----------------------------------------
+
+// BenchmarkAblationStrengthRadius compares QAIM quality/cost across the
+// connectivity-strength neighbourhood radius (1 vs 2 vs 3). The reported
+// metric of interest is the custom "depth" counter.
+func BenchmarkAblationStrengthRadius(b *testing.B) {
+	prob := benchProblem(18, 3, 12)
+	dev := qaoac.Tokyo20()
+	params := qaoac.P1Params(0.5, 0.2)
+	for _, radius := range []int{1, 2, 3} {
+		radius := radius
+		b.Run(map[int]string{1: "r1", 2: "r2", 3: "r3"}[radius], func(b *testing.B) {
+			totalDepth := 0
+			for i := 0; i < b.N; i++ {
+				opts := qaoac.PresetIC.Options(rand.New(rand.NewSource(13)))
+				opts.StrengthRadius = radius
+				res, err := qaoac.Compile(prob, params, dev, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalDepth += res.Depth
+			}
+			b.ReportMetric(float64(totalDepth)/float64(b.N), "depth")
+		})
+	}
+}
+
+// BenchmarkAblationLookahead compares router lookahead weights (0 = none).
+func BenchmarkAblationLookahead(b *testing.B) {
+	prob := benchProblem(20, 6, 14)
+	dev := qaoac.Tokyo20()
+	params := qaoac.P1Params(0.5, 0.2)
+	for _, w := range []struct {
+		name   string
+		weight float64
+	}{{"off", -1}, {"w050", 0.5}, {"w100", 1.0}} {
+		w := w
+		b.Run(w.name, func(b *testing.B) {
+			totalGates := 0
+			for i := 0; i < b.N; i++ {
+				opts := qaoac.PresetIC.Options(rand.New(rand.NewSource(15)))
+				opts.LookaheadWeight = w.weight
+				res, err := qaoac.Compile(prob, params, dev, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalGates += res.GateCount
+			}
+			b.ReportMetric(float64(totalGates)/float64(b.N), "gates")
+		})
+	}
+}
+
+// BenchmarkAblationPacking compares IC packing limits on a dense instance.
+func BenchmarkAblationPacking(b *testing.B) {
+	prob := benchProblem(20, 8, 16)
+	dev := qaoac.Tokyo20()
+	params := qaoac.P1Params(0.5, 0.2)
+	for _, lim := range []struct {
+		name  string
+		limit int
+	}{{"lim1", 1}, {"lim5", 5}, {"full", 0}} {
+		lim := lim
+		b.Run(lim.name, func(b *testing.B) {
+			totalDepth := 0
+			for i := 0; i < b.N; i++ {
+				opts := qaoac.PresetIC.Options(rand.New(rand.NewSource(17)))
+				opts.PackingLimit = lim.limit
+				res, err := qaoac.Compile(prob, params, dev, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalDepth += res.Depth
+			}
+			b.ReportMetric(float64(totalDepth)/float64(b.N), "depth")
+		})
+	}
+}
+
+// --- Extension-experiment benches --------------------------------------------
+
+// BenchmarkExtLevels runs the p-scaling study at reduced size.
+func BenchmarkExtLevels(b *testing.B) {
+	cfg := qaoac.DefaultExtLevels()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.ExtLevels(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtMappers runs the initial-mapping ablation at reduced size.
+func BenchmarkExtMappers(b *testing.B) {
+	cfg := qaoac.DefaultExtMappers()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.ExtMappers(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtCrosstalk runs the crosstalk-serialization study.
+func BenchmarkExtCrosstalk(b *testing.B) {
+	cfg := qaoac.DefaultExtCrosstalk()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.ExtCrosstalk(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtOptimize runs the peephole-gains study.
+func BenchmarkExtOptimize(b *testing.B) {
+	cfg := qaoac.DefaultExtOptimize()
+	cfg.Instances = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.ExtOptimize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeephole measures the optimizer pass alone on a compiled native
+// circuit.
+func BenchmarkPeephole(b *testing.B) {
+	prob := benchProblem(18, 5, 20)
+	res, err := qaoac.Compile(prob, qaoac.P1Params(0.5, 0.2), qaoac.Tokyo20(),
+		qaoac.PresetIC.Options(rand.New(rand.NewSource(21))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qaoac.Peephole(res.Native)
+	}
+}
+
+// BenchmarkQASMRoundTrip measures export + import of a compiled circuit.
+func BenchmarkQASMRoundTrip(b *testing.B) {
+	prob := benchProblem(14, 3, 22)
+	res, err := qaoac.Compile(prob, qaoac.P1Params(0.5, 0.2), qaoac.Melbourne15(),
+		qaoac.PresetIC.Options(rand.New(rand.NewSource(23))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := qaoac.ExportQASM(res.Circuit)
+		if _, err := qaoac.ImportQASM(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRouterTrials compares single-shot routing against the
+// stochastic-swap variant (best of N randomized attempts).
+func BenchmarkAblationRouterTrials(b *testing.B) {
+	prob := benchProblem(18, 5, 30)
+	dev := qaoac.Tokyo20()
+	params := qaoac.P1Params(0.5, 0.2)
+	for _, trials := range []struct {
+		name string
+		n    int
+	}{{"t1", 0}, {"t4", 4}, {"t16", 16}} {
+		trials := trials
+		b.Run(trials.name, func(b *testing.B) {
+			totalSwaps := 0
+			for i := 0; i < b.N; i++ {
+				opts := qaoac.PresetIC.Options(rand.New(rand.NewSource(31)))
+				opts.RouterTrials = trials.n
+				res, err := qaoac.Compile(prob, params, dev, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalSwaps += res.SwapCount
+			}
+			b.ReportMetric(float64(totalSwaps)/float64(b.N), "swaps")
+		})
+	}
+}
+
+// BenchmarkEdgeColoring measures the Misra–Gries pass on a dense instance.
+func BenchmarkEdgeColoring(b *testing.B) {
+	g := qaoac.MustRandomRegular(20, 8, rand.New(rand.NewSource(50)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.EdgeColoring(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxCutAnneal measures the annealing solver on a 36-node instance.
+func BenchmarkMaxCutAnneal(b *testing.B) {
+	rng := rand.New(rand.NewSource(51))
+	g := qaoac.ErdosRenyi(36, 0.5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qaoac.MaxCutAnneal(g, 100, rng)
+	}
+}
+
+// BenchmarkMitigateReadout measures histogram inversion on the melbourne
+// register.
+func BenchmarkMitigateReadout(b *testing.B) {
+	rng := rand.New(rand.NewSource(52))
+	samples := make([]uint64, 8192)
+	for i := range samples {
+		samples[i] = rng.Uint64() & ((1 << 15) - 1)
+	}
+	counts := qaoac.SampleHistogram(samples)
+	readout := qaoac.Melbourne15().Calib.ReadoutError
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qaoac.MitigateReadout(counts, 15, readout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

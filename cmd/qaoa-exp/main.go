@@ -1,0 +1,181 @@
+// Command qaoa-exp regenerates the paper's evaluation tables and figures
+// (Figs. 7–12 plus the §VI comparison) and prints them as aligned text
+// tables — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	qaoa-exp                 # run everything at full paper scale
+//	qaoa-exp -fig 9          # one figure
+//	qaoa-exp -scale 0.2      # shrink instance counts (quick look)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/qaoac"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "text", "output format: text | md | csv")
+		fig    = flag.String("fig", "all", "which figure to regenerate: 7 | 8 | 9 | 10 | 11a | 11b | 12 | disc | ext-levels | ext-mappers | ext-crosstalk | ext-optimize | all")
+		scale  = flag.Float64("scale", 1.0, "multiply instance counts by this factor (min 1 instance)")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *scale, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func scaleN(n int, s float64) int {
+	v := int(float64(n) * s)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func run(fig string, scale float64, format string) error {
+	type job struct {
+		name string
+		run  func() ([]*qaoac.ExpTable, error)
+	}
+	jobs := []job{
+		{"7", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultFig7()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			return qaoac.Fig7(cfg)
+		}},
+		{"8", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultFig8()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.Fig8(cfg)
+			return wrap(t, err)
+		}},
+		{"9", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultFig9()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			return qaoac.Fig9(cfg)
+		}},
+		{"10", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultFig10()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.Fig10(cfg)
+			return wrap(t, err)
+		}},
+		{"11a", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultFig11a()
+			cfg.InstancesPerPoint = scaleN(cfg.InstancesPerPoint, scale)
+			t, err := qaoac.Fig11a(cfg)
+			return wrap(t, err)
+		}},
+		{"11b", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultFig11b()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			cfg.Shots = scaleN(cfg.Shots, scale)
+			cfg.Trajectories = scaleN(cfg.Trajectories, scale)
+			t, err := qaoac.Fig11b(cfg)
+			return wrap(t, err)
+		}},
+		{"12", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultFig12()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.Fig12(cfg)
+			return wrap(t, err)
+		}},
+		{"disc", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultDiscussion()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.Discussion(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-levels", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtLevels()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtLevels(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-mappers", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtMappers()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtMappers(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-crosstalk", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtCrosstalk()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtCrosstalk(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-optimize", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtOptimize()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtOptimize(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-devices", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtDevices()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtDevices(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-ordering", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtOrdering()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtOrdering(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-mitigation", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtMitigation()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtMitigation(cfg)
+			return wrap(t, err)
+		}},
+		{"ext-workloads", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultExtWorkloads()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.ExtWorkloads(cfg)
+			return wrap(t, err)
+		}},
+	}
+
+	matched := false
+	for _, j := range jobs {
+		if fig != "all" && fig != j.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		tables, err := j.run()
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", j.name, err)
+		}
+		for _, t := range tables {
+			switch format {
+			case "md":
+				fmt.Println(t.RenderMarkdown())
+			case "csv":
+				fmt.Println(t.RenderCSV())
+			default:
+				fmt.Println(t.Render())
+			}
+		}
+		fmt.Printf("(fig %s regenerated in %s)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func wrap(t *qaoac.ExpTable, err error) ([]*qaoac.ExpTable, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*qaoac.ExpTable{t}, nil
+}

@@ -1,0 +1,166 @@
+// Command qaoac compiles a QAOA-MaxCut instance for a target device with a
+// chosen methodology and prints the compiled circuit and its quality
+// metrics.
+//
+// Usage:
+//
+//	qaoac -device tokyo -graph regular -nodes 16 -degree 3 -method IC [-print] [-p 1] [-seed 1]
+//	qaoac -device melbourne -graph er -nodes 12 -prob 0.5 -method VIC
+//	qaoac -device grid6x6 -graph er -nodes 36 -prob 0.5 -method IP -packing 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/qaoac"
+)
+
+func main() {
+	var (
+		deviceName = flag.String("device", "tokyo", "target device: tokyo | melbourne | falcon27 | grid6x6 | linearN | ringN")
+		deviceFile = flag.String("device-file", "", "load a custom device from a JSON file (overrides -device)")
+		graphKind  = flag.String("graph", "regular", "problem family: regular | er")
+		graphFile  = flag.String("graph-file", "", "load the problem graph from an edge-list file (overrides -graph)")
+		nodes      = flag.Int("nodes", 16, "problem graph size")
+		degree     = flag.Int("degree", 3, "edges per node (regular graphs)")
+		prob       = flag.Float64("prob", 0.5, "edge probability (erdos-renyi graphs)")
+		method     = flag.String("method", "IC", "compilation method: NAIVE | GreedyV | QAIM | IP | IC | VIC")
+		levels     = flag.Int("p", 1, "QAOA levels")
+		packing    = flag.Int("packing", 0, "max CPhase gates per layer (0 = unlimited)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		print      = flag.Bool("print", false, "print the compiled circuit")
+		native     = flag.Bool("native", false, "print the native-basis circuit instead")
+		draw       = flag.Bool("draw", false, "draw the compiled circuit as ASCII art")
+	)
+	flag.Parse()
+
+	if err := run(*deviceName, *deviceFile, *graphKind, *graphFile, *nodes, *degree, *prob, *method, *levels, *packing, *seed, *print, *native, *draw); err != nil {
+		fmt.Fprintln(os.Stderr, "qaoac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int, prob float64, method string, levels, packing int, seed int64, print, native, draw bool) error {
+	var dev *qaoac.Device
+	var err error
+	if deviceFile != "" {
+		data, rerr := os.ReadFile(deviceFile)
+		if rerr != nil {
+			return rerr
+		}
+		dev, err = qaoac.DeviceFromJSON(data)
+	} else {
+		dev, err = pickDevice(deviceName)
+	}
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var g *qaoac.Graph
+	switch {
+	case graphFile != "":
+		data, rerr := os.ReadFile(graphFile)
+		if rerr != nil {
+			return rerr
+		}
+		g, err = qaoac.ParseEdgeList(string(data))
+		if err != nil {
+			return err
+		}
+	case graphKind == "regular":
+		g, err = qaoac.RandomRegular(nodes, degree, rng)
+		if err != nil {
+			return err
+		}
+	case graphKind == "er":
+		g = qaoac.ErdosRenyi(nodes, prob, rng)
+	default:
+		return fmt.Errorf("unknown graph family %q", graphKind)
+	}
+
+	preset, err := pickPreset(method)
+	if err != nil {
+		return err
+	}
+
+	params := qaoac.Params{Gamma: make([]float64, levels), Beta: make([]float64, levels)}
+	for l := 0; l < levels; l++ {
+		params.Gamma[l] = 0.8 / float64(l+1)
+		params.Beta[l] = 0.4 / float64(l+1)
+	}
+
+	problem := &qaoac.Problem{G: g, MaxCut: 1}
+	opts := preset.Options(rng)
+	opts.PackingLimit = packing
+	res, err := qaoac.Compile(problem, params, dev, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("device:        %s (%d qubits, %d couplers)\n", dev.Name, dev.NQubits(), dev.Coupling.M())
+	fmt.Printf("problem:       %s n=%d m=%d, p=%d\n", graphKind, g.N(), g.M(), levels)
+	fmt.Printf("method:        %s (packing limit %d)\n", preset, packing)
+	fmt.Printf("initial map:   %s\n", res.Initial)
+	fmt.Printf("final map:     %s\n", res.Final)
+	fmt.Printf("swaps added:   %d\n", res.SwapCount)
+	fmt.Printf("native depth:  %d\n", res.Depth)
+	fmt.Printf("native gates:  %d\n", res.GateCount)
+	fmt.Printf("compile time:  %s\n", res.CompileTime)
+	if dev.Calib != nil {
+		fmt.Printf("success prob:  %.6f\n", dev.SuccessProbability(res.Native))
+	}
+	fmt.Printf("exec time:     %.0f ns (IBM timing model)\n", res.Circuit.ExecutionTime(qaoac.IBMDurations()))
+	if print {
+		c := res.Circuit
+		if native {
+			c = res.Native
+		}
+		fmt.Println()
+		fmt.Print(c.String())
+	}
+	if draw {
+		fmt.Println()
+		fmt.Print(qaoac.DrawCircuit(res.Circuit))
+	}
+	return nil
+}
+
+func pickDevice(name string) (*qaoac.Device, error) {
+	switch {
+	case name == "tokyo":
+		return qaoac.Tokyo20(), nil
+	case name == "melbourne":
+		return qaoac.Melbourne15(), nil
+	case name == "falcon27":
+		return qaoac.Falcon27(), nil
+	case name == "grid6x6":
+		return qaoac.GridDevice(6, 6), nil
+	case strings.HasPrefix(name, "linear"):
+		var n int
+		if _, err := fmt.Sscanf(name, "linear%d", &n); err != nil {
+			return nil, fmt.Errorf("bad device %q (want e.g. linear8)", name)
+		}
+		return qaoac.LinearDevice(n), nil
+	case strings.HasPrefix(name, "ring"):
+		var n int
+		if _, err := fmt.Sscanf(name, "ring%d", &n); err != nil {
+			return nil, fmt.Errorf("bad device %q (want e.g. ring8)", name)
+		}
+		return qaoac.RingDevice(n), nil
+	}
+	return nil, fmt.Errorf("unknown device %q", name)
+}
+
+func pickPreset(method string) (qaoac.Preset, error) {
+	for _, p := range qaoac.Presets {
+		if strings.EqualFold(p.String(), method) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q", method)
+}

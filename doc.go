@@ -1,0 +1,8 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// "Circuit Compilation Methodologies for Quantum Approximate Optimization
+// Algorithm" (Alam, Ash-Saki, Ghosh; MICRO 2020).
+//
+// The public API lives in package repro/qaoac; the per-figure benchmark
+// harness lives in bench_test.go alongside this file. See README.md for a
+// tour and DESIGN.md for the system inventory.
+package repro

@@ -1,0 +1,91 @@
+// Beyond MaxCut: solve a number-partitioning problem with QAOA through the
+// same compilation pipeline (§VI "Applicability beyond QAOA-MaxCut").
+// The weights {5,8,13,27,14,23} admit a perfect split (45 = 45); QAOA over
+// the Ising form (Σ s_i·w_i)² should sample it with boosted probability.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/qaoac"
+)
+
+func main() {
+	weights := []float64{5, 8, 13, 27, 14, 23}
+	m, offset := qaoac.IsingNumberPartition(weights)
+	groundE, groundX, err := m.GroundState()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("weights %v, total %v\n", weights, sum(weights))
+	fmt.Printf("exact ground state: %06b, imbalance² = %v (perfect split: 0)\n\n",
+		groundX, offset+groundE)
+
+	// Optimize (γ, β) on the simulator over the energy expectation. The
+	// couplings span a wide magnitude range, so scan a small-γ window.
+	dev := qaoac.Melbourne15()
+	var bestG, bestB, bestE float64
+	bestE = math.Inf(1)
+	for ig := 1; ig <= 40; ig++ {
+		for ib := 1; ib < 16; ib++ {
+			gamma := float64(ig) * 0.0005
+			beta := float64(ib) * math.Pi / 16
+			e := isingExpectation(m, gamma, beta)
+			if e < bestE {
+				bestE, bestG, bestB = e, gamma, beta
+			}
+		}
+	}
+	fmt.Printf("optimized angles: γ = %.4f, β = %.4f, ⟨H⟩ = %.1f (random guess: 0 ⇒ ⟨H⟩ ≈ %.1f)\n",
+		bestG, bestB, bestE, 0.0)
+
+	// Compile for melbourne with IC and sample.
+	res, err := qaoac.CompileIsing(m, qaoac.P1Params(bestG, bestB), dev,
+		qaoac.PresetIC.Options(rand.New(rand.NewSource(3))))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("compiled: depth %d, gates %d, swaps %d\n\n", res.Depth, res.GateCount, res.SwapCount)
+
+	rng := rand.New(rand.NewSource(4))
+	samples := qaoac.SampleIdeal(res.Circuit, 4096, rng)
+	hits := 0
+	var meanE float64
+	for _, y := range samples {
+		x := res.ExtractLogical(y)
+		e := m.Energy(x)
+		meanE += e
+		if offset+e == offset+groundE {
+			hits++
+		}
+	}
+	meanE /= float64(len(samples))
+	fmt.Printf("sampled 4096 shots: mean ⟨H⟩ = %.1f, optimal partitions hit %d times (%.2f%%)\n",
+		meanE, hits, 100*float64(hits)/4096)
+	uniform := 100 * 4.0 / 64.0 // 2 optimal splits ×2 spin symmetry out of 2^6
+	fmt.Printf("uniform sampling would hit ≈ %.2f%% — QAOA concentrates on good splits\n", uniform)
+}
+
+// isingExpectation evaluates ⟨H⟩ of the p=1 QAOA state by compiling for an
+// ideal fully-connected device (no SWAPs) and simulating.
+func isingExpectation(m *qaoac.IsingModel, gamma, beta float64) float64 {
+	res, err := qaoac.CompileIsing(m, qaoac.P1Params(gamma, beta), qaoac.FullyConnectedDevice(m.N),
+		qaoac.PresetQAIM.Options(rand.New(rand.NewSource(1))))
+	if err != nil {
+		panic(err)
+	}
+	s := qaoac.Simulate(res.Circuit)
+	return s.ExpectationDiagonal(func(y uint64) float64 {
+		return m.Energy(res.ExtractLogical(y))
+	})
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

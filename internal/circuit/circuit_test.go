@@ -1,0 +1,299 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKindArityAndParams(t *testing.T) {
+	cases := []struct {
+		k       Kind
+		arity   int
+		nparams int
+	}{
+		{H, 1, 0}, {X, 1, 0}, {Y, 1, 0}, {Z, 1, 0},
+		{RX, 1, 1}, {RY, 1, 1}, {RZ, 1, 1},
+		{U1, 1, 1}, {U2, 1, 2}, {U3, 1, 3},
+		{CNOT, 2, 0}, {CZ, 2, 0}, {CPhase, 2, 1}, {Swap, 2, 0},
+		{Measure, 1, 0}, {Barrier, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.k.Arity(); got != tc.arity {
+			t.Errorf("%v.Arity() = %d, want %d", tc.k, got, tc.arity)
+		}
+		if got := tc.k.NumParams(); got != tc.nparams {
+			t.Errorf("%v.NumParams() = %d, want %d", tc.k, got, tc.nparams)
+		}
+	}
+}
+
+func TestGateQubitsAndOn(t *testing.T) {
+	g := NewCNOT(2, 5)
+	if !g.On(2) || !g.On(5) || g.On(3) {
+		t.Error("On misreports CNOT qubits")
+	}
+	qs := g.Qubits()
+	if len(qs) != 2 || qs[0] != 2 || qs[1] != 5 {
+		t.Errorf("Qubits = %v", qs)
+	}
+	h := NewH(1)
+	if h.On(0) || !h.On(1) {
+		t.Error("On misreports H qubit")
+	}
+	if len(NewMeasure(0).Qubits()) != 1 {
+		t.Error("Measure should touch one qubit")
+	}
+}
+
+func TestSharesQubit(t *testing.T) {
+	a := NewCPhase(0, 1, 0.3)
+	b := NewCPhase(2, 3, 0.3)
+	c := NewCPhase(1, 2, 0.3)
+	if a.SharesQubit(b) {
+		t.Error("disjoint gates reported as sharing")
+	}
+	if !a.SharesQubit(c) || !b.SharesQubit(c) {
+		t.Error("overlapping gates reported as disjoint")
+	}
+}
+
+func TestIsDiagonal(t *testing.T) {
+	diag := []Gate{NewZ(0), NewRZ(0, 1), NewU1(0, 1), NewCZ(0, 1), NewCPhase(0, 1, 1)}
+	for _, g := range diag {
+		if !g.IsDiagonal() {
+			t.Errorf("%v not reported diagonal", g)
+		}
+	}
+	nondiag := []Gate{NewH(0), NewX(0), NewRX(0, 1), NewCNOT(0, 1), NewSwap(0, 1)}
+	for _, g := range nondiag {
+		if g.IsDiagonal() {
+			t.Errorf("%v reported diagonal", g)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewH(3).Validate(3); err == nil {
+		t.Error("out-of-range 1q gate accepted")
+	}
+	if err := NewCNOT(0, 3).Validate(3); err == nil {
+		t.Error("out-of-range 2q gate accepted")
+	}
+	if err := NewCNOT(1, 1).Validate(3); err == nil {
+		t.Error("same-qubit CNOT accepted")
+	}
+	if err := NewCNOT(0, 2).Validate(3); err != nil {
+		t.Errorf("valid CNOT rejected: %v", err)
+	}
+}
+
+func TestAppendPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Append of invalid gate did not panic")
+		}
+	}()
+	New(2).Append(NewCNOT(0, 2))
+}
+
+// qaoaCost builds H-layer + the given CPhase edge order + RX layer +
+// measurement, the p=1 QAOA-MaxCut template of Fig. 1.
+func qaoaCost(n int, order [][2]int) *Circuit {
+	c := New(n)
+	for q := 0; q < n; q++ {
+		c.Append(NewH(q))
+	}
+	for _, e := range order {
+		c.Append(NewCPhase(e[0], e[1], 0.5))
+	}
+	for q := 0; q < n; q++ {
+		c.Append(NewRX(q, 0.3))
+	}
+	return c.MeasureAll()
+}
+
+// The Fig. 1 example: a randomly ordered K4 cost layer needs 9 time steps
+// while the intelligently ordered one needs 6 (measurement included).
+func TestDepthFig1Example(t *testing.T) {
+	random := qaoaCost(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}, {0, 3}})
+	if got := random.Depth(); got != 9 {
+		t.Errorf("circ-1 depth = %d, want 9", got)
+	}
+	smart := qaoaCost(4, [][2]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}, {0, 3}, {1, 2}})
+	if got := smart.Depth(); got != 6 {
+		t.Errorf("circ-2 depth = %d, want 6", got)
+	}
+}
+
+func TestDepthEmptyAndSingle(t *testing.T) {
+	if d := New(3).Depth(); d != 0 {
+		t.Errorf("empty depth = %d", d)
+	}
+	c := New(1).Append(NewH(0), NewH(0), NewH(0))
+	if d := c.Depth(); d != 3 {
+		t.Errorf("serial depth = %d, want 3", d)
+	}
+}
+
+func TestDepthParallel(t *testing.T) {
+	c := New(4).Append(NewH(0), NewH(1), NewH(2), NewH(3))
+	if d := c.Depth(); d != 1 {
+		t.Errorf("parallel depth = %d, want 1", d)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	c := New(2).Append(NewH(0))
+	c.Gates = append(c.Gates, Gate{Kind: Barrier})
+	c.Append(NewH(1))
+	if d := c.Depth(); d != 2 {
+		t.Errorf("depth with barrier = %d, want 2", d)
+	}
+	// Without the barrier the H gates overlap.
+	c2 := New(2).Append(NewH(0), NewH(1))
+	if d := c2.Depth(); d != 1 {
+		t.Errorf("depth without barrier = %d, want 1", d)
+	}
+}
+
+func TestLayersConsistentWithDepth(t *testing.T) {
+	c := qaoaCost(4, [][2]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}, {0, 3}, {1, 2}})
+	layers := c.Layers()
+	if len(layers) != c.Depth() {
+		t.Fatalf("len(Layers) = %d, Depth = %d", len(layers), c.Depth())
+	}
+	// No two gates within a layer may share a qubit.
+	total := 0
+	for li, layer := range layers {
+		total += len(layer)
+		for i := 0; i < len(layer); i++ {
+			for j := i + 1; j < len(layer); j++ {
+				if c.Gates[layer[i]].SharesQubit(c.Gates[layer[j]]) {
+					t.Errorf("layer %d: gates %v and %v share a qubit", li, c.Gates[layer[i]], c.Gates[layer[j]])
+				}
+			}
+		}
+	}
+	if total != c.Len() {
+		t.Errorf("layers cover %d gates, circuit has %d", total, c.Len())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := qaoaCost(4, [][2]int{{0, 1}, {2, 3}})
+	if got := c.CountKind(H); got != 4 {
+		t.Errorf("H count = %d, want 4", got)
+	}
+	if got := c.CountKind(CPhase); got != 2 {
+		t.Errorf("CPhase count = %d, want 2", got)
+	}
+	if got := c.TwoQubitCount(); got != 2 {
+		t.Errorf("two-qubit count = %d, want 2", got)
+	}
+	if got := c.GateCount(); got != 4+2+4+4 {
+		t.Errorf("GateCount = %d, want 14", got)
+	}
+	hist := c.Counts()
+	if hist[Measure] != 4 || hist[RX] != 4 {
+		t.Errorf("Counts = %v", hist)
+	}
+}
+
+func TestAppendCircuitStitching(t *testing.T) {
+	a := New(3).Append(NewH(0))
+	b := New(3).Append(NewCNOT(0, 1), NewCNOT(1, 2))
+	a.AppendCircuit(b)
+	if a.Len() != 3 {
+		t.Errorf("stitched length = %d, want 3", a.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("stitching mismatched registers did not panic")
+		}
+	}()
+	a.AppendCircuit(New(4))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2).Append(NewH(0))
+	b := a.Clone()
+	b.Append(NewH(1))
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Errorf("clone not independent: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New(2).Append(NewCPhase(0, 1, math.Pi/4), NewMeasure(0))
+	s := c.String()
+	for _, want := range []string{"qreg q[2];", "zz(0.78540) q[0],q[1];", "measure q[0];"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+	}
+	for _, tc := range cases {
+		if got := NormalizeAngle(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDecomposeCounts(t *testing.T) {
+	c := New(3).Append(
+		NewH(0),
+		NewCPhase(0, 1, 0.7),
+		NewSwap(1, 2),
+		NewRX(0, 0.3),
+		NewCZ(0, 2),
+		NewMeasure(1),
+	)
+	d := c.Decompose(BasisIBM)
+	// H→1 U2; CPhase→2 CNOT+1 U1; Swap→3 CNOT; RX→1 U3; CZ→2 U2+1 CNOT.
+	if got := d.CountKind(CNOT); got != 6 {
+		t.Errorf("CNOT count = %d, want 6", got)
+	}
+	if got := d.CountKind(U2); got != 3 {
+		t.Errorf("U2 count = %d, want 3", got)
+	}
+	if got := d.CountKind(U1); got != 1 {
+		t.Errorf("U1 count = %d, want 1", got)
+	}
+	if got := d.CountKind(U3); got != 1 {
+		t.Errorf("U3 count = %d, want 1", got)
+	}
+	if got := d.CountKind(Measure); got != 1 {
+		t.Errorf("Measure count = %d, want 1", got)
+	}
+	// Only native kinds remain.
+	for _, g := range d.Gates {
+		switch g.Kind {
+		case U1, U2, U3, CNOT, Measure:
+		default:
+			t.Errorf("non-native gate %v in decomposed circuit", g)
+		}
+	}
+}
+
+func TestNativeCNOTCost(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want int
+	}{{CNOT, 1}, {CZ, 1}, {CPhase, 2}, {Swap, 3}, {H, 0}, {Measure, 0}}
+	for _, tc := range cases {
+		if got := NativeCNOTCost(tc.k); got != tc.want {
+			t.Errorf("NativeCNOTCost(%v) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}

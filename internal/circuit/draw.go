@@ -1,0 +1,119 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders the circuit as ASCII art, one wire per qubit, one column per
+// ASAP layer:
+//
+//	q0: ─H─────●──────M─
+//	q1: ─H─────Z(0.5)─M─
+//	q2: ─H─×────────────
+//	q3: ─H─×────────────
+//
+// Two-qubit gates mark the first operand with ● (control for CNOT/CPhase)
+// and the second with their symbol (⊕ for CNOT targets, ● for CZ, × for
+// SWAP); wires strictly between the operands carry │ in that column.
+// Intended for small circuits — the output width grows with depth.
+func (c *Circuit) Draw() string {
+	layers := c.Layers()
+	n := c.NQubits
+	// cells[q][col] holds the token for qubit q in that column.
+	cells := make([][]string, n)
+	for q := range cells {
+		cells[q] = make([]string, len(layers))
+	}
+	for col, layer := range layers {
+		for _, gi := range layer {
+			g := c.Gates[gi]
+			switch g.Arity() {
+			case 1:
+				cells[g.Q0][col] = token1(g)
+			case 2:
+				a, b := tokens2(g)
+				cells[g.Q0][col] = a
+				cells[g.Q1][col] = b
+				lo, hi := g.Q0, g.Q1
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				for q := lo + 1; q < hi; q++ {
+					if cells[q][col] == "" {
+						cells[q][col] = "│"
+					}
+				}
+			}
+		}
+	}
+
+	widths := make([]int, len(layers))
+	for col := range widths {
+		for q := 0; q < n; q++ {
+			if w := runeLen(cells[q][col]); w > widths[col] {
+				widths[col] = w
+			}
+		}
+	}
+
+	labelW := len(fmt.Sprintf("q%d: ", n-1))
+	var b strings.Builder
+	for q := 0; q < n; q++ {
+		label := fmt.Sprintf("q%d: ", q)
+		b.WriteString(label)
+		b.WriteString(strings.Repeat(" ", labelW-len(label)))
+		b.WriteString("─")
+		for col := range layers {
+			tok := cells[q][col]
+			fill := "─"
+			if tok == "│" {
+				fill = " "
+			}
+			if tok == "" {
+				tok = ""
+				fill = "─"
+			}
+			b.WriteString(tok)
+			pad := widths[col] - runeLen(tok)
+			b.WriteString(strings.Repeat(fill, pad))
+			b.WriteString("─")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func token1(g Gate) string {
+	switch g.Kind {
+	case H, X, Y, Z:
+		return strings.ToUpper(g.Kind.String())
+	case Measure:
+		return "M"
+	case RX, RY, RZ, U1:
+		return fmt.Sprintf("%s(%.2g)", strings.ToUpper(g.Kind.String()[:1])+g.Kind.String()[1:], g.Params[0])
+	case U2:
+		return fmt.Sprintf("U2(%.2g,%.2g)", g.Params[0], g.Params[1])
+	case U3:
+		return fmt.Sprintf("U3(%.2g,%.2g,%.2g)", g.Params[0], g.Params[1], g.Params[2])
+	default:
+		return g.Kind.String()
+	}
+}
+
+func tokens2(g Gate) (string, string) {
+	switch g.Kind {
+	case CNOT:
+		return "●", "⊕"
+	case CZ:
+		return "●", "●"
+	case CPhase:
+		return "●", fmt.Sprintf("Z(%.2g)", g.Params[0])
+	case Swap:
+		return "×", "×"
+	default:
+		return g.Kind.String(), g.Kind.String()
+	}
+}
+
+func runeLen(s string) int { return len([]rune(s)) }

@@ -1,0 +1,69 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDrawBell(t *testing.T) {
+	c := New(2).Append(NewH(0), NewCNOT(0, 1), NewMeasure(0), NewMeasure(1))
+	art := c.Draw()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("drew %d lines, want 2:\n%s", len(lines), art)
+	}
+	if !strings.HasPrefix(lines[0], "q0: ") || !strings.HasPrefix(lines[1], "q1: ") {
+		t.Errorf("missing labels:\n%s", art)
+	}
+	if !strings.Contains(lines[0], "H") || !strings.Contains(lines[0], "●") || !strings.Contains(lines[0], "M") {
+		t.Errorf("q0 wire missing tokens:\n%s", art)
+	}
+	if !strings.Contains(lines[1], "⊕") {
+		t.Errorf("target marker missing:\n%s", art)
+	}
+}
+
+func TestDrawVerticalConnector(t *testing.T) {
+	// CNOT(0,2) spans qubit 1 → its wire carries │ in that column.
+	c := New(3).Append(NewCNOT(0, 2))
+	art := c.Draw()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if !strings.Contains(lines[1], "│") {
+		t.Errorf("spanned wire lacks connector:\n%s", art)
+	}
+}
+
+func TestDrawColumnsAligned(t *testing.T) {
+	c := New(3).Append(
+		NewH(0), NewRZ(1, 0.5), NewH(2),
+		NewCPhase(0, 1, 0.25),
+		NewSwap(1, 2),
+	)
+	art := c.Draw()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	w := len([]rune(lines[0]))
+	for i, l := range lines {
+		if len([]rune(l)) != w {
+			t.Errorf("line %d width %d != %d:\n%s", i, len([]rune(l)), w, art)
+		}
+	}
+	if !strings.Contains(art, "Z(0.25)") {
+		t.Errorf("CPhase angle missing:\n%s", art)
+	}
+	if strings.Count(art, "×") != 2 {
+		t.Errorf("swap markers missing:\n%s", art)
+	}
+}
+
+func TestDrawEmpty(t *testing.T) {
+	art := New(2).Draw()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("empty circuit drew %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "─") {
+			t.Errorf("bare wire missing: %q", l)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package circuit
+
+// Durations assigns an execution time to each gate kind, in arbitrary time
+// units (e.g. nanoseconds). Kinds absent from the map execute in zero time
+// (virtual gates — IBM's U1/RZ frame changes are free on hardware).
+type Durations map[Kind]float64
+
+// IBMDurations models the superconducting-hardware timing regime of the
+// paper's devices: one-qubit pulses ≈ 50 ns, CNOTs ≈ 300 ns, measurement
+// ≈ 1 µs, and Z rotations free (virtual). Composite gates cost their
+// decomposition.
+func IBMDurations() Durations {
+	return Durations{
+		H: 50, X: 50, Y: 50, RX: 50, RY: 50, U2: 50, U3: 50,
+		RZ: 0, U1: 0, Z: 0,
+		CNOT: 300, CZ: 300,
+		CPhase: 600, Swap: 900, // 2 and 3 CNOTs respectively
+		Measure: 1000,
+	}
+}
+
+// ExecutionTime returns the circuit's critical-path duration under the
+// model: the ASAP schedule where each gate occupies its own duration on
+// every qubit it touches. Unlike Depth — which counts time steps — this
+// captures that two-qubit gates and measurements dominate wall-clock time,
+// the quantity decoherence actually cares about (§II). Barriers
+// synchronize all qubits.
+func (c *Circuit) ExecutionTime(d Durations) float64 {
+	busyUntil := make([]float64, c.NQubits)
+	var total float64
+	for _, g := range c.Gates {
+		switch g.Arity() {
+		case 0: // barrier
+			var max float64
+			for _, t := range busyUntil {
+				if t > max {
+					max = t
+				}
+			}
+			for q := range busyUntil {
+				busyUntil[q] = max
+			}
+		default:
+			start := 0.0
+			for _, q := range g.Qubits() {
+				if busyUntil[q] > start {
+					start = busyUntil[q]
+				}
+			}
+			end := start + d[g.Kind]
+			for _, q := range g.Qubits() {
+				busyUntil[q] = end
+			}
+			if end > total {
+				total = end
+			}
+		}
+	}
+	return total
+}

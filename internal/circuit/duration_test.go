@@ -1,0 +1,82 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExecutionTimeSerial(t *testing.T) {
+	d := Durations{H: 50, CNOT: 300}
+	c := New(2).Append(NewH(0), NewCNOT(0, 1), NewH(1))
+	if got := c.ExecutionTime(d); got != 400 {
+		t.Errorf("serial time = %v, want 400", got)
+	}
+}
+
+func TestExecutionTimeParallel(t *testing.T) {
+	d := Durations{H: 50, CNOT: 300}
+	c := New(4).Append(NewH(0), NewCNOT(2, 3)) // disjoint → overlap
+	if got := c.ExecutionTime(d); got != 300 {
+		t.Errorf("parallel time = %v, want 300", got)
+	}
+}
+
+func TestExecutionTimeVirtualGatesFree(t *testing.T) {
+	d := IBMDurations()
+	c := New(1).Append(NewRZ(0, 0.5), NewU1(0, 0.3), NewZ(0))
+	if got := c.ExecutionTime(d); got != 0 {
+		t.Errorf("virtual-only circuit time = %v, want 0", got)
+	}
+}
+
+func TestExecutionTimeBarrier(t *testing.T) {
+	d := Durations{H: 50}
+	c := New(2).Append(NewH(0))
+	c.Gates = append(c.Gates, Gate{Kind: Barrier})
+	c.Append(NewH(1))
+	if got := c.ExecutionTime(d); got != 100 {
+		t.Errorf("barrier time = %v, want 100", got)
+	}
+}
+
+func TestIBMDurationsRegime(t *testing.T) {
+	d := IBMDurations()
+	if d[CNOT] <= d[H] {
+		t.Error("CNOT should dominate one-qubit gates")
+	}
+	if d[Swap] != 3*d[CNOT] || d[CPhase] != 2*d[CNOT] {
+		t.Error("composite gates should cost their decomposition")
+	}
+	if d[RZ] != 0 || d[U1] != 0 {
+		t.Error("Z rotations are virtual")
+	}
+}
+
+// Execution time and decomposed execution time agree for composite gates
+// whose decomposition is all-CNOT (Swap), since the model prices them as
+// their decomposition.
+func TestExecutionTimeConsistentWithDecomposition(t *testing.T) {
+	d := IBMDurations()
+	c := New(2).Append(NewSwap(0, 1))
+	direct := c.ExecutionTime(d)
+	decomposed := c.Decompose(BasisIBM).ExecutionTime(d)
+	if math.Abs(direct-decomposed) > 1e-9 {
+		t.Errorf("swap time %v vs decomposed %v", direct, decomposed)
+	}
+}
+
+// A shorter-depth compiled circuit must also have a shorter execution time
+// when gate mixes are similar — the depth↔time correlation the paper uses.
+func TestExecutionTimeTracksDepth(t *testing.T) {
+	d := IBMDurations()
+	serialCost := New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		serialCost.Append(NewCPhase(e[0], e[1], 0.5))
+	}
+	parallelCost := New(4).Append(NewCPhase(0, 1, 0.5), NewCPhase(2, 3, 0.5), NewCPhase(1, 2, 0.5))
+	st := serialCost.ExecutionTime(d)
+	pt := parallelCost.ExecutionTime(d)
+	if pt >= st {
+		t.Errorf("parallel-friendly order time %v not below serial %v", pt, st)
+	}
+}

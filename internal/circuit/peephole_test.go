@@ -1,0 +1,100 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeepholeCancellations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Gate
+		want int // surviving gate count
+	}{
+		{"HH", []Gate{NewH(0), NewH(0)}, 0},
+		{"HHH", []Gate{NewH(0), NewH(0), NewH(0)}, 1},
+		{"HHHH cascade", []Gate{NewH(0), NewH(0), NewH(0), NewH(0)}, 0},
+		{"XX", []Gate{NewX(1), NewX(1)}, 0},
+		{"YY", []Gate{NewY(0), NewY(0)}, 0},
+		{"ZZ", []Gate{NewZ(0), NewZ(0)}, 0},
+		{"CNOT pair", []Gate{NewCNOT(0, 1), NewCNOT(0, 1)}, 0},
+		{"CNOT reversed no cancel", []Gate{NewCNOT(0, 1), NewCNOT(1, 0)}, 2},
+		{"CZ symmetric", []Gate{NewCZ(0, 1), NewCZ(1, 0)}, 0},
+		{"SWAP pair", []Gate{NewSwap(0, 1), NewSwap(1, 0)}, 0},
+		{"H on different qubits", []Gate{NewH(0), NewH(1)}, 2},
+		{"blocked by intervening gate", []Gate{NewH(0), NewX(0), NewH(0)}, 3},
+		{"blocked by shared 2q", []Gate{NewCNOT(0, 1), NewH(1), NewCNOT(0, 1)}, 3},
+	}
+	for _, tc := range cases {
+		c := New(3).Append(tc.in...)
+		got := Peephole(c)
+		if got.Len() != tc.want {
+			t.Errorf("%s: %d gates survive, want %d (%v)", tc.name, got.Len(), tc.want, got.Gates)
+		}
+	}
+}
+
+func TestPeepholeRotationMerging(t *testing.T) {
+	c := New(2).Append(NewRZ(0, 0.3), NewRZ(0, 0.5))
+	got := Peephole(c)
+	if got.Len() != 1 || math.Abs(got.Gates[0].Params[0]-0.8) > 1e-12 {
+		t.Errorf("RZ merge: %v", got.Gates)
+	}
+	// Opposite rotations annihilate.
+	c2 := New(2).Append(NewRX(1, 0.7), NewRX(1, -0.7))
+	if got := Peephole(c2); got.Len() != 0 {
+		t.Errorf("RX annihilation: %v", got.Gates)
+	}
+	// CPhase merges across orientation.
+	c3 := New(2).Append(NewCPhase(0, 1, 0.2), NewCPhase(1, 0, 0.3))
+	got3 := Peephole(c3)
+	if got3.Len() != 1 || math.Abs(got3.Gates[0].Params[0]-0.5) > 1e-12 {
+		t.Errorf("CPhase merge: %v", got3.Gates)
+	}
+}
+
+func TestPeepholeZeroRotationsDropped(t *testing.T) {
+	c := New(1).Append(NewRZ(0, 0), NewU1(0, 2*math.Pi), NewRX(0, 4*math.Pi))
+	if got := Peephole(c); got.Len() != 0 {
+		t.Errorf("identity rotations survive: %v", got.Gates)
+	}
+}
+
+func TestPeepholeMeasureBlocks(t *testing.T) {
+	c := New(1).Append(NewH(0), NewMeasure(0), NewH(0))
+	if got := Peephole(c); got.Len() != 3 {
+		t.Errorf("measurement did not block cancellation: %v", got.Gates)
+	}
+}
+
+func TestPeepholeBarrierBlocks(t *testing.T) {
+	c := New(2).Append(NewH(0))
+	c.Gates = append(c.Gates, Gate{Kind: Barrier})
+	c.Append(NewH(0))
+	got := Peephole(c)
+	if got.CountKind(H) != 2 {
+		t.Errorf("barrier did not block cancellation: %v", got.Gates)
+	}
+}
+
+// The SWAP/CPhase fusion the compiler produces: SWAP then CPhase on the
+// same pair loses a CNOT pair once decomposed.
+func TestPeepholeSwapCPhaseFusion(t *testing.T) {
+	c := New(2).Append(NewSwap(0, 1), NewCPhase(0, 1, 0.4)).Decompose(BasisIBM)
+	before := c.CountKind(CNOT) // 3 + 2
+	got := Peephole(c)
+	after := got.CountKind(CNOT)
+	if before != 5 || after != 3 {
+		t.Errorf("CNOT count %d → %d, want 5 → 3", before, after)
+	}
+}
+
+func TestPeepholePreservesOtherGates(t *testing.T) {
+	c := New(3).Append(
+		NewH(0), NewCNOT(0, 1), NewCPhase(1, 2, 0.3), NewRX(2, 0.5), NewMeasure(0),
+	)
+	got := Peephole(c)
+	if got.Len() != c.Len() {
+		t.Errorf("irreducible circuit changed: %d → %d gates", c.Len(), got.Len())
+	}
+}

@@ -1,0 +1,281 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/graphs"
+	"repro/internal/qaoa"
+	"repro/internal/router"
+)
+
+// Result is a compiled QAOA circuit with its quality metrics.
+type Result struct {
+	// Circuit is the hardware-compliant physical circuit over the device
+	// register, in high-level gates (H/CPhase/RZ/RX/Swap/Measure).
+	Circuit *circuit.Circuit
+	// Native is Circuit decomposed into the IBM basis {U1,U2,U3,CNOT}; the
+	// depth and gate-count metrics are measured on it, as the paper does.
+	Native *circuit.Circuit
+	// Initial and Final are the logical-to-physical layouts before and
+	// after SWAP insertion. Final tells which physical qubit to read out
+	// for each logical qubit.
+	Initial, Final *router.Layout
+	// SwapCount is the number of inserted SWAP gates.
+	SwapCount int
+	// Depth and GateCount are measured on Native.
+	Depth, GateCount int
+	// CompileTime is the total wall-clock compilation duration;
+	// MapTime, OrderTime and RouteTime break it down into the initial
+	// mapping pass, the gate-ordering/layer-formation pass, and the
+	// backend SWAP-insertion routing. The backend share is what a
+	// conventional compiler's runtime corresponds to (see EXPERIMENTS.md
+	// on compile-time normalization).
+	CompileTime time.Duration
+	MapTime     time.Duration
+	OrderTime   time.Duration
+	RouteTime   time.Duration
+}
+
+// ExtractLogical converts a measured physical bitstring y (bit p = physical
+// qubit p) into the logical bitstring (bit v = vertex v) using the final
+// layout — the read-out rule for compiled-circuit samples.
+func (r *Result) ExtractLogical(y uint64) uint64 {
+	var x uint64
+	for q := 0; q < r.Final.NLogical(); q++ {
+		if y&(1<<uint(r.Final.Phys(q))) != 0 {
+			x |= 1 << uint(q)
+		}
+	}
+	return x
+}
+
+// Compile lowers the QAOA MaxCut circuit for prob with the given angles
+// onto dev using the configured methodology, and returns the compiled
+// circuit with metrics. It is the MaxCut entry point; CompileSpec accepts
+// arbitrary commuting cost Hamiltonians.
+func Compile(prob *qaoa.Problem, params qaoa.Params, dev *device.Device, opts Options) (*Result, error) {
+	spec, err := SpecFromMaxCut(prob, params)
+	if err != nil {
+		return nil, err
+	}
+	return CompileSpec(spec, dev, opts)
+}
+
+// CompileSpec lowers an arbitrary commuting-cost QAOA circuit onto dev,
+// tying together mapping (QAIM/GreedyV/random), term ordering (random/IP)
+// and routing (whole-circuit or incremental).
+func CompileSpec(spec Spec, dev *device.Device, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.N > dev.NQubits() {
+		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", spec.N, dev.Name, dev.NQubits())
+	}
+	if o.Strategy == IncrementalVariation && dev.Calib == nil {
+		return nil, fmt.Errorf("compile: VIC requires device calibration on %s", dev.Name)
+	}
+	start := time.Now()
+
+	var initial *router.Layout
+	var err error
+	if o.Mapper == MapReverse {
+		initial, err = ReverseTraversalMapping(spec, dev, o.ReverseIterations, o)
+	} else {
+		initial, err = buildMapping(spec.InteractionGraph(), dev, o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mapTime := time.Since(start)
+
+	var res *Result
+	switch o.Strategy {
+	case WholeRandom, WholeIP, WholeColor:
+		res, err = compileWhole(spec, dev, initial, o)
+	case Incremental, IncrementalVariation:
+		res, err = compileIncremental(spec, dev, initial, o)
+	default:
+		return nil, fmt.Errorf("compile: unknown strategy %v", o.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if o.Optimize {
+		res.Circuit = circuit.Peephole(res.Circuit)
+	}
+	res.Native = res.Circuit.Decompose(circuit.BasisIBM)
+	if o.Optimize {
+		res.Native = circuit.Peephole(res.Native)
+	}
+	res.Depth = res.Native.Depth()
+	res.GateCount = res.Native.GateCount()
+	res.CompileTime = time.Since(start)
+	res.MapTime = mapTime
+	return res, nil
+}
+
+// emitLocals appends the level's RZ phases mapped through the layout.
+func emitLocals(out *circuit.Circuit, level LevelSpec, phys func(int) int) {
+	if level.Local == nil {
+		return
+	}
+	for q, theta := range level.Local {
+		if theta != 0 {
+			out.Append(circuit.NewRZ(phys(q), theta))
+		}
+	}
+}
+
+// compileWhole builds the complete logical circuit (with the strategy's
+// ZZ-term order) and routes it in a single backend call — the NAIVE/QAIM/IP
+// flow of Fig. 2.
+func compileWhole(spec Spec, dev *device.Device, initial *router.Layout, o Options) (*Result, error) {
+	orderStart := time.Now()
+	logical := circuit.New(spec.N)
+	for q := 0; q < spec.N; q++ {
+		logical.Append(circuit.NewH(q))
+	}
+	for _, level := range spec.Levels {
+		var ordered []ZZTerm
+		switch o.Strategy {
+		case WholeRandom:
+			ordered = RandomTermOrder(level.ZZ, o.Rng)
+		case WholeIP:
+			ordered = flattenTermLayers(IPTermLayers(spec.N, level.ZZ, o.Rng, o.PackingLimit))
+		case WholeColor:
+			var err error
+			ordered, err = ColorTermOrder(spec.N, level.ZZ)
+			if err != nil {
+				return nil, err
+			}
+		}
+		emitLocals(logical, level, func(q int) int { return q })
+		for _, t := range ordered {
+			logical.Append(circuit.NewCPhase(t.U, t.V, t.Theta))
+		}
+		for q := 0; q < spec.N; q++ {
+			logical.Append(circuit.NewRX(q, 2*level.MixerBeta))
+		}
+	}
+	if o.Measure {
+		logical.MeasureAll()
+	}
+	orderTime := time.Since(orderStart)
+
+	r := router.New(dev)
+	r.LookaheadWeight = o.LookaheadWeight
+	r.Trials, r.Rng = o.RouterTrials, o.Rng
+	routeStart := time.Now()
+	routed, err := r.Route(logical, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Circuit:   routed.Circuit,
+		Initial:   routed.Initial,
+		Final:     routed.Final,
+		SwapCount: routed.SwapCount,
+		OrderTime: orderTime,
+		RouteTime: time.Since(routeStart),
+	}, nil
+}
+
+// compileIncremental is the IC/VIC flow of Fig. 2: ZZ layers are formed
+// one at a time from the terms whose endpoints are closest under the
+// current layout, each layer is routed as a partial circuit, and the
+// partial circuits are stitched. VIC differs only in the distance matrix
+// (reliability-weighted) handed to layer formation and routing.
+func compileIncremental(spec Spec, dev *device.Device, initial *router.Layout, o Options) (*Result, error) {
+	dist := dev.HopDistances()
+	if o.Strategy == IncrementalVariation {
+		dist = dev.ReliabilityDistances()
+	}
+	r := &router.Router{
+		Dev: dev, Dist: dist, LookaheadWeight: o.LookaheadWeight,
+		Trials: o.RouterTrials, Rng: o.Rng,
+	}
+
+	n := spec.N
+	out := circuit.New(dev.NQubits())
+	layout := initial.Clone()
+	swaps := 0
+	var orderTime, routeTime time.Duration
+
+	// Initial H layer, mapped through the initial layout.
+	for q := 0; q < n; q++ {
+		out.Append(circuit.NewH(layout.Phys(q)))
+	}
+
+	for _, level := range spec.Levels {
+		emitLocals(out, level, layout.Phys)
+		remaining := append([]ZZTerm(nil), level.ZZ...)
+		for len(remaining) > 0 {
+			orderStart := time.Now()
+			layer, rest := nextIncrementalLayer(remaining, layout, dist, o)
+			// Route the single-layer partial circuit from the live layout.
+			partial := circuit.New(n)
+			for _, t := range layer {
+				partial.Append(circuit.NewCPhase(t.U, t.V, t.Theta))
+			}
+			orderTime += time.Since(orderStart)
+			routeStart := time.Now()
+			routed, err := r.Route(partial, layout)
+			if err != nil {
+				return nil, err
+			}
+			routeTime += time.Since(routeStart)
+			out.AppendCircuit(routed.Circuit)
+			layout = routed.Final
+			swaps += routed.SwapCount
+			remaining = rest
+		}
+		// Mixer layer under the current layout.
+		for q := 0; q < n; q++ {
+			out.Append(circuit.NewRX(layout.Phys(q), 2*level.MixerBeta))
+		}
+	}
+	if o.Measure {
+		for q := 0; q < n; q++ {
+			out.Append(circuit.NewMeasure(layout.Phys(q)))
+		}
+	}
+	return &Result{
+		Circuit:   out,
+		Initial:   initial,
+		Final:     layout,
+		SwapCount: swaps,
+		OrderTime: orderTime,
+		RouteTime: routeTime,
+	}, nil
+}
+
+// nextIncrementalLayer sorts the remaining ZZ terms by the current physical
+// distance of their endpoints (ascending, ties random) and packs one layer
+// greedily; it returns the layer and the remaining terms.
+func nextIncrementalLayer(remaining []ZZTerm, layout *router.Layout, dist *graphs.DistanceMatrix, o Options) (layer, rest []ZZTerm) {
+	o.Rng.Shuffle(len(remaining), func(i, j int) {
+		remaining[i], remaining[j] = remaining[j], remaining[i]
+	})
+	sort.SliceStable(remaining, func(a, b int) bool {
+		da := dist.Dist(layout.Phys(remaining[a].U), layout.Phys(remaining[a].V))
+		db := dist.Dist(layout.Phys(remaining[b].U), layout.Phys(remaining[b].V))
+		return da < db
+	})
+	occupied := make(map[int]bool, 2*len(remaining))
+	for _, t := range remaining {
+		if (o.PackingLimit > 0 && len(layer) >= o.PackingLimit) ||
+			occupied[t.U] || occupied[t.V] {
+			rest = append(rest, t)
+			continue
+		}
+		layer = append(layer, t)
+		occupied[t.U], occupied[t.V] = true, true
+	}
+	return layer, rest
+}

@@ -1,0 +1,144 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// SpecFromCircuit recognizes a QAOA-shaped logical circuit and extracts its
+// compiler spec, so externally produced circuits (e.g. imported via OpenQASM
+// from another toolchain) can go through the commutation-exploiting
+// pipeline. The expected shape is
+//
+//	H on every qubit
+//	repeat p times:
+//	    a block of commuting diagonal gates (CPhase terms, RZ/U1/Z locals)
+//	    RX(2β) on every qubit with a common β
+//	optionally Measure gates at the end.
+//
+// It returns the spec and whether trailing measurements were present.
+func SpecFromCircuit(c *circuit.Circuit) (Spec, bool, error) {
+	n := c.NQubits
+	gates := c.Gates
+	i := 0
+
+	// Hadamard prefix covering every qubit exactly once.
+	seenH := make([]bool, n)
+	hCount := 0
+	for i < len(gates) && gates[i].Kind == circuit.H {
+		q := gates[i].Q0
+		if seenH[q] {
+			return Spec{}, false, fmt.Errorf("compile: duplicate H on qubit %d in prefix", q)
+		}
+		seenH[q] = true
+		hCount++
+		i++
+	}
+	if hCount != n {
+		return Spec{}, false, fmt.Errorf("compile: H prefix covers %d of %d qubits", hCount, n)
+	}
+
+	spec := Spec{N: n}
+	for i < len(gates) && gates[i].Kind != circuit.Measure {
+		level, next, err := parseLevel(gates, i, n)
+		if err != nil {
+			return Spec{}, false, err
+		}
+		spec.Levels = append(spec.Levels, level)
+		i = next
+	}
+	if len(spec.Levels) == 0 {
+		return Spec{}, false, fmt.Errorf("compile: no cost/mixer level found")
+	}
+
+	// Optional measurement suffix.
+	hasMeasure := false
+	for ; i < len(gates); i++ {
+		if gates[i].Kind != circuit.Measure {
+			return Spec{}, false, fmt.Errorf("compile: gate %v after measurements", gates[i])
+		}
+		hasMeasure = true
+	}
+	return spec, hasMeasure, nil
+}
+
+// parseLevel consumes one diagonal block plus its mixer layer.
+func parseLevel(gates []circuit.Gate, i, n int) (LevelSpec, int, error) {
+	level := LevelSpec{}
+	var local []float64
+	hasLocal := false
+	for i < len(gates) {
+		g := gates[i]
+		if !g.IsDiagonal() {
+			break
+		}
+		switch g.Kind {
+		case circuit.CPhase:
+			level.ZZ = append(level.ZZ, ZZTerm{U: g.Q0, V: g.Q1, Theta: g.Params[0]})
+		case circuit.CZ:
+			// CZ = CPhase(π) up to local phases; reject rather than guess.
+			return LevelSpec{}, 0, fmt.Errorf("compile: bare CZ in cost block; use CPhase")
+		default: // RZ, U1, Z on one qubit
+			if local == nil {
+				local = make([]float64, n)
+			}
+			hasLocal = true
+			switch g.Kind {
+			case circuit.RZ:
+				local[g.Q0] += g.Params[0]
+			case circuit.U1:
+				local[g.Q0] += g.Params[0]
+			case circuit.Z:
+				local[g.Q0] += math.Pi
+			}
+		}
+		i++
+	}
+	if len(level.ZZ) == 0 && !hasLocal {
+		return LevelSpec{}, 0, fmt.Errorf("compile: empty cost block before gate %d", i)
+	}
+	if hasLocal {
+		level.Local = local
+	}
+
+	// Mixer: RX on every qubit with one shared angle.
+	seen := make([]bool, n)
+	count := 0
+	theta := math.NaN()
+	for i < len(gates) && gates[i].Kind == circuit.RX {
+		g := gates[i]
+		if seen[g.Q0] {
+			return LevelSpec{}, 0, fmt.Errorf("compile: duplicate mixer RX on qubit %d", g.Q0)
+		}
+		seen[g.Q0] = true
+		if math.IsNaN(theta) {
+			theta = g.Params[0]
+		} else if math.Abs(theta-g.Params[0]) > 1e-12 {
+			return LevelSpec{}, 0, fmt.Errorf("compile: mixer angles differ (%v vs %v)", theta, g.Params[0])
+		}
+		count++
+		i++
+	}
+	if count != n {
+		return LevelSpec{}, 0, fmt.Errorf("compile: mixer covers %d of %d qubits", count, n)
+	}
+	level.MixerBeta = theta / 2
+	return level, i, nil
+}
+
+// CompileCircuit compiles an externally built QAOA-shaped logical circuit
+// (see SpecFromCircuit) through the configured methodology. Trailing
+// measurements in the input turn on Options.Measure.
+func CompileCircuit(c *circuit.Circuit, dev *device.Device, opts Options) (*Result, error) {
+	spec, hasMeasure, err := SpecFromCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+	if hasMeasure {
+		opts.Measure = true
+	}
+	return CompileSpec(spec, dev, opts)
+}

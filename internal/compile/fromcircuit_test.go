@@ -1,0 +1,174 @@
+package compile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/graphs"
+	"repro/internal/qaoa"
+	"repro/internal/sim"
+)
+
+func TestSpecFromCircuitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graphs.ErdosRenyi(8, 0.4, rng)
+	prob := &qaoa.Problem{G: g, MaxCut: 1}
+	params := qaoa.Params{Gamma: []float64{0.5, 0.8}, Beta: []float64{0.2, 0.4}}
+	c, err := qaoa.BuildCircuit(prob, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, hasMeasure, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasMeasure {
+		t.Error("phantom measurements detected")
+	}
+	if spec.N != 8 || len(spec.Levels) != 2 {
+		t.Fatalf("spec shape N=%d levels=%d", spec.N, len(spec.Levels))
+	}
+	for l, level := range spec.Levels {
+		if len(level.ZZ) != g.M() {
+			t.Errorf("level %d has %d ZZ terms, want %d", l, len(level.ZZ), g.M())
+		}
+		if level.Local != nil {
+			t.Errorf("level %d has phantom local terms", l)
+		}
+		if math.Abs(level.MixerBeta-params.Beta[l]) > 1e-12 {
+			t.Errorf("level %d mixer β = %v, want %v", l, level.MixerBeta, params.Beta[l])
+		}
+		for _, term := range level.ZZ {
+			if math.Abs(term.Theta+params.Gamma[l]) > 1e-12 {
+				t.Errorf("level %d term angle %v, want %v", l, term.Theta, -params.Gamma[l])
+			}
+		}
+	}
+}
+
+func TestSpecFromCircuitWithMeasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graphs.ErdosRenyi(6, 0.5, rng)
+	prob := &qaoa.Problem{G: g, MaxCut: 1}
+	c, err := qaoa.BuildCircuit(prob, p1Params(0.5, 0.2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MeasureAll()
+	_, hasMeasure, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasMeasure {
+		t.Error("measurements not detected")
+	}
+}
+
+func TestSpecFromCircuitWithLocals(t *testing.T) {
+	// H prefix, mixed diagonal block (ZZ + RZ + Z), mixer.
+	c := circuit.New(3).Append(
+		circuit.NewH(0), circuit.NewH(1), circuit.NewH(2),
+		circuit.NewCPhase(0, 1, 0.4),
+		circuit.NewRZ(2, 0.7),
+		circuit.NewZ(0),
+		circuit.NewU1(2, 0.1),
+		circuit.NewRX(0, 0.6), circuit.NewRX(1, 0.6), circuit.NewRX(2, 0.6),
+	)
+	spec, _, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := spec.Levels[0]
+	if len(level.ZZ) != 1 || level.Local == nil {
+		t.Fatalf("level = %+v", level)
+	}
+	if math.Abs(level.Local[2]-0.8) > 1e-12 {
+		t.Errorf("local[2] = %v, want 0.8", level.Local[2])
+	}
+	if math.Abs(level.Local[0]-math.Pi) > 1e-12 {
+		t.Errorf("local[0] = %v, want π", level.Local[0])
+	}
+	if math.Abs(level.MixerBeta-0.3) > 1e-12 {
+		t.Errorf("β = %v, want 0.3", level.MixerBeta)
+	}
+}
+
+func TestSpecFromCircuitRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"missing H", circuit.New(2).Append(
+			circuit.NewH(0),
+			circuit.NewCPhase(0, 1, 0.3),
+			circuit.NewRX(0, 0.4), circuit.NewRX(1, 0.4))},
+		{"duplicate H", circuit.New(2).Append(
+			circuit.NewH(0), circuit.NewH(0))},
+		{"no level", circuit.New(2).Append(
+			circuit.NewH(0), circuit.NewH(1))},
+		{"mixer angle mismatch", circuit.New(2).Append(
+			circuit.NewH(0), circuit.NewH(1),
+			circuit.NewCPhase(0, 1, 0.3),
+			circuit.NewRX(0, 0.4), circuit.NewRX(1, 0.5))},
+		{"partial mixer", circuit.New(2).Append(
+			circuit.NewH(0), circuit.NewH(1),
+			circuit.NewCPhase(0, 1, 0.3),
+			circuit.NewRX(0, 0.4))},
+		{"gate after measure", func() *circuit.Circuit {
+			c := circuit.New(2).Append(
+				circuit.NewH(0), circuit.NewH(1),
+				circuit.NewCPhase(0, 1, 0.3),
+				circuit.NewRX(0, 0.4), circuit.NewRX(1, 0.4),
+				circuit.NewMeasure(0), circuit.NewH(1))
+			return c
+		}()},
+		{"stray CNOT in cost block", circuit.New(2).Append(
+			circuit.NewH(0), circuit.NewH(1),
+			circuit.NewCNOT(0, 1),
+			circuit.NewRX(0, 0.4), circuit.NewRX(1, 0.4))},
+	}
+	for _, tc := range cases {
+		if _, _, err := SpecFromCircuit(tc.c); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// CompileCircuit on an externally-built circuit must reproduce the exact
+// QAOA semantics through the incremental pipeline.
+func TestCompileCircuitEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graphs.ErdosRenyi(7, 0.5, rng)
+	prob := mustProblem(t, g)
+	gamma, beta := 0.9, 0.35
+	logical, err := qaoa.BuildCircuit(prob, p1Params(gamma, beta), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle the commuting cost gates to mimic a foreign tool's ordering.
+	costStart, costEnd := 7, 7+g.M()
+	rng.Shuffle(g.M(), func(i, j int) {
+		logical.Gates[costStart+i], logical.Gates[costStart+j] =
+			logical.Gates[costStart+j], logical.Gates[costStart+i]
+	})
+	_ = costEnd
+
+	dev := device.Melbourne15()
+	res, err := CompileCircuit(logical, dev, PresetIC.Options(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.VerifyCompliant(res.Circuit); err != nil {
+		t.Error(err)
+	}
+	want := qaoa.ExpectationP1Analytic(g, gamma, beta)
+	got := sim.NewState(res.Circuit.NQubits).Run(res.Circuit).ExpectationDiagonal(func(y uint64) float64 {
+		return prob.Cost(res.ExtractLogical(y))
+	})
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("compiled ⟨C⟩ = %v, want %v", got, want)
+	}
+}

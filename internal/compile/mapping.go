@@ -1,0 +1,187 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/graphs"
+	"repro/internal/router"
+)
+
+// RandomMapping places the n logical qubits on a uniformly random subset of
+// physical qubits — the NAIVE baseline's initial mapping.
+func RandomMapping(n int, dev *device.Device, rng *rand.Rand) (*router.Layout, error) {
+	if n > dev.NQubits() {
+		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", n, dev.Name, dev.NQubits())
+	}
+	perm := rng.Perm(dev.NQubits())
+	return router.NewLayout(n, dev.NQubits(), perm[:n])
+}
+
+// GreedyVMapping implements the GreedyV policy of Murali et al. (ASPLOS'19):
+// logical qubits sorted by operation count (problem-graph degree) descending
+// are placed on physical qubits sorted by coupling degree descending.
+// Ties are broken by index for determinism.
+func GreedyVMapping(g *graphs.Graph, dev *device.Device) (*router.Layout, error) {
+	n := g.N()
+	if n > dev.NQubits() {
+		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", n, dev.Name, dev.NQubits())
+	}
+	logical := sortedByDesc(n, func(q int) int { return g.Degree(q) })
+	physical := sortedByDesc(dev.NQubits(), func(p int) int { return dev.Coupling.Degree(p) })
+	l2p := make([]int, n)
+	for i, q := range logical {
+		l2p[q] = physical[i]
+	}
+	return router.NewLayout(n, dev.NQubits(), l2p)
+}
+
+// QAIMMapping implements the paper's integrated Qubit Allocation and
+// Initial Mapping (§IV-A):
+//
+//  1. Logical qubits are sorted by CPhase operation count (= problem-graph
+//     degree), descending.
+//  2. The first is assigned to the free physical qubit with the highest
+//     connectivity strength (distinct qubits within strengthRadius hops).
+//  3. Each next logical qubit with already-placed logical neighbours is
+//     assigned to the free physical neighbour of those placements that
+//     maximizes strength / (cumulative hop distance to the placed
+//     neighbours); without placed neighbours it takes the strongest free
+//     physical qubit.
+//
+// Ties are broken uniformly at random via rng (pass a fixed seed for
+// reproducibility), matching the paper's "picked randomly" tie rule.
+func QAIMMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *rand.Rand) (*router.Layout, error) {
+	n := g.N()
+	if n > dev.NQubits() {
+		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", n, dev.Name, dev.NQubits())
+	}
+	if strengthRadius <= 0 {
+		strengthRadius = 2
+	}
+	strength := dev.StrengthProfile(strengthRadius)
+	dist := dev.HopDistances()
+
+	// Step 1: logical qubits by degree descending (stable; equal-degree
+	// order randomized).
+	logical := make([]int, n)
+	for i := range logical {
+		logical[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { logical[i], logical[j] = logical[j], logical[i] })
+	sort.SliceStable(logical, func(a, b int) bool { return g.Degree(logical[a]) > g.Degree(logical[b]) })
+
+	l2p := make([]int, n)
+	for i := range l2p {
+		l2p[i] = -1
+	}
+	used := make([]bool, dev.NQubits())
+
+	pickStrongestFree := func() int {
+		best, bestS := -1, -1
+		count := 0
+		for p := 0; p < dev.NQubits(); p++ {
+			if used[p] {
+				continue
+			}
+			switch {
+			case strength[p] > bestS:
+				best, bestS, count = p, strength[p], 1
+			case strength[p] == bestS:
+				// Reservoir-sample among ties for the paper's random pick.
+				count++
+				if rng.Intn(count) == 0 {
+					best = p
+				}
+			}
+		}
+		return best
+	}
+
+	for _, q := range logical {
+		// Collect already-placed logical neighbours.
+		var placed []int
+		for _, nb := range g.Neighbors(q) {
+			if l2p[nb] != -1 {
+				placed = append(placed, l2p[nb])
+			}
+		}
+		var chosen int
+		if len(placed) == 0 {
+			chosen = pickStrongestFree()
+		} else {
+			// Candidates: free physical neighbours of the placed positions.
+			candSet := make(map[int]bool)
+			for _, p := range placed {
+				for _, nb := range dev.Coupling.Neighbors(p) {
+					if !used[nb] {
+						candSet[nb] = true
+					}
+				}
+			}
+			if len(candSet) == 0 {
+				// All surrounding qubits taken: fall back to any free qubit,
+				// still scored by the QAIM cost metric.
+				for p := 0; p < dev.NQubits(); p++ {
+					if !used[p] {
+						candSet[p] = true
+					}
+				}
+			}
+			chosen = -1
+			bestScore := 0.0
+			count := 0
+			// Deterministic candidate iteration order with random tie-break.
+			cands := make([]int, 0, len(candSet))
+			for p := range candSet {
+				cands = append(cands, p)
+			}
+			sort.Ints(cands)
+			for _, p := range cands {
+				var cum float64
+				for _, pp := range placed {
+					cum += dist.Dist(p, pp)
+				}
+				score := float64(strength[p]) / cum
+				switch {
+				case chosen == -1 || score > bestScore:
+					chosen, bestScore, count = p, score, 1
+				case score == bestScore:
+					count++
+					if rng.Intn(count) == 0 {
+						chosen = p
+					}
+				}
+			}
+		}
+		l2p[q] = chosen
+		used[chosen] = true
+	}
+	return router.NewLayout(n, dev.NQubits(), l2p)
+}
+
+// buildMapping dispatches on the configured mapper.
+func buildMapping(g *graphs.Graph, dev *device.Device, o Options) (*router.Layout, error) {
+	switch o.Mapper {
+	case MapRandom:
+		return RandomMapping(g.N(), dev, o.Rng)
+	case MapGreedyV:
+		return GreedyVMapping(g, dev)
+	case MapQAIM:
+		return QAIMMapping(g, dev, o.StrengthRadius, o.Rng)
+	default:
+		return nil, fmt.Errorf("compile: unknown mapper %v", o.Mapper)
+	}
+}
+
+// sortedByDesc returns 0..n-1 sorted by key descending (stable on index).
+func sortedByDesc(n int, key func(int) int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return key(idx[a]) > key(idx[b]) })
+	return idx
+}

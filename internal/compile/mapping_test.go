@@ -1,0 +1,179 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/graphs"
+)
+
+func ring5() *graphs.Graph {
+	g := graphs.New(5)
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(i, (i+1)%5)
+	}
+	return g
+}
+
+func star5() *graphs.Graph {
+	g := graphs.New(5)
+	for i := 1; i < 5; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+func TestRandomMappingValid(t *testing.T) {
+	dev := device.Tokyo20()
+	rng := rand.New(rand.NewSource(1))
+	l, err := RandomMapping(12, dev, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NLogical() != 12 || l.NPhysical() != 20 {
+		t.Errorf("layout shape (%d,%d)", l.NLogical(), l.NPhysical())
+	}
+	if _, err := RandomMapping(21, dev, rng); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestGreedyVMappingHeaviestFirst(t *testing.T) {
+	// Star graph: vertex 0 has degree 4 and must land on the
+	// highest-degree physical qubit.
+	dev := device.Tokyo20()
+	l, err := GreedyVMapping(star5(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	for p := 0; p < dev.NQubits(); p++ {
+		if d := dev.Coupling.Degree(p); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if got := dev.Coupling.Degree(l.Phys(0)); got != maxDeg {
+		t.Errorf("heaviest logical qubit on degree-%d physical, want %d", got, maxDeg)
+	}
+}
+
+func TestQAIMFirstPlacementMaxStrength(t *testing.T) {
+	dev := device.Tokyo20()
+	strength := dev.StrengthProfile(2)
+	maxS := 0
+	for _, s := range strength {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	l, err := QAIMMapping(star5(), dev, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical 0 (highest degree) is placed first.
+	if got := strength[l.Phys(0)]; got != maxS {
+		t.Errorf("first QAIM placement has strength %d, want max %d", got, maxS)
+	}
+}
+
+// QAIM must keep logical neighbours physically adjacent whenever the device
+// has room: on a ring problem mapped to tokyo, the mean physical distance of
+// problem edges must be well below what random mapping yields on average.
+func TestQAIMKeepsNeighborsClose(t *testing.T) {
+	dev := device.Tokyo20()
+	dist := dev.HopDistances()
+	g := ring5()
+	avgEdgeDist := func(l2p func(int) int) float64 {
+		var s float64
+		for _, e := range g.Edges() {
+			s += dist.Dist(l2p(e.U), l2p(e.V))
+		}
+		return s / float64(g.M())
+	}
+	rng := rand.New(rand.NewSource(3))
+	ql, err := QAIMMapping(g, dev, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qaimDist := avgEdgeDist(ql.Phys)
+	var randDist float64
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		rl, err := RandomMapping(g.N(), dev, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randDist += avgEdgeDist(rl.Phys)
+	}
+	randDist /= trials
+	if qaimDist >= randDist {
+		t.Errorf("QAIM mean edge distance %v not below random %v", qaimDist, randDist)
+	}
+	if qaimDist > 1.5 {
+		t.Errorf("QAIM mean edge distance %v too large for a 5-ring on tokyo", qaimDist)
+	}
+}
+
+// Property: every mapper yields a valid injective in-range layout on
+// assorted devices and graphs.
+func TestMappersProduceValidLayouts(t *testing.T) {
+	devs := []*device.Device{device.Tokyo20(), device.Melbourne15(), device.Grid(6, 6), device.Ring(8)}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := devs[rng.Intn(len(devs))]
+		n := 2 + rng.Intn(dev.NQubits()-2)
+		g := graphs.ErdosRenyi(n, 0.4, rng)
+		for _, mapper := range []Mapper{MapRandom, MapGreedyV, MapQAIM} {
+			o := Options{Mapper: mapper, Rng: rng}.withDefaults()
+			l, err := buildMapping(g, dev, o)
+			if err != nil {
+				return false
+			}
+			seen := make(map[int]bool)
+			for q := 0; q < n; q++ {
+				p := l.Phys(q)
+				if p < 0 || p >= dev.NQubits() || seen[p] {
+					return false
+				}
+				seen[p] = true
+				if l.LogicalAt(p) != q {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQAIMDeterministicWithSeed(t *testing.T) {
+	dev := device.Melbourne15()
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	g := graphs.ErdosRenyi(10, 0.4, rand.New(rand.NewSource(9)))
+	a, err := QAIMMapping(g, dev, 2, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QAIMMapping(g, dev, 2, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same-seed QAIM mappings differ")
+	}
+}
+
+func TestMapperStrings(t *testing.T) {
+	if MapRandom.String() != "random" || MapGreedyV.String() != "greedyV" || MapQAIM.String() != "qaim" {
+		t.Error("mapper names wrong")
+	}
+	if Mapper(99).String() == "" {
+		t.Error("unknown mapper name empty")
+	}
+}

@@ -1,0 +1,53 @@
+package compile
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/router"
+)
+
+// ReverseTraversalMapping implements the reverse-traversal initial-mapping
+// refinement of Li, Ding & Xie (ASPLOS'19), which the paper discusses as
+// related work (§III "Initial Mapping"): starting from a random mapping,
+// the circuit and its reverse are routed alternately, each pass's final
+// layout seeding the next pass's initial layout. Because the reverse of a
+// quantum circuit undoes it, the final layout of a reverse pass is a good
+// initial layout for the forward circuit. A few iterations (the paper
+// quotes 3) converge at the cost of the repeated compilations.
+//
+// Only the two-qubit cost structure matters for routing, so the traversal
+// routes the spec's ZZ terms in their given order.
+func ReverseTraversalMapping(spec Spec, dev *device.Device, iterations int, o Options) (*router.Layout, error) {
+	if iterations <= 0 {
+		iterations = 3
+	}
+	forward := circuit.New(spec.N)
+	for _, level := range spec.Levels {
+		for _, t := range level.ZZ {
+			forward.Append(circuit.NewCPhase(t.U, t.V, t.Theta))
+		}
+	}
+	reverse := circuit.New(spec.N)
+	for i := len(forward.Gates) - 1; i >= 0; i-- {
+		reverse.Append(forward.Gates[i])
+	}
+
+	current, err := RandomMapping(spec.N, dev, o.Rng)
+	if err != nil {
+		return nil, err
+	}
+	r := router.New(dev)
+	r.LookaheadWeight = o.LookaheadWeight
+	for it := 0; it < iterations; it++ {
+		fwd, err := r.Route(forward, current)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := r.Route(reverse, fwd.Final)
+		if err != nil {
+			return nil, err
+		}
+		current = rev.Final
+	}
+	return current, nil
+}

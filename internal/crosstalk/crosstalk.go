@@ -1,0 +1,161 @@
+// Package crosstalk implements the post-compilation mitigation the paper
+// sketches in §VI: only a small subset of coupler pairs on real devices is
+// strongly crosstalk-prone (Murali et al., ASPLOS'20, found 5 of 221 on IBM
+// Poughkeepsie), and parallel two-qubit gates on those pairs should be
+// serialized when the gate pulses are scheduled. The scheduler here
+// re-times a compiled circuit's gates so that no two gates occupying a
+// prone coupler pair share a time step, at the cost of extra depth only
+// where needed.
+package crosstalk
+
+import (
+	"repro/internal/circuit"
+)
+
+// edgeKey canonicalizes an undirected coupler.
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// PronePairs is a set of unordered pairs of couplers that interfere when
+// driven simultaneously.
+type PronePairs struct {
+	pairs map[[2][2]int]bool
+}
+
+// NewPronePairs returns an empty set.
+func NewPronePairs() *PronePairs {
+	return &PronePairs{pairs: make(map[[2][2]int]bool)}
+}
+
+// Add marks the coupler pair (a0,a1)–(b0,b1) as crosstalk-prone. Order of
+// the couplers and of the endpoints within each coupler is irrelevant.
+func (p *PronePairs) Add(a0, a1, b0, b1 int) {
+	ka, kb := edgeKey(a0, a1), edgeKey(b0, b1)
+	if kb[0] < ka[0] || (kb[0] == ka[0] && kb[1] < ka[1]) {
+		ka, kb = kb, ka
+	}
+	p.pairs[[2][2]int{ka, kb}] = true
+}
+
+// Len returns the number of prone pairs.
+func (p *PronePairs) Len() int { return len(p.pairs) }
+
+// Prone reports whether the two couplers interfere.
+func (p *PronePairs) Prone(a0, a1, b0, b1 int) bool {
+	ka, kb := edgeKey(a0, a1), edgeKey(b0, b1)
+	if kb[0] < ka[0] || (kb[0] == ka[0] && kb[1] < ka[1]) {
+		ka, kb = kb, ka
+	}
+	return p.pairs[[2][2]int{ka, kb}]
+}
+
+// Schedule assigns each gate of the compiled circuit a time step using ASAP
+// scheduling extended with the crosstalk constraint: a two-qubit gate may
+// not share a step with another two-qubit gate whose coupler forms a prone
+// pair with its own. It returns the per-gate step assignment (len =
+// c.Len(); barriers get the step they synchronize to) and the resulting
+// schedule depth.
+func Schedule(c *circuit.Circuit, prone *PronePairs) (steps []int, depth int) {
+	steps = make([]int, len(c.Gates))
+	level := make([]int, c.NQubits)
+	// twoQAt[t] lists the couplers of two-qubit gates scheduled at step t+1.
+	var twoQAt [][][2]int
+
+	place2q := func(q0, q1, earliest int) int {
+		t := earliest
+		for {
+			conflict := false
+			if prone != nil && t-1 < len(twoQAt) {
+				for _, e := range twoQAt[t-1] {
+					if prone.Prone(q0, q1, e[0], e[1]) {
+						conflict = true
+						break
+					}
+				}
+			}
+			if !conflict {
+				break
+			}
+			t++
+		}
+		for len(twoQAt) < t {
+			twoQAt = append(twoQAt, nil)
+		}
+		twoQAt[t-1] = append(twoQAt[t-1], edgeKey(q0, q1))
+		return t
+	}
+
+	for i, g := range c.Gates {
+		switch g.Arity() {
+		case 0: // barrier: synchronize all qubits
+			max := 0
+			for _, l := range level {
+				if l > max {
+					max = l
+				}
+			}
+			for q := range level {
+				level[q] = max
+			}
+			steps[i] = max
+		case 1:
+			level[g.Q0]++
+			steps[i] = level[g.Q0]
+		case 2:
+			earliest := level[g.Q0]
+			if level[g.Q1] > earliest {
+				earliest = level[g.Q1]
+			}
+			earliest++
+			t := place2q(g.Q0, g.Q1, earliest)
+			level[g.Q0], level[g.Q1] = t, t
+			steps[i] = t
+		}
+		if steps[i] > depth {
+			depth = steps[i]
+		}
+	}
+	return steps, depth
+}
+
+// Depth returns the crosstalk-aware schedule depth of c.
+func Depth(c *circuit.Circuit, prone *PronePairs) int {
+	_, d := Schedule(c, prone)
+	return d
+}
+
+// AdjacentCouplerPairs returns every pair of distinct couplers of the
+// device coupling graph that share a qubit or are joined by an edge —
+// the physically plausible candidates for crosstalk (spectator-qubit
+// interference). Useful for building synthetic prone sets in experiments.
+func AdjacentCouplerPairs(edges [][2]int, adjacency func(a, b int) bool) [][2][2]int {
+	var out [][2][2]int
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			a, b := edges[i], edges[j]
+			if sharesQubit(a, b) || coupled(a, b, adjacency) {
+				out = append(out, [2][2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+func sharesQubit(a, b [2]int) bool {
+	return a[0] == b[0] || a[0] == b[1] || a[1] == b[0] || a[1] == b[1]
+}
+
+func coupled(a, b [2]int, adjacency func(x, y int) bool) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if adjacency(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}

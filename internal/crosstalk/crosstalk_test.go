@@ -1,0 +1,179 @@
+package crosstalk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/graphs"
+	"repro/internal/qaoa"
+)
+
+func TestPronePairsSetSemantics(t *testing.T) {
+	p := NewPronePairs()
+	p.Add(0, 1, 2, 3)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	// All orientations must hit.
+	for _, q := range [][4]int{
+		{0, 1, 2, 3}, {1, 0, 2, 3}, {0, 1, 3, 2}, {2, 3, 0, 1}, {3, 2, 1, 0},
+	} {
+		if !p.Prone(q[0], q[1], q[2], q[3]) {
+			t.Errorf("Prone(%v) = false", q)
+		}
+	}
+	if p.Prone(0, 1, 4, 5) {
+		t.Error("unrelated pair reported prone")
+	}
+	// Duplicate insertion is idempotent.
+	p.Add(3, 2, 1, 0)
+	if p.Len() != 1 {
+		t.Errorf("Len after duplicate = %d", p.Len())
+	}
+}
+
+func TestScheduleNoProneMatchesASAP(t *testing.T) {
+	c := circuit.New(4).Append(
+		circuit.NewH(0),
+		circuit.NewCNOT(0, 1),
+		circuit.NewCNOT(2, 3),
+		circuit.NewCNOT(1, 2),
+	)
+	if got := Depth(c, NewPronePairs()); got != c.Depth() {
+		t.Errorf("no-prone depth %d, ASAP depth %d", got, c.Depth())
+	}
+	if got := Depth(c, nil); got != c.Depth() {
+		t.Errorf("nil-prone depth %d, ASAP depth %d", got, c.Depth())
+	}
+}
+
+func TestScheduleSerializesProneGates(t *testing.T) {
+	// Two disjoint CNOTs that would run in parallel; marking their couplers
+	// prone must push one a step later.
+	c := circuit.New(4).Append(circuit.NewCNOT(0, 1), circuit.NewCNOT(2, 3))
+	if c.Depth() != 1 {
+		t.Fatal("test setup: expected parallel CNOTs")
+	}
+	p := NewPronePairs()
+	p.Add(0, 1, 2, 3)
+	steps, depth := Schedule(c, p)
+	if depth != 2 {
+		t.Errorf("prone depth = %d, want 2", depth)
+	}
+	if steps[0] == steps[1] {
+		t.Errorf("prone gates share step %d", steps[0])
+	}
+}
+
+func TestScheduleOnlyAffectedPairsPay(t *testing.T) {
+	// Three disjoint CNOTs; only the first two are prone — the third stays
+	// at step 1.
+	c := circuit.New(6).Append(
+		circuit.NewCNOT(0, 1),
+		circuit.NewCNOT(2, 3),
+		circuit.NewCNOT(4, 5),
+	)
+	p := NewPronePairs()
+	p.Add(0, 1, 2, 3)
+	steps, depth := Schedule(c, p)
+	if depth != 2 {
+		t.Errorf("depth = %d, want 2", depth)
+	}
+	if steps[2] != 1 {
+		t.Errorf("unaffected gate at step %d, want 1", steps[2])
+	}
+}
+
+func TestScheduleBarrier(t *testing.T) {
+	c := circuit.New(2).Append(circuit.NewH(0))
+	c.Gates = append(c.Gates, circuit.Gate{Kind: circuit.Barrier})
+	c.Append(circuit.NewH(1))
+	if got := Depth(c, nil); got != 2 {
+		t.Errorf("barrier depth = %d, want 2", got)
+	}
+}
+
+// Property: a crosstalk-aware schedule is always valid — qubits never
+// double-booked in a step, prone couplers never concurrent, and depth is
+// bounded between the ASAP depth and the fully-serial two-qubit count.
+func TestScheduleValidityProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := device.Grid(3, 3)
+		g := graphs.ErdosRenyi(7, 0.4, rng)
+		prob := &qaoa.Problem{G: g, MaxCut: 1}
+		res, err := compile.Compile(prob,
+			qaoa.Params{Gamma: []float64{0.5}, Beta: []float64{0.2}},
+			dev, compile.PresetIC.Options(rng))
+		if err != nil {
+			return false
+		}
+		c := res.Circuit
+		// Random prone set over adjacent coupler pairs.
+		var edges [][2]int
+		for _, e := range dev.Coupling.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		cands := AdjacentCouplerPairs(edges, dev.Connected)
+		p := NewPronePairs()
+		for _, pr := range cands {
+			if rng.Float64() < 0.3 {
+				p.Add(pr[0][0], pr[0][1], pr[1][0], pr[1][1])
+			}
+		}
+		steps, depth := Schedule(c, p)
+		if depth < c.Depth() {
+			return false
+		}
+		// Validate step assignments.
+		type slot struct{ step, qubit int }
+		seen := make(map[slot]bool)
+		byStep := make(map[int][][2]int)
+		for i, gate := range c.Gates {
+			if gate.Kind == circuit.Barrier {
+				continue
+			}
+			for _, q := range gate.Qubits() {
+				s := slot{steps[i], q}
+				if seen[s] {
+					return false // qubit double-booked
+				}
+				seen[s] = true
+			}
+			if gate.Arity() == 2 {
+				byStep[steps[i]] = append(byStep[steps[i]], [2]int{gate.Q0, gate.Q1})
+			}
+		}
+		for _, gs := range byStep {
+			for i := 0; i < len(gs); i++ {
+				for j := i + 1; j < len(gs); j++ {
+					if p.Prone(gs[i][0], gs[i][1], gs[j][0], gs[j][1]) {
+						return false // prone pair concurrent
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacentCouplerPairs(t *testing.T) {
+	// Path 0-1-2-3: couplers (0,1),(1,2),(2,3). (0,1)&(1,2) share qubit 1;
+	// (1,2)&(2,3) share qubit 2; (0,1)&(2,3) joined by edge (1,2).
+	dev := device.Linear(4)
+	var edges [][2]int
+	for _, e := range dev.Coupling.Edges() {
+		edges = append(edges, [2]int{e.U, e.V})
+	}
+	got := AdjacentCouplerPairs(edges, dev.Connected)
+	if len(got) != 3 {
+		t.Errorf("adjacent pairs = %d, want 3 (%v)", len(got), got)
+	}
+}

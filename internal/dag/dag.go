@@ -1,0 +1,267 @@
+// Package dag builds commutation-aware dependency graphs of quantum
+// circuits. A conventional dependency analysis orders any two gates that
+// share a qubit; here, gates that share a qubit but commute (e.g. the
+// diagonal CPhase cost gates of QAOA) impose no ordering, which is exactly
+// the freedom the paper's compilation passes exploit ("the compiler has to
+// check for the commutative gates in the given circuit", §I). The package
+// provides the commutation test, the relaxed dependency DAG, a
+// commutation-aware depth lower bound, and extraction of the maximal
+// commuting gate groups an external circuit can be re-ordered within.
+package dag
+
+import (
+	"repro/internal/circuit"
+)
+
+// Commute reports whether gates a and b can be exchanged without changing
+// the circuit's unitary. Gates on disjoint qubits always commute. For
+// overlapping gates the test is conservative (false negatives allowed,
+// never false positives):
+//
+//   - two diagonal gates commute (Z, RZ, U1, CZ, CPhase),
+//   - equal-axis one-qubit rotations on the same qubit commute (RX·RX etc.),
+//   - a CNOT commutes with diagonal gates on its control qubit only,
+//   - a CNOT commutes with X/RX on its target qubit only,
+//   - two CNOTs sharing only their control commute; sharing only their
+//     target also commute.
+func Commute(a, b circuit.Gate) bool {
+	if !a.SharesQubit(b) {
+		return true
+	}
+	if a.IsDiagonal() && b.IsDiagonal() {
+		return true
+	}
+	if ok, decided := cnotCommute(a, b); decided {
+		return ok
+	}
+	if ok, decided := cnotCommute(b, a); decided {
+		return ok
+	}
+	// Same-axis one-qubit rotations on the same qubit.
+	if a.Arity() == 1 && b.Arity() == 1 && a.Q0 == b.Q0 {
+		return sameAxis(a.Kind, b.Kind)
+	}
+	return false
+}
+
+// cnotCommute handles the cases where a is a CNOT; decided=false means the
+// rule does not apply.
+func cnotCommute(a, b circuit.Gate) (ok, decided bool) {
+	if a.Kind != circuit.CNOT {
+		return false, false
+	}
+	switch {
+	case b.Kind == circuit.CNOT:
+		// Shares only control → commute; only target → commute; otherwise
+		// (control of one is target of the other) they do not.
+		sharedControl := a.Q0 == b.Q0
+		sharedTarget := a.Q1 == b.Q1
+		crossed := a.Q0 == b.Q1 || a.Q1 == b.Q0
+		return (sharedControl || sharedTarget) && !crossed, true
+	case b.Arity() == 1 && b.On(a.Q0) && !b.On(a.Q1):
+		// Touches the control only: diagonal gates pass through.
+		return b.IsDiagonal(), true
+	case b.Arity() == 1 && b.On(a.Q1) && !b.On(a.Q0):
+		// Touches the target only: X-axis gates pass through.
+		return b.Kind == circuit.X || b.Kind == circuit.RX, true
+	case b.Arity() == 2 && b.IsDiagonal():
+		// Diagonal two-qubit gate overlapping the CNOT: commutes when it
+		// avoids the target (Z-type on the control line).
+		return !b.On(a.Q1), true
+	}
+	return false, false
+}
+
+func sameAxis(a, b circuit.Kind) bool {
+	switch a {
+	case circuit.RX:
+		return b == circuit.RX || b == circuit.X
+	case circuit.X:
+		return b == circuit.RX || b == circuit.X
+	case circuit.RY:
+		return b == circuit.RY || b == circuit.Y
+	case circuit.Y:
+		return b == circuit.RY || b == circuit.Y
+	case circuit.RZ, circuit.U1, circuit.Z:
+		return b == circuit.RZ || b == circuit.U1 || b == circuit.Z
+	}
+	return false
+}
+
+// DAG is the commutation-relaxed dependency graph of a circuit: edge i→j
+// (i < j) means gate j must run after gate i.
+type DAG struct {
+	Circuit *circuit.Circuit
+	// Succ[i] lists the direct successors of gate i (ascending).
+	Succ [][]int
+	// Pred counts direct predecessors of each gate.
+	Pred []int
+}
+
+// New builds the DAG. For each pair of gates in program order, a dependency
+// is added iff they share a qubit and do not commute, unless an existing
+// path already orders them (transitive reduction is approximated by the
+// per-qubit frontier: each gate depends on the latest non-commuting gate on
+// each of its qubits).
+func New(c *circuit.Circuit) *DAG {
+	n := len(c.Gates)
+	d := &DAG{
+		Circuit: c,
+		Succ:    make([][]int, n),
+		Pred:    make([]int, n),
+	}
+	// For each qubit, the gates currently "open" on it — gates that later
+	// non-commuting gates must wait for. Commuting gates accumulate; a
+	// non-commuting gate clears the list.
+	open := make([][]int, c.NQubits)
+	for j, g := range c.Gates {
+		if g.Kind == circuit.Barrier {
+			// Depend on everything open, then clear all.
+			seen := map[int]bool{}
+			for q := range open {
+				for _, i := range open[q] {
+					if !seen[i] {
+						seen[i] = true
+						d.addEdge(i, j)
+					}
+				}
+				open[q] = []int{j}
+			}
+			continue
+		}
+		seen := map[int]bool{}
+		for _, q := range g.Qubits() {
+			var keep []int
+			for _, i := range open[q] {
+				if Commute(c.Gates[i], g) {
+					keep = append(keep, i)
+					continue
+				}
+				if !seen[i] {
+					seen[i] = true
+					d.addEdge(i, j)
+				}
+			}
+			open[q] = append(keep, j)
+		}
+	}
+	return d
+}
+
+func (d *DAG) addEdge(i, j int) {
+	d.Succ[i] = append(d.Succ[i], j)
+	d.Pred[j]++
+}
+
+// Layers returns a commutation-aware greedy schedule: at each time step,
+// all dependency-free gates are considered together (a superset of what
+// naive program order exposes, since commuting gates impose no ordering)
+// and a maximal qubit-disjoint subset is packed into the layer, first-fit
+// in index order. Its length approximates the minimum depth achievable by
+// re-ordering commuting gates on fully-connected hardware — for a QAOA cost
+// block this is the edge-coloring schedule IP approximates.
+func (d *DAG) Layers() [][]int {
+	c := d.Circuit
+	n := len(c.Gates)
+	pred := append([]int(nil), d.Pred...)
+	done := make([]bool, n)
+	remaining := n
+
+	release := func(i int) {
+		done[i] = true
+		remaining--
+		for _, j := range d.Succ[i] {
+			pred[j]--
+		}
+	}
+	// Barriers complete as soon as their dependencies do; they occupy no
+	// layer of their own.
+	drainBarriers := func() {
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i < n; i++ {
+				if !done[i] && pred[i] == 0 && c.Gates[i].Kind == circuit.Barrier {
+					release(i)
+					changed = true
+				}
+			}
+		}
+	}
+
+	var layers [][]int
+	drainBarriers()
+	for remaining > 0 {
+		used := make(map[int]bool)
+		var layer []int
+		for i := 0; i < n; i++ {
+			if done[i] || pred[i] != 0 {
+				continue
+			}
+			free := true
+			for _, q := range c.Gates[i].Qubits() {
+				if used[q] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			for _, q := range c.Gates[i].Qubits() {
+				used[q] = true
+			}
+			layer = append(layer, i)
+		}
+		if len(layer) == 0 {
+			panic("dag: no schedulable gate (cycle impossible for program-ordered edges)")
+		}
+		for _, i := range layer {
+			release(i)
+		}
+		layers = append(layers, layer)
+		drainBarriers()
+	}
+	return layers
+}
+
+// Depth returns the commutation-aware depth lower bound.
+func (d *DAG) Depth() int { return len(d.Layers()) }
+
+// CommutingGroups returns the maximal runs of mutually commuting gates that
+// are interchangeable: group k is a set of gate indices such that every
+// pair within the set commutes, and the set is closed under the program
+// order (no non-member gate sharing a qubit sits between two members).
+// For a QAOA circuit this recovers exactly the per-level CPhase cost
+// blocks.
+func (d *DAG) CommutingGroups() [][]int {
+	c := d.Circuit
+	var groups [][]int
+	var current []int
+	flush := func() {
+		if len(current) > 1 {
+			groups = append(groups, current)
+		}
+		current = nil
+	}
+	for i, g := range c.Gates {
+		if g.Kind == circuit.Barrier || g.Kind == circuit.Measure {
+			flush()
+			continue
+		}
+		ok := true
+		for _, j := range current {
+			if !Commute(c.Gates[j], g) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			current = append(current, i)
+		} else {
+			flush()
+			current = []int{i}
+		}
+	}
+	flush()
+	return groups
+}

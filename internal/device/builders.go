@@ -1,0 +1,141 @@
+package device
+
+import "repro/internal/graphs"
+
+// tokyoEdges is the coupling map of the 20-qubit ibmq_20_tokyo device
+// (Fig. 3(a)): a 4×5 lattice with diagonal couplers inside alternate
+// plaquettes.
+var tokyoEdges = [][2]int{
+	{0, 1}, {1, 2}, {2, 3}, {3, 4},
+	{0, 5}, {1, 6}, {1, 7}, {2, 6}, {2, 7}, {3, 8}, {3, 9}, {4, 8}, {4, 9},
+	{5, 6}, {6, 7}, {7, 8}, {8, 9},
+	{5, 10}, {5, 11}, {6, 10}, {6, 11}, {7, 12}, {7, 13}, {8, 12}, {8, 13}, {9, 14},
+	{10, 11}, {11, 12}, {12, 13}, {13, 14},
+	{10, 15}, {11, 16}, {11, 17}, {12, 16}, {12, 17}, {13, 18}, {13, 19}, {14, 18}, {14, 19},
+	{15, 16}, {16, 17}, {17, 18}, {18, 19},
+}
+
+// melbourneEdges is the coupling map of the 15-qubit ibmq_16_melbourne
+// device (Fig. 10(a)): two rows of qubits with ladder rungs.
+var melbourneEdges = [][2]int{
+	{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+	{6, 8}, {7, 8}, {8, 9}, {9, 10}, {10, 11}, {11, 12}, {12, 13}, {13, 14},
+	{0, 14}, {1, 13}, {2, 12}, {3, 11}, {4, 10}, {5, 9},
+}
+
+// melbourneCNOTErrors is the single-day calibration snapshot reported in
+// Fig. 10(a) (CNOT error rates on 4/8/2020), assigned to melbourneEdges in
+// order.
+var melbourneCNOTErrors = []float64{
+	1.87e-2, 1.77e-2, 2.85e-2, 7.63e-2, 8.29e-2, 1.54e-2,
+	8.60e-2, 2.26e-2, 5.03e-2, 4.16e-2, 7.63e-2, 5.80e-2, 2.96e-2, 3.68e-2,
+	4.11e-2, 4.70e-2, 7.78e-2, 3.46e-2, 3.89e-2, 2.87e-2,
+}
+
+func fromEdges(name string, n int, edges [][2]int) *Device {
+	g := graphs.New(n)
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return &Device{Name: name, Coupling: g}
+}
+
+// Tokyo20 returns the 20-qubit ibmq_20_tokyo topology (no calibration).
+func Tokyo20() *Device { return fromEdges("ibmq_20_tokyo", 20, tokyoEdges) }
+
+// Melbourne15 returns the 15-qubit ibmq_16_melbourne topology with the
+// Fig. 10(a) CNOT calibration snapshot attached.
+func Melbourne15() *Device {
+	d := fromEdges("ibmq_16_melbourne", 15, melbourneEdges)
+	cal := &Calibration{
+		CNOTError:        make(map[[2]int]float64, len(melbourneEdges)),
+		SingleQubitError: 1e-3,
+		ReadoutError:     make([]float64, 15),
+	}
+	for i, e := range melbourneEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		cal.CNOTError[[2]int{u, v}] = melbourneCNOTErrors[i]
+	}
+	for q := range cal.ReadoutError {
+		cal.ReadoutError[q] = 3e-2
+	}
+	// Representative coherence figures for the device generation (µs) and a
+	// two-qubit-gate-scale time step.
+	cal.T1 = make([]float64, 15)
+	cal.T2 = make([]float64, 15)
+	for q := range cal.T1 {
+		cal.T1[q] = 50
+		cal.T2[q] = 60
+	}
+	cal.GateTime = 0.3
+	d.Calib = cal
+	return d
+}
+
+// Grid returns an r×c nearest-neighbour grid device (the paper's
+// hypothetical 36-qubit machine is Grid(6,6)).
+func Grid(r, c int) *Device {
+	g := graphs.New(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			q := i*c + j
+			if j+1 < c {
+				g.MustAddEdge(q, q+1)
+			}
+			if i+1 < r {
+				g.MustAddEdge(q, q+c)
+			}
+		}
+	}
+	return &Device{Name: "grid", Coupling: g}
+}
+
+// Linear returns an n-qubit chain.
+func Linear(n int) *Device {
+	g := graphs.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return &Device{Name: "linear", Coupling: g}
+}
+
+// Ring returns an n-qubit cycle (the 8-qubit cyclic architecture of the
+// §VI comparison against temporal planners).
+func Ring(n int) *Device {
+	d := Linear(n)
+	d.Name = "ring"
+	if n > 2 {
+		d.Coupling.MustAddEdge(0, n-1)
+	}
+	return d
+}
+
+// FullyConnected returns an all-to-all coupled device, useful as an ideal
+// baseline where no SWAPs are ever required.
+func FullyConnected(n int) *Device {
+	g := graphs.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return &Device{Name: "full", Coupling: g}
+}
+
+// falcon27Edges is the coupling map of IBM's 27-qubit Falcon processors
+// (ibmq_montreal / ibmq_mumbai generation) — a heavy-hex lattice where
+// every qubit has degree ≤ 3. Included as a forward-looking target beyond
+// the paper's devices: heavy-hex trades connectivity for lower crosstalk,
+// which stresses the SWAP-insertion passes harder than tokyo's rich mesh.
+var falcon27Edges = [][2]int{
+	{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8}, {6, 7},
+	{7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {12, 15},
+	{13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21}, {19, 20},
+	{19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+}
+
+// Falcon27 returns the 27-qubit heavy-hex topology (no calibration).
+func Falcon27() *Device { return fromEdges("ibmq_falcon27", 27, falcon27Edges) }

@@ -1,0 +1,247 @@
+// Package device models the target quantum hardware: coupling graphs,
+// native gate sets, and calibration data (per-edge CNOT error rates,
+// one-qubit and readout errors). It provides the profiling primitives the
+// paper's passes consume — connectivity strength, hop distances, and
+// reliability-weighted distances — plus the standard devices used in the
+// evaluation: ibmq_20_tokyo, ibmq_16_melbourne (with the Fig. 10(a)
+// calibration snapshot), and hypothetical grid/linear/ring architectures.
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/graphs"
+)
+
+// Calibration holds device error data. Error rates are probabilities in
+// [0,1); success = 1 − error.
+type Calibration struct {
+	// CNOTError maps a canonical coupling edge {u<v} to the CNOT error rate
+	// on that edge.
+	CNOTError map[[2]int]float64
+	// SingleQubitError is the error rate charged per one-qubit native gate.
+	SingleQubitError float64
+	// ReadoutError is the per-qubit measurement error rate (len NQubits; nil
+	// means ideal readout).
+	ReadoutError []float64
+	// T1 and T2 are per-qubit relaxation and dephasing times and GateTime
+	// the duration of one circuit time step, all in the same (arbitrary)
+	// unit. nil/zero disables decoherence modelling.
+	T1, T2   []float64
+	GateTime float64
+}
+
+// Device is a hardware target: a coupling graph plus calibration.
+type Device struct {
+	Name     string
+	Coupling *graphs.Graph
+	Calib    *Calibration
+
+	mu      sync.Mutex // guards the lazily computed caches
+	hopDist *graphs.DistanceMatrix
+	relDist *graphs.DistanceMatrix
+}
+
+// NQubits returns the number of physical qubits.
+func (d *Device) NQubits() int { return d.Coupling.N() }
+
+// Connected reports whether physical qubits a and b share a coupling edge.
+func (d *Device) Connected(a, b int) bool { return d.Coupling.HasEdge(a, b) }
+
+// CNOTError returns the calibrated CNOT error rate for edge (a,b), or 0 when
+// no calibration is attached. It panics if (a,b) is not a coupling edge.
+func (d *Device) CNOTError(a, b int) float64 {
+	if !d.Connected(a, b) {
+		panic(fmt.Sprintf("device %s: (%d,%d) is not a coupling edge", d.Name, a, b))
+	}
+	if d.Calib == nil || d.Calib.CNOTError == nil {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return d.Calib.CNOTError[[2]int{a, b}]
+}
+
+// CPhaseSuccess returns the success rate of a CPhase (ZZ) operation on edge
+// (a,b): the CPhase decomposes into two CNOTs, so success = (1−e)².
+func (d *Device) CPhaseSuccess(a, b int) float64 {
+	e := d.CNOTError(a, b)
+	return (1 - e) * (1 - e)
+}
+
+// ConnectivityStrength returns the paper's connectivity-strength metric of
+// physical qubit q: the number of distinct qubits within the given hop
+// radius (radius 2 — first plus second neighbours — is the paper's choice
+// for the device sizes studied).
+func (d *Device) ConnectivityStrength(q, radius int) int {
+	return graphs.NeighborhoodSize(d.Coupling, q, radius)
+}
+
+// StrengthProfile returns the connectivity strength of every qubit at the
+// given radius. This is the "hardware profiling" table of Fig. 3(b),
+// computed once per device.
+func (d *Device) StrengthProfile(radius int) []int {
+	p := make([]int, d.NQubits())
+	for q := range p {
+		p[q] = d.ConnectivityStrength(q, radius)
+	}
+	return p
+}
+
+// HopDistances returns (and caches) the unweighted all-pairs shortest-path
+// matrix of the coupling graph. Safe for concurrent use.
+func (d *Device) HopDistances() *graphs.DistanceMatrix {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hopDist == nil {
+		d.hopDist = graphs.FloydWarshall(d.Coupling, false)
+	}
+	return d.hopDist
+}
+
+// ReliabilityDistances returns (and caches) the all-pairs shortest-path
+// matrix over the coupling graph with each edge weighted by the inverse of
+// its CPhase success rate (1/R, Fig. 6(d)). Higher success ⇒ shorter
+// distance, so the variation-aware pass prefers reliable links. Without
+// calibration every edge weighs 1 and this degenerates to HopDistances.
+func (d *Device) ReliabilityDistances() *graphs.DistanceMatrix {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.relDist == nil {
+		w := d.Coupling.Clone()
+		for _, e := range w.Edges() {
+			r := d.CPhaseSuccess(e.U, e.V)
+			weight := math.Inf(1)
+			if r > 0 {
+				weight = 1 / r
+			}
+			if err := w.SetEdgeWeight(e.U, e.V, weight); err != nil {
+				panic(err)
+			}
+		}
+		d.relDist = graphs.FloydWarshall(w, true)
+	}
+	return d.relDist
+}
+
+// InvalidateCaches clears the lazily computed distance matrices; call after
+// mutating Coupling or Calib.
+func (d *Device) InvalidateCaches() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hopDist, d.relDist = nil, nil
+}
+
+// SuccessProbability estimates the probability that the circuit executes
+// without any gate error: the product of per-gate success rates
+// (Tannu & Qureshi, ASPLOS'19). Two-qubit gates are charged their native
+// CNOT cost on their edge; one-qubit gates are charged SingleQubitError;
+// measurements are charged their readout error. Gates on non-coupled pairs
+// panic — the circuit must already be hardware-compliant.
+func (d *Device) SuccessProbability(c *circuit.Circuit) float64 {
+	p := 1.0
+	var e1 float64
+	if d.Calib != nil {
+		e1 = d.Calib.SingleQubitError
+	}
+	for _, g := range c.Gates {
+		switch {
+		case g.Kind == circuit.Barrier:
+		case g.Kind == circuit.Measure:
+			if d.Calib != nil && d.Calib.ReadoutError != nil {
+				p *= 1 - d.Calib.ReadoutError[g.Q0]
+			}
+		case g.Arity() == 2:
+			se := 1 - d.CNOTError(g.Q0, g.Q1)
+			for i := 0; i < circuit.NativeCNOTCost(g.Kind); i++ {
+				p *= se
+			}
+		default:
+			p *= 1 - e1
+		}
+	}
+	return p
+}
+
+// DecoherenceFactor estimates the probability that no qubit decoheres
+// while the circuit executes: the circuit runs for depth·GateTime, and each
+// qubit survives with probability exp(−t/T1)·exp(−t/T2). This is the
+// depth-driven error mechanism of §II — deeper circuits decohere more —
+// complementing the gate-count-driven SuccessProbability.
+func (d *Device) DecoherenceFactor(c *circuit.Circuit) float64 {
+	cal := d.Calib
+	if cal == nil || cal.GateTime <= 0 || (cal.T1 == nil && cal.T2 == nil) {
+		return 1
+	}
+	t := float64(c.Depth()) * cal.GateTime
+	factor := 1.0
+	for q := 0; q < d.NQubits(); q++ {
+		if cal.T1 != nil && cal.T1[q] > 0 {
+			factor *= math.Exp(-t / cal.T1[q])
+		}
+		if cal.T2 != nil && cal.T2[q] > 0 {
+			factor *= math.Exp(-t / cal.T2[q])
+		}
+	}
+	return factor
+}
+
+// EstimateFidelity combines gate-error success probability with the
+// decoherence factor — the overall likelihood the circuit runs cleanly.
+func (d *Device) EstimateFidelity(c *circuit.Circuit) float64 {
+	return d.SuccessProbability(c) * d.DecoherenceFactor(c)
+}
+
+// VerifyCompliant checks that every two-qubit gate in c acts on a coupling
+// edge of d and that the register fits the device.
+func (d *Device) VerifyCompliant(c *circuit.Circuit) error {
+	if c.NQubits > d.NQubits() {
+		return fmt.Errorf("device %s: circuit uses %d qubits, device has %d", d.Name, c.NQubits, d.NQubits())
+	}
+	for i, g := range c.Gates {
+		if g.Arity() == 2 && !d.Connected(g.Q0, g.Q1) {
+			return fmt.Errorf("device %s: gate %d (%s) not on a coupling edge", d.Name, i, g)
+		}
+	}
+	return nil
+}
+
+// WithRandomCalibration attaches a synthetic calibration where each CNOT
+// edge error is drawn from a normal distribution N(mu, sigma) truncated to
+// [floor, 0.5] — the μ=1e-2, σ=0.5e-2 model of Fig. 11 — and returns d.
+func (d *Device) WithRandomCalibration(rng *rand.Rand, mu, sigma float64) *Device {
+	const floor = 1e-4
+	cal := &Calibration{
+		CNOTError:        make(map[[2]int]float64, d.Coupling.M()),
+		SingleQubitError: mu / 10,
+		ReadoutError:     make([]float64, d.NQubits()),
+	}
+	for _, e := range d.Coupling.Edges() {
+		v := mu + sigma*rng.NormFloat64()
+		if v < floor {
+			v = floor
+		}
+		if v > 0.5 {
+			v = 0.5
+		}
+		cal.CNOTError[[2]int{e.U, e.V}] = v
+	}
+	for q := range cal.ReadoutError {
+		v := 2*mu + 2*sigma*rng.NormFloat64()
+		if v < floor {
+			v = floor
+		}
+		if v > 0.5 {
+			v = 0.5
+		}
+		cal.ReadoutError[q] = v
+	}
+	d.Calib = cal
+	d.InvalidateCaches()
+	return d
+}

@@ -1,0 +1,314 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestTokyoTopology(t *testing.T) {
+	d := Tokyo20()
+	if d.NQubits() != 20 {
+		t.Fatalf("tokyo qubits = %d", d.NQubits())
+	}
+	if !d.Coupling.IsConnected() {
+		t.Error("tokyo coupling graph disconnected")
+	}
+	if !d.Connected(0, 1) || !d.Connected(1, 0) {
+		t.Error("edge (0,1) missing")
+	}
+	if d.Connected(0, 19) {
+		t.Error("phantom edge (0,19)")
+	}
+}
+
+// The paper works the connectivity-strength example for tokyo qubit 0:
+// first neighbours {1,5}, second neighbours {2,6,7,10,11} → strength 7
+// (Fig. 3(b) discussion in §IV-A).
+func TestTokyoConnectivityStrengthQubit0(t *testing.T) {
+	d := Tokyo20()
+	if got := d.ConnectivityStrength(0, 1); got != 2 {
+		t.Errorf("radius-1 strength of qubit 0 = %d, want 2", got)
+	}
+	if got := d.ConnectivityStrength(0, 2); got != 7 {
+		t.Errorf("connectivity strength of qubit 0 = %d, want 7", got)
+	}
+}
+
+func TestStrengthProfileSymmetry(t *testing.T) {
+	d := Grid(4, 4)
+	p := d.StrengthProfile(2)
+	// Corners of a 4x4 grid are equivalent under symmetry.
+	corners := []int{0, 3, 12, 15}
+	for _, q := range corners[1:] {
+		if p[q] != p[corners[0]] {
+			t.Errorf("corner strengths differ: q%d=%d vs q0=%d", q, p[q], p[corners[0]])
+		}
+	}
+	// Center qubits see strictly more neighbours than corners.
+	if p[5] <= p[0] {
+		t.Errorf("center strength %d not greater than corner %d", p[5], p[0])
+	}
+}
+
+func TestMelbourneCalibration(t *testing.T) {
+	d := Melbourne15()
+	if d.NQubits() != 15 {
+		t.Fatalf("melbourne qubits = %d", d.NQubits())
+	}
+	if d.Coupling.M() != 20 {
+		t.Fatalf("melbourne edges = %d, want 20", d.Coupling.M())
+	}
+	if !d.Coupling.IsConnected() {
+		t.Error("melbourne coupling graph disconnected")
+	}
+	if got := d.CNOTError(0, 1); got != 1.87e-2 {
+		t.Errorf("CNOTError(0,1) = %v, want 1.87e-2", got)
+	}
+	if got := d.CNOTError(1, 0); got != 1.87e-2 {
+		t.Errorf("CNOTError symmetric lookup failed: %v", got)
+	}
+	for _, e := range d.Coupling.Edges() {
+		er := d.CNOTError(e.U, e.V)
+		if er <= 0 || er >= 0.1 {
+			t.Errorf("edge (%d,%d) error %v outside plausible range", e.U, e.V, er)
+		}
+	}
+}
+
+func TestCNOTErrorPanicsOffEdge(t *testing.T) {
+	d := Melbourne15()
+	defer func() {
+		if recover() == nil {
+			t.Error("CNOTError on non-edge did not panic")
+		}
+	}()
+	d.CNOTError(0, 7)
+}
+
+func TestCPhaseSuccess(t *testing.T) {
+	d := Melbourne15()
+	e := d.CNOTError(0, 1)
+	want := (1 - e) * (1 - e)
+	if got := d.CPhaseSuccess(0, 1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("CPhaseSuccess = %v, want %v", got, want)
+	}
+}
+
+func TestGridLinearRingTopologies(t *testing.T) {
+	g := Grid(6, 6)
+	if g.NQubits() != 36 || g.Coupling.M() != 60 {
+		t.Errorf("grid(6,6): %d qubits, %d edges; want 36, 60", g.NQubits(), g.Coupling.M())
+	}
+	l := Linear(5)
+	if l.Coupling.M() != 4 || l.Coupling.Degree(0) != 1 || l.Coupling.Degree(2) != 2 {
+		t.Errorf("linear(5) malformed")
+	}
+	r := Ring(8)
+	if r.Coupling.M() != 8 {
+		t.Errorf("ring(8) edges = %d, want 8", r.Coupling.M())
+	}
+	for q := 0; q < 8; q++ {
+		if r.Coupling.Degree(q) != 2 {
+			t.Errorf("ring(8) degree(%d) = %d", q, r.Coupling.Degree(q))
+		}
+	}
+	f := FullyConnected(5)
+	if f.Coupling.M() != 10 {
+		t.Errorf("full(5) edges = %d, want 10", f.Coupling.M())
+	}
+}
+
+func TestHopDistancesCachedAndCorrect(t *testing.T) {
+	d := Linear(6)
+	m1 := d.HopDistances()
+	if m1.Dist(0, 5) != 5 {
+		t.Errorf("hop Dist(0,5) = %v, want 5", m1.Dist(0, 5))
+	}
+	if m2 := d.HopDistances(); m2 != m1 {
+		t.Error("HopDistances not cached")
+	}
+	d.InvalidateCaches()
+	if m3 := d.HopDistances(); m3 == m1 {
+		t.Error("InvalidateCaches did not clear the cache")
+	}
+}
+
+func TestReliabilityDistancesPreferReliableDetour(t *testing.T) {
+	// Triangle 0-1-2 where the direct link 0-2 is very unreliable: the
+	// reliability distance 0→2 must route around it while the hop distance
+	// stays 1.
+	d := Ring(3)
+	d.Calib = &Calibration{CNOTError: map[[2]int]float64{
+		{0, 1}: 0.01,
+		{1, 2}: 0.01,
+		{0, 2}: 0.40,
+	}}
+	hop := d.HopDistances()
+	rel := d.ReliabilityDistances()
+	if hop.Dist(0, 2) != 1 {
+		t.Errorf("hop Dist(0,2) = %v", hop.Dist(0, 2))
+	}
+	direct := 1 / (0.6 * 0.6)
+	detour := 2 / (0.99 * 0.99)
+	if detour >= direct {
+		t.Fatal("test construction broken: detour not cheaper")
+	}
+	if math.Abs(rel.Dist(0, 2)-detour) > 1e-12 {
+		t.Errorf("reliability Dist(0,2) = %v, want detour cost %v", rel.Dist(0, 2), detour)
+	}
+	path := rel.Path(0, 2)
+	if len(path) != 3 || path[1] != 1 {
+		t.Errorf("reliability path = %v, want [0 1 2]", path)
+	}
+}
+
+func TestReliabilityDistancesNoCalibEqualsHops(t *testing.T) {
+	d := Grid(3, 3)
+	hop := d.HopDistances()
+	rel := d.ReliabilityDistances()
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if hop.Dist(i, j) != rel.Dist(i, j) {
+				t.Fatalf("uncalibrated reliability distance differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSuccessProbability(t *testing.T) {
+	d := Linear(3)
+	d.Calib = &Calibration{
+		CNOTError:        map[[2]int]float64{{0, 1}: 0.1, {1, 2}: 0.2},
+		SingleQubitError: 0.01,
+		ReadoutError:     []float64{0.05, 0.05, 0.05},
+	}
+	c := circuit.New(3).Append(
+		circuit.NewH(0),              // 0.99
+		circuit.NewCNOT(0, 1),        // 0.9
+		circuit.NewCPhase(1, 2, 0.5), // 0.8^2
+		circuit.NewSwap(0, 1),        // 0.9^3
+		circuit.NewMeasure(2),        // 0.95
+	)
+	want := 0.99 * 0.9 * 0.8 * 0.8 * 0.9 * 0.9 * 0.9 * 0.95
+	if got := d.SuccessProbability(c); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SuccessProbability = %v, want %v", got, want)
+	}
+}
+
+func TestSuccessProbabilityNoCalibIsOne(t *testing.T) {
+	d := Linear(2)
+	c := circuit.New(2).Append(circuit.NewCNOT(0, 1), circuit.NewMeasure(0))
+	if got := d.SuccessProbability(c); got != 1 {
+		t.Errorf("uncalibrated success probability = %v, want 1", got)
+	}
+}
+
+func TestVerifyCompliant(t *testing.T) {
+	d := Linear(4)
+	good := circuit.New(4).Append(circuit.NewCNOT(1, 2), circuit.NewH(0))
+	if err := d.VerifyCompliant(good); err != nil {
+		t.Errorf("compliant circuit rejected: %v", err)
+	}
+	bad := circuit.New(4).Append(circuit.NewCNOT(0, 3))
+	if err := d.VerifyCompliant(bad); err == nil {
+		t.Error("non-compliant circuit accepted")
+	}
+	big := circuit.New(5)
+	if err := d.VerifyCompliant(big); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+}
+
+func TestWithRandomCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := Tokyo20().WithRandomCalibration(rng, 1e-2, 0.5e-2)
+	if d.Calib == nil {
+		t.Fatal("calibration not attached")
+	}
+	if len(d.Calib.CNOTError) != d.Coupling.M() {
+		t.Errorf("calibrated %d edges, want %d", len(d.Calib.CNOTError), d.Coupling.M())
+	}
+	var sum float64
+	for _, e := range d.Coupling.Edges() {
+		v := d.CNOTError(e.U, e.V)
+		if v < 1e-4 || v > 0.5 {
+			t.Errorf("edge (%d,%d) error %v out of truncation range", e.U, e.V, v)
+		}
+		sum += v
+	}
+	mean := sum / float64(d.Coupling.M())
+	if mean < 0.5e-2 || mean > 2e-2 {
+		t.Errorf("mean synthetic error %v far from 1e-2", mean)
+	}
+	// Determinism: same seed, same calibration.
+	d2 := Tokyo20().WithRandomCalibration(rand.New(rand.NewSource(42)), 1e-2, 0.5e-2)
+	for k, v := range d.Calib.CNOTError {
+		if d2.Calib.CNOTError[k] != v {
+			t.Fatal("same-seed calibrations differ")
+		}
+	}
+}
+
+func TestDecoherenceFactor(t *testing.T) {
+	d := Linear(2)
+	shallow := circuit.New(2).Append(circuit.NewH(0))
+	deep := circuit.New(2).Append(circuit.NewH(0), circuit.NewH(0), circuit.NewH(0), circuit.NewH(0))
+	if got := d.DecoherenceFactor(deep); got != 1 {
+		t.Errorf("uncalibrated decoherence factor = %v, want 1", got)
+	}
+	d.Calib = &Calibration{GateTime: 1, T1: []float64{10, 10}, T2: []float64{20, 20}}
+	fs := d.DecoherenceFactor(shallow)
+	fd := d.DecoherenceFactor(deep)
+	if fs <= fd {
+		t.Errorf("deeper circuit should decohere more: shallow %v vs deep %v", fs, fd)
+	}
+	// Exact value for depth 1: per qubit exp(-1/10)·exp(-1/20), two qubits.
+	want := math.Exp(-1.0/10) * math.Exp(-1.0/20)
+	want *= want
+	if math.Abs(fs-want) > 1e-12 {
+		t.Errorf("shallow factor = %v, want %v", fs, want)
+	}
+}
+
+func TestEstimateFidelityCombines(t *testing.T) {
+	d := Linear(2)
+	d.Calib = &Calibration{
+		CNOTError: map[[2]int]float64{{0, 1}: 0.1},
+		GateTime:  1, T2: []float64{100, 100},
+	}
+	c := circuit.New(2).Append(circuit.NewCNOT(0, 1))
+	want := d.SuccessProbability(c) * d.DecoherenceFactor(c)
+	if got := d.EstimateFidelity(c); math.Abs(got-want) > 1e-15 {
+		t.Errorf("EstimateFidelity = %v, want %v", got, want)
+	}
+	if want >= 0.9 || want <= 0 {
+		t.Errorf("implausible combined fidelity %v", want)
+	}
+}
+
+func TestMelbourneCoherenceAttached(t *testing.T) {
+	d := Melbourne15()
+	if d.Calib.T1 == nil || d.Calib.T2 == nil || d.Calib.GateTime <= 0 {
+		t.Fatal("melbourne calibration lacks coherence data")
+	}
+	c := circuit.New(2).Append(circuit.NewCNOT(0, 1))
+	if f := d.DecoherenceFactor(c); f >= 1 || f <= 0 {
+		t.Errorf("melbourne decoherence factor = %v", f)
+	}
+}
+
+func TestFalcon27Topology(t *testing.T) {
+	d := Falcon27()
+	if d.NQubits() != 27 || d.Coupling.M() != 28 {
+		t.Fatalf("falcon27: %d qubits, %d edges; want 27, 28", d.NQubits(), d.Coupling.M())
+	}
+	if !d.Coupling.IsConnected() {
+		t.Error("falcon27 disconnected")
+	}
+	if got := d.Coupling.MaxDegree(); got != 3 {
+		t.Errorf("heavy-hex max degree = %d, want 3", got)
+	}
+}

@@ -1,0 +1,115 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graphs"
+)
+
+// deviceJSON is the on-disk form of a Device, so users can target custom
+// hardware (their own coupling map + calibration snapshot) from the CLI.
+type deviceJSON struct {
+	Name        string     `json:"name"`
+	Qubits      int        `json:"qubits"`
+	Edges       [][2]int   `json:"edges"`
+	Calibration *calibJSON `json:"calibration,omitempty"`
+}
+
+type calibJSON struct {
+	CNOTError        []edgeError `json:"cnot_error,omitempty"`
+	SingleQubitError float64     `json:"single_qubit_error,omitempty"`
+	ReadoutError     []float64   `json:"readout_error,omitempty"`
+	T1               []float64   `json:"t1,omitempty"`
+	T2               []float64   `json:"t2,omitempty"`
+	GateTime         float64     `json:"gate_time,omitempty"`
+}
+
+type edgeError struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	E float64 `json:"error"`
+}
+
+// MarshalJSON serializes the device (coupling map + calibration).
+func (d *Device) MarshalJSON() ([]byte, error) {
+	dj := deviceJSON{Name: d.Name, Qubits: d.NQubits()}
+	for _, e := range d.Coupling.Edges() {
+		dj.Edges = append(dj.Edges, [2]int{e.U, e.V})
+	}
+	if d.Calib != nil {
+		cj := &calibJSON{
+			SingleQubitError: d.Calib.SingleQubitError,
+			ReadoutError:     d.Calib.ReadoutError,
+			T1:               d.Calib.T1,
+			T2:               d.Calib.T2,
+			GateTime:         d.Calib.GateTime,
+		}
+		for _, e := range d.Coupling.Edges() {
+			if err, ok := d.Calib.CNOTError[[2]int{e.U, e.V}]; ok {
+				cj.CNOTError = append(cj.CNOTError, edgeError{U: e.U, V: e.V, E: err})
+			}
+		}
+		dj.Calibration = cj
+	}
+	return json.MarshalIndent(dj, "", "  ")
+}
+
+// UnmarshalJSON deserializes a device, validating the coupling map.
+func (d *Device) UnmarshalJSON(data []byte) error {
+	var dj deviceJSON
+	if err := json.Unmarshal(data, &dj); err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	if dj.Qubits <= 0 {
+		return fmt.Errorf("device: non-positive qubit count %d", dj.Qubits)
+	}
+	g := graphs.New(dj.Qubits)
+	for _, e := range dj.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	d.Name = dj.Name
+	d.Coupling = g
+	d.Calib = nil
+	if cj := dj.Calibration; cj != nil {
+		cal := &Calibration{
+			SingleQubitError: cj.SingleQubitError,
+			ReadoutError:     cj.ReadoutError,
+			T1:               cj.T1,
+			T2:               cj.T2,
+			GateTime:         cj.GateTime,
+		}
+		if len(cj.CNOTError) > 0 {
+			cal.CNOTError = make(map[[2]int]float64, len(cj.CNOTError))
+			for _, ee := range cj.CNOTError {
+				u, v := ee.U, ee.V
+				if u > v {
+					u, v = v, u
+				}
+				if !g.HasEdge(u, v) {
+					return fmt.Errorf("device: calibration for non-edge (%d,%d)", ee.U, ee.V)
+				}
+				cal.CNOTError[[2]int{u, v}] = ee.E
+			}
+		}
+		for _, arr := range [][]float64{cal.ReadoutError, cal.T1, cal.T2} {
+			if arr != nil && len(arr) != dj.Qubits {
+				return fmt.Errorf("device: per-qubit calibration array has %d entries, want %d", len(arr), dj.Qubits)
+			}
+		}
+		d.Calib = cal
+	}
+	d.InvalidateCaches()
+	return nil
+}
+
+// FromJSON parses a device description.
+func FromJSON(data []byte) (*Device, error) {
+	d := &Device{}
+	if err := d.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

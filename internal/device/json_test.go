@@ -1,0 +1,99 @@
+package device
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDeviceJSONRoundTrip(t *testing.T) {
+	orig := Melbourne15()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.NQubits() != orig.NQubits() || back.Coupling.M() != orig.Coupling.M() {
+		t.Fatalf("shape mismatch: %s %d/%d", back.Name, back.NQubits(), back.Coupling.M())
+	}
+	for _, e := range orig.Coupling.Edges() {
+		if !back.Connected(e.U, e.V) {
+			t.Fatalf("edge (%d,%d) lost", e.U, e.V)
+		}
+		if back.CNOTError(e.U, e.V) != orig.CNOTError(e.U, e.V) {
+			t.Fatalf("error rate lost on (%d,%d)", e.U, e.V)
+		}
+	}
+	if back.Calib.GateTime != orig.Calib.GateTime {
+		t.Error("gate time lost")
+	}
+	if len(back.Calib.T1) != 15 || len(back.Calib.ReadoutError) != 15 {
+		t.Error("per-qubit arrays lost")
+	}
+}
+
+func TestDeviceJSONNoCalibration(t *testing.T) {
+	orig := Tokyo20()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Calib != nil {
+		t.Error("phantom calibration after round trip")
+	}
+	if back.Coupling.M() != orig.Coupling.M() {
+		t.Error("edges lost")
+	}
+}
+
+func TestDeviceJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage", "{"},
+		{"zero qubits", `{"name":"x","qubits":0,"edges":[]}`},
+		{"bad edge", `{"name":"x","qubits":2,"edges":[[0,2]]}`},
+		{"self loop", `{"name":"x","qubits":2,"edges":[[1,1]]}`},
+		{"calibrated non-edge", `{"name":"x","qubits":3,"edges":[[0,1]],"calibration":{"cnot_error":[{"u":1,"v":2,"error":0.1}]}}`},
+		{"bad readout length", `{"name":"x","qubits":3,"edges":[[0,1]],"calibration":{"readout_error":[0.1]}}`},
+	}
+	for _, tc := range cases {
+		if _, err := FromJSON([]byte(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// A loaded device must be fully usable: distances, reliability, compile.
+func TestDeviceJSONUsable(t *testing.T) {
+	src := `{
+		"name": "custom-t",
+		"qubits": 4,
+		"edges": [[0,1],[1,2],[1,3]],
+		"calibration": {
+			"cnot_error": [{"u":0,"v":1,"error":0.01},{"u":1,"v":2,"error":0.05},{"u":1,"v":3,"error":0.02}],
+			"single_qubit_error": 0.001
+		}
+	}`
+	d, err := FromJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HopDistances().Dist(0, 2) != 2 {
+		t.Error("distances wrong on loaded device")
+	}
+	if d.CNOTError(2, 1) != 0.05 {
+		t.Error("calibration lookup wrong")
+	}
+	rel := d.ReliabilityDistances()
+	if rel.Dist(0, 1) >= rel.Dist(1, 3)*2 {
+		t.Error("reliability weights not applied")
+	}
+}

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/graphs"
+	"repro/internal/metrics"
+	"repro/internal/qaoa"
+)
+
+// fixed structural angles: circuit depth/gate-count/time metrics do not
+// depend on the angle values, so every structural experiment uses these.
+var structuralParams = qaoa.Params{Gamma: []float64{0.5}, Beta: []float64{0.2}}
+
+// Workload identifies the two random-graph families of the evaluation.
+type Workload int
+
+const (
+	// ErdosRenyi graphs G(n, p) with the given edge probability.
+	ErdosRenyi Workload = iota
+	// Regular graphs with a fixed number of edges per node.
+	Regular
+)
+
+// instanceRNG derives an independent deterministic stream per (seed, index).
+func instanceRNG(seed int64, index int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(index)*7919 + 17))
+}
+
+// sampleGraph draws one workload graph.
+func sampleGraph(w Workload, n int, param float64, rng *rand.Rand) (*graphs.Graph, error) {
+	switch w {
+	case ErdosRenyi:
+		return graphs.ErdosRenyi(n, param, rng), nil
+	case Regular:
+		return graphs.RandomRegular(n, int(param), rng)
+	default:
+		return nil, fmt.Errorf("exp: unknown workload %d", w)
+	}
+}
+
+// compileSample compiles one instance with a preset and returns its quality
+// metrics. Success probability is measured on the native circuit when the
+// device is calibrated, 1 otherwise.
+func compileSample(g *graphs.Graph, dev *device.Device, preset compile.Preset, rng *rand.Rand, packing int) (metrics.Sample, *compile.Result, error) {
+	prob := &qaoa.Problem{G: g, MaxCut: 1} // optimum unused for structural metrics
+	opts := preset.Options(rng)
+	opts.PackingLimit = packing
+	res, err := compile.Compile(prob, structuralParams, dev, opts)
+	if err != nil {
+		return metrics.Sample{}, nil, err
+	}
+	s := metrics.Sample{
+		Depth:       res.Depth,
+		GateCount:   res.GateCount,
+		SwapCount:   res.SwapCount,
+		CompileTime: res.CompileTime,
+		RouteTime:   res.RouteTime,
+	}
+	if dev.Calib != nil {
+		s.SuccessProb = dev.SuccessProbability(res.Native)
+	} else {
+		s.SuccessProb = 1
+	}
+	return s, res, nil
+}
+
+// runPoint compiles `instances` fresh workload graphs with every preset in
+// `presets` and returns one aggregate per preset. The same graph instance is
+// fed to all presets so ratios compare like with like. Instances run in
+// parallel (each derives its own deterministic rng, so results are
+// independent of scheduling); per-preset sample order is by instance index,
+// keeping aggregates deterministic.
+func runPoint(w Workload, n int, param float64, dev *device.Device, presets []compile.Preset, instances int, seed int64, packing int) (map[compile.Preset]metrics.Aggregate, error) {
+	collected := make(map[compile.Preset][]metrics.Sample, len(presets))
+	for _, p := range presets {
+		collected[p] = make([]metrics.Sample, instances)
+	}
+	errs := make([]error, instances)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < instances; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := instanceRNG(seed, i)
+			g, err := sampleGraph(w, n, param, rng)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for _, preset := range presets {
+				s, _, err := compileSample(g, dev, preset, instanceRNG(seed, i*100+int(preset)), packing)
+				if err != nil {
+					errs[i] = fmt.Errorf("exp: %v on n=%d param=%v: %w", preset, n, param, err)
+					return
+				}
+				collected[preset][i] = s
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[compile.Preset]metrics.Aggregate, len(presets))
+	for p, ss := range collected {
+		out[p] = metrics.Collect(ss)
+	}
+	return out, nil
+}
+
+// circuitFromTerms builds a bare CPhase block for layer counting.
+func circuitFromTerms(n int, terms []compile.ZZTerm) *circuit.Circuit {
+	c := circuit.New(n)
+	for _, t := range terms {
+		c.Append(circuit.NewCPhase(t.U, t.V, t.Theta))
+	}
+	return c
+}

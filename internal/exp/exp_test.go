@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// Scaled-down configs: the tests assert the paper's qualitative shapes
+// (who wins, in which regime) on reduced instance counts; cmd/qaoa-exp
+// regenerates the full-size figures.
+
+func TestFig7Shapes(t *testing.T) {
+	cfg := Fig7Config{
+		Nodes:     20,
+		Instances: 8,
+		EdgeProbs: []float64{0.1, 0.5},
+		Degrees:   []int{3, 8},
+		Seed:      7,
+	}
+	tables, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	er, reg := tables[0], tables[1]
+	// Sparse regime: QAIM beats NAIVE on both depth and gates.
+	for _, tc := range []struct {
+		tab *Table
+		row string
+	}{{er, "p=0.1"}, {reg, "d=3"}} {
+		dep, ok := tc.tab.Lookup(tc.row, "QAIM/NAIVE dep")
+		if !ok {
+			t.Fatalf("missing %s", tc.row)
+		}
+		gat, _ := tc.tab.Lookup(tc.row, "QAIM/NAIVE gat")
+		if dep >= 1.0 {
+			t.Errorf("%s %s: QAIM depth ratio %v not < 1", tc.tab.ID, tc.row, dep)
+		}
+		if gat >= 1.0 {
+			t.Errorf("%s %s: QAIM gate ratio %v not < 1", tc.tab.ID, tc.row, gat)
+		}
+	}
+	// Dense regime: all approaches converge (ratio near 1, within 15%).
+	if dep, _ := er.Lookup("p=0.5", "QAIM/NAIVE dep"); math.Abs(dep-1) > 0.15 {
+		t.Errorf("dense ER QAIM depth ratio %v far from 1", dep)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	cfg := Fig8Config{Sizes: []int{12, 20}, Instances: 8, Seed: 8}
+	tb, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Small problems: QAIM clearly better than NAIVE.
+	dep, _ := tb.Lookup("n=12", "QAIM/NAIVE dep")
+	gat, _ := tb.Lookup("n=12", "QAIM/NAIVE gat")
+	if dep >= 1 || gat >= 1 {
+		t.Errorf("n=12 QAIM ratios dep=%v gat=%v, want < 1", dep, gat)
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	cfg := Fig9Config{
+		Nodes:     20,
+		Instances: 8,
+		EdgeProbs: []float64{0.5},
+		Degrees:   []int{3, 8},
+		Seed:      9,
+	}
+	tables, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, reg := tables[0], tables[1]
+	// Both IP and IC cut depth sharply vs QAIM-only, most on dense graphs.
+	for _, col := range []string{"IP/QAIM dep", "IC/QAIM dep"} {
+		if v, _ := er.Lookup("p=0.5", col); v >= 0.9 {
+			t.Errorf("ER p=0.5 %s = %v, want clearly < 1", col, v)
+		}
+		if v, _ := reg.Lookup("d=8", col); v >= 0.9 {
+			t.Errorf("regular d=8 %s = %v, want clearly < 1", col, v)
+		}
+	}
+	// Depth benefit grows with density (paper: 39% at d=3 → 68% at d=8).
+	d3, _ := reg.Lookup("d=3", "IC/QAIM dep")
+	d8, _ := reg.Lookup("d=8", "IC/QAIM dep")
+	if d8 >= d3 {
+		t.Errorf("IC depth ratio should fall with density: d3=%v d8=%v", d3, d8)
+	}
+	// IC gate count not above QAIM's.
+	if v, _ := reg.Lookup("d=8", "IC/QAIM gat"); v > 1.0 {
+		t.Errorf("IC gate ratio %v > 1", v)
+	}
+}
+
+func TestFig10VICImprovesSuccess(t *testing.T) {
+	// Success probabilities span orders of magnitude across instances, so
+	// per-row ratios are noisy at small sample sizes; assert that no row is
+	// badly below parity and that VIC wins clearly overall.
+	cfg := Fig10Config{Sizes: []int{13, 14}, Instances: 12, EdgeProb: 0.5, RegularDegree: 6, Seed: 10}
+	tb, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var count int
+	for _, row := range tb.Rows {
+		for j, v := range row.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < 0.7 {
+				t.Errorf("%s %s SPR = %v, far below parity", row.Label, tb.Columns[j], v)
+			}
+			sum += v
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no SPR values produced")
+	}
+	if mean := sum / float64(count); mean <= 1.0 {
+		t.Errorf("mean SPR = %v, want > 1 (VIC more reliable on average)", mean)
+	}
+}
+
+func TestFig11aSummaryShape(t *testing.T) {
+	cfg := Fig11aConfig{
+		Nodes:             20,
+		InstancesPerPoint: 4,
+		EdgeProbs:         []float64{0.3},
+		Degrees:           []int{4},
+		Seed:              11,
+	}
+	tb, err := Fig11a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(row, col string) float64 {
+		v, ok := tb.Lookup(row, col)
+		if !ok {
+			t.Fatalf("missing %s/%s", row, col)
+		}
+		return v
+	}
+	if get("NAIVE", "depth") != 1 || get("NAIVE", "gates") != 1 {
+		t.Error("NAIVE row not normalized to 1")
+	}
+	// The headline: IC/VIC reduce both depth and gate count well below NAIVE.
+	for _, m := range []string{"IC", "VIC"} {
+		if d := get(m, "depth"); d >= 0.85 {
+			t.Errorf("%s depth %v, want well below 1", m, d)
+		}
+		if g := get(m, "gates"); g >= 1.0 {
+			t.Errorf("%s gates %v, want < 1", m, g)
+		}
+	}
+	if d := get("IP", "depth"); d >= 0.9 {
+		t.Errorf("IP depth %v, want well below 1", d)
+	}
+}
+
+func TestFig11bNoiseCreatesGap(t *testing.T) {
+	cfg := Fig11bConfig{
+		Nodes:         8,
+		Instances:     2,
+		EdgeProb:      0.5,
+		RegularDegree: 4,
+		Shots:         1024,
+		Trajectories:  16,
+		Seed:          123,
+	}
+	tb, err := Fig11b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Noise must open a positive gap for every methodology: the noisy ratio
+	// falls below the ideal one.
+	for _, row := range tb.Rows {
+		if math.IsNaN(row.Values[0]) || row.Values[0] <= 0 {
+			t.Errorf("%s ARG = %v, want > 0", row.Label, row.Values[0])
+		}
+		if row.Values[0] > 100 {
+			t.Errorf("%s ARG = %v, implausibly large", row.Label, row.Values[0])
+		}
+	}
+}
+
+func TestFig12PackingTradeoffs(t *testing.T) {
+	cfg := Fig12Config{
+		Nodes:         36,
+		Instances:     3,
+		EdgeProb:      0.5,
+		RegularDegree: 15,
+		PackingLimits: []int{1, 9, 18},
+		Seed:          12,
+	}
+	tb, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Depth at packing limit 1 (fully serial layers) must exceed depth at
+	// a generous limit; compile time must not grow with packing.
+	d1, _ := tb.Lookup("limit=1", "er depth")
+	d9, _ := tb.Lookup("limit=9", "er depth")
+	if d1 <= d9 {
+		t.Errorf("ER depth limit=1 (%v) not above limit=9 (%v)", d1, d9)
+	}
+	g1, _ := tb.Lookup("limit=1", "reg gates")
+	g18, _ := tb.Lookup("limit=18", "reg gates")
+	if g1 <= 0 || g18 <= 0 {
+		t.Error("gate counts not positive")
+	}
+	t1, _ := tb.Lookup("limit=1", "reg time(s)")
+	t18, _ := tb.Lookup("limit=18", "reg time(s)")
+	if t18 > t1*1.5 {
+		t.Errorf("packing more slowed compilation: %v → %v", t1, t18)
+	}
+}
+
+func TestDiscussionICBeatsNaiveOnRing(t *testing.T) {
+	cfg := DiscussionConfig{Nodes: 8, Edges: 8, Instances: 20, Seed: 6}
+	tb, err := Discussion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveDepth, _ := tb.Lookup("NAIVE", "depth")
+	icDepth, _ := tb.Lookup("IC", "depth")
+	if icDepth >= naiveDepth {
+		t.Errorf("IC depth %v not below NAIVE %v", icDepth, naiveDepth)
+	}
+	red, _ := tb.Lookup("reduction %", "depth")
+	if red <= 0 {
+		t.Errorf("depth reduction %v%% not positive", red)
+	}
+}
+
+func TestSampleGraphUnknownWorkload(t *testing.T) {
+	if _, err := sampleGraph(Workload(99), 5, 0.5, instanceRNG(1, 0)); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/metrics"
+)
+
+// Fig10Config parameterizes the variation-awareness study of Fig. 10:
+// VIC vs IC compiled-circuit success probability on ibmq_16_melbourne with
+// its Fig. 10(a) calibration snapshot.
+type Fig10Config struct {
+	Sizes         []int   // node counts (paper: 13, 14, 15)
+	Instances     int     // per size (paper: 20)
+	EdgeProb      float64 // erdos-renyi density (paper: 0.5)
+	RegularDegree int     // paper: 6
+	Seed          int64
+}
+
+// DefaultFig10 returns the paper's configuration.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{Sizes: []int{13, 14, 15}, Instances: 20, EdgeProb: 0.5, RegularDegree: 6, Seed: 10}
+}
+
+// Fig10 reproduces Fig. 10(b,c): the ratio of mean compiled-circuit success
+// probability between VIC (+QAIM) and IC (+QAIM), for erdos-renyi (col 1)
+// and regular graphs (col 2). Regular entries whose (n, degree) pair admits
+// no regular graph (odd n·d) render as "-".
+func Fig10(cfg Fig10Config) (*Table, error) {
+	dev := device.Melbourne15()
+	presets := []compile.Preset{compile.PresetIC, compile.PresetVIC}
+	t := &Table{
+		ID:      "fig10",
+		Title:   "VIC/IC success-probability ratio on melbourne (rows: nodes)",
+		Columns: []string{"SPR er", "SPR regular"},
+	}
+	for _, n := range cfg.Sizes {
+		erAggs, err := runPoint(ErdosRenyi, n, cfg.EdgeProb, dev, presets, cfg.Instances, cfg.Seed+int64(n)*11, 0)
+		if err != nil {
+			return nil, err
+		}
+		spErr := metrics.Ratio(erAggs[compile.PresetVIC].SuccessProb.Mean, erAggs[compile.PresetIC].SuccessProb.Mean)
+
+		spReg := nan()
+		if n*cfg.RegularDegree%2 == 0 {
+			regAggs, err := runPoint(Regular, n, float64(cfg.RegularDegree), dev, presets, cfg.Instances, cfg.Seed+int64(n)*17, 0)
+			if err != nil {
+				return nil, err
+			}
+			spReg = metrics.Ratio(regAggs[compile.PresetVIC].SuccessProb.Mean, regAggs[compile.PresetIC].SuccessProb.Mean)
+		}
+		t.Add(fmt.Sprintf("n=%d", n), spErr, spReg)
+	}
+	return t, nil
+}
+
+func nan() float64 { return metrics.Ratio(1, 0) }

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/metrics"
+)
+
+// Fig7Config parameterizes the initial-mapping comparison of Fig. 7:
+// NAIVE vs GreedyV vs QAIM on 20-node graphs targeting ibmq_20_tokyo.
+type Fig7Config struct {
+	Nodes     int       // graph size (paper: 20)
+	Instances int       // instances per data point (paper: 50)
+	EdgeProbs []float64 // erdos-renyi sweep (paper: 0.1..0.6)
+	Degrees   []int     // regular-graph sweep (paper: 3..8)
+	Seed      int64
+}
+
+// DefaultFig7 returns the paper's configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		Nodes:     20,
+		Instances: 50,
+		EdgeProbs: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		Degrees:   []int{3, 4, 5, 6, 7, 8},
+		Seed:      7,
+	}
+}
+
+var fig7Columns = []string{
+	"Gv/NAIVE dep", "QAIM/NAIVE dep", "Gv/NAIVE gat", "QAIM/NAIVE gat",
+}
+
+// Fig7 reproduces Fig. 7(a–d): mean depth and gate-count ratios of GreedyV
+// and QAIM against NAIVE, for erdos-renyi (first table) and regular graphs
+// (second table) on ibmq_20_tokyo.
+func Fig7(cfg Fig7Config) ([]*Table, error) {
+	dev := device.Tokyo20()
+	presets := []compile.Preset{compile.PresetNaive, compile.PresetGreedyV, compile.PresetQAIM}
+
+	er := &Table{ID: "fig7-er", Title: "mapping ratios, erdos-renyi (rows: edge prob)", Columns: fig7Columns}
+	for _, p := range cfg.EdgeProbs {
+		aggs, err := runPoint(ErdosRenyi, cfg.Nodes, p, dev, presets, cfg.Instances, cfg.Seed+int64(p*1000), 0)
+		if err != nil {
+			return nil, err
+		}
+		er.Add(fmt.Sprintf("p=%.1f", p), mappingRatios(aggs)...)
+	}
+
+	reg := &Table{ID: "fig7-reg", Title: "mapping ratios, regular (rows: edges/node)", Columns: fig7Columns}
+	for _, d := range cfg.Degrees {
+		aggs, err := runPoint(Regular, cfg.Nodes, float64(d), dev, presets, cfg.Instances, cfg.Seed+int64(d)*31, 0)
+		if err != nil {
+			return nil, err
+		}
+		reg.Add(fmt.Sprintf("d=%d", d), mappingRatios(aggs)...)
+	}
+	return []*Table{er, reg}, nil
+}
+
+func mappingRatios(aggs map[compile.Preset]metrics.Aggregate) []float64 {
+	naive := aggs[compile.PresetNaive]
+	gv := aggs[compile.PresetGreedyV]
+	qm := aggs[compile.PresetQAIM]
+	return []float64{
+		metrics.Ratio(gv.Depth.Mean, naive.Depth.Mean),
+		metrics.Ratio(qm.Depth.Mean, naive.Depth.Mean),
+		metrics.Ratio(gv.GateCount.Mean, naive.GateCount.Mean),
+		metrics.Ratio(qm.GateCount.Mean, naive.GateCount.Mean),
+	}
+}
+
+// Fig8Config parameterizes the problem-size sweep of Fig. 8 (3-regular
+// graphs of growing size on ibmq_20_tokyo).
+type Fig8Config struct {
+	Sizes     []int // node counts (paper: 12..20; odd sizes skipped — no 3-regular graph exists)
+	Instances int   // per size (paper: 20)
+	Seed      int64
+}
+
+// DefaultFig8 returns the paper's configuration (even sizes 12–20; a
+// 3-regular graph needs an even vertex count).
+func DefaultFig8() Fig8Config {
+	return Fig8Config{Sizes: []int{12, 14, 16, 18, 20}, Instances: 20, Seed: 8}
+}
+
+// Fig8 reproduces Fig. 8(a,b): depth and gate-count ratios vs problem size
+// for 3-regular graphs.
+func Fig8(cfg Fig8Config) (*Table, error) {
+	dev := device.Tokyo20()
+	presets := []compile.Preset{compile.PresetNaive, compile.PresetGreedyV, compile.PresetQAIM}
+	t := &Table{ID: "fig8", Title: "mapping ratios vs problem size, 3-regular", Columns: fig7Columns}
+	for _, n := range cfg.Sizes {
+		aggs, err := runPoint(Regular, n, 3, dev, presets, cfg.Instances, cfg.Seed+int64(n)*13, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("n=%d", n), mappingRatios(aggs)...)
+	}
+	return t, nil
+}

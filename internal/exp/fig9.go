@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/metrics"
+)
+
+// Fig9Config parameterizes the ordering-strategy comparison of Fig. 9:
+// QAIM (+random order) vs IP (+QAIM) vs IC (+QAIM) on 20-node graphs,
+// ibmq_20_tokyo.
+type Fig9Config struct {
+	Nodes     int
+	Instances int
+	EdgeProbs []float64
+	Degrees   []int
+	Seed      int64
+}
+
+// DefaultFig9 returns the paper's configuration.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		Nodes:     20,
+		Instances: 50,
+		EdgeProbs: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		Degrees:   []int{3, 4, 5, 6, 7, 8},
+		Seed:      9,
+	}
+}
+
+// fig9Columns: "tim" is total compile time (mapping + ordering + routing);
+// "rt" is backend routing time alone. The paper's compile times are
+// backend-dominated (qiskit, seconds), so "rt" is the comparable series —
+// see EXPERIMENTS.md.
+var fig9Columns = []string{
+	"IP/QAIM dep", "IC/QAIM dep", "IP/QAIM gat", "IC/QAIM gat",
+	"IP/QAIM tim", "IC/QAIM tim", "IP/QAIM rt", "IC/QAIM rt",
+}
+
+// Fig9 reproduces Fig. 9(a–f): depth, gate-count and compilation-time
+// ratios of IP and IC against QAIM-only compilation.
+func Fig9(cfg Fig9Config) ([]*Table, error) {
+	dev := device.Tokyo20()
+	presets := []compile.Preset{compile.PresetQAIM, compile.PresetIP, compile.PresetIC}
+
+	er := &Table{ID: "fig9-er", Title: "ordering ratios, erdos-renyi (rows: edge prob)", Columns: fig9Columns}
+	for _, p := range cfg.EdgeProbs {
+		aggs, err := runPoint(ErdosRenyi, cfg.Nodes, p, dev, presets, cfg.Instances, cfg.Seed+int64(p*1000), 0)
+		if err != nil {
+			return nil, err
+		}
+		er.Add(fmt.Sprintf("p=%.1f", p), orderingRatios(aggs)...)
+	}
+
+	reg := &Table{ID: "fig9-reg", Title: "ordering ratios, regular (rows: edges/node)", Columns: fig9Columns}
+	for _, d := range cfg.Degrees {
+		aggs, err := runPoint(Regular, cfg.Nodes, float64(d), dev, presets, cfg.Instances, cfg.Seed+int64(d)*37, 0)
+		if err != nil {
+			return nil, err
+		}
+		reg.Add(fmt.Sprintf("d=%d", d), orderingRatios(aggs)...)
+	}
+	return []*Table{er, reg}, nil
+}
+
+func orderingRatios(aggs map[compile.Preset]metrics.Aggregate) []float64 {
+	qm := aggs[compile.PresetQAIM]
+	ip := aggs[compile.PresetIP]
+	ic := aggs[compile.PresetIC]
+	return []float64{
+		metrics.Ratio(ip.Depth.Mean, qm.Depth.Mean),
+		metrics.Ratio(ic.Depth.Mean, qm.Depth.Mean),
+		metrics.Ratio(ip.GateCount.Mean, qm.GateCount.Mean),
+		metrics.Ratio(ic.GateCount.Mean, qm.GateCount.Mean),
+		metrics.Ratio(ip.CompileSec.Mean, qm.CompileSec.Mean),
+		metrics.Ratio(ic.CompileSec.Mean, qm.CompileSec.Mean),
+		metrics.Ratio(ip.RouteSec.Mean, qm.RouteSec.Mean),
+		metrics.Ratio(ic.RouteSec.Mean, qm.RouteSec.Mean),
+	}
+}
+
+// Fig12Config parameterizes the packing-density study of Fig. 12 on the
+// hypothetical 36-qubit grid.
+type Fig12Config struct {
+	Nodes         int     // paper: 36
+	Instances     int     // per packing limit (paper: 20)
+	EdgeProb      float64 // erdos-renyi density (paper: 0.5)
+	RegularDegree int     // paper: 15
+	PackingLimits []int   // sweep (paper: up to layer-size maximum 18)
+	Seed          int64
+}
+
+// DefaultFig12 returns the paper's configuration.
+func DefaultFig12() Fig12Config {
+	return Fig12Config{
+		Nodes:         36,
+		Instances:     20,
+		EdgeProb:      0.5,
+		RegularDegree: 15,
+		PackingLimits: []int{1, 3, 5, 7, 9, 11, 13, 15, 18},
+		Seed:          12,
+	}
+}
+
+// Fig12 reproduces Fig. 12(a–c): mean compiled depth, gate count and
+// compilation time of IC (+QAIM) against the per-layer packing limit, on a
+// 6×6 grid, for both workloads.
+func Fig12(cfg Fig12Config) (*Table, error) {
+	dev := device.Grid(6, 6)
+	t := &Table{
+		ID:    "fig12",
+		Title: "packing-limit sweep, IC on 6x6 grid (rows: max CPhase/layer)",
+		Columns: []string{
+			"er depth", "er gates", "er time(s)",
+			"reg depth", "reg gates", "reg time(s)",
+		},
+	}
+	for _, lim := range cfg.PackingLimits {
+		erAgg, err := runPoint(ErdosRenyi, cfg.Nodes, cfg.EdgeProb, dev,
+			[]compile.Preset{compile.PresetIC}, cfg.Instances, cfg.Seed+int64(lim)*101, lim)
+		if err != nil {
+			return nil, err
+		}
+		regAgg, err := runPoint(Regular, cfg.Nodes, float64(cfg.RegularDegree), dev,
+			[]compile.Preset{compile.PresetIC}, cfg.Instances, cfg.Seed+int64(lim)*103, lim)
+		if err != nil {
+			return nil, err
+		}
+		er := erAgg[compile.PresetIC]
+		reg := regAgg[compile.PresetIC]
+		t.Add(fmt.Sprintf("limit=%d", lim),
+			er.Depth.Mean, er.GateCount.Mean, er.CompileSec.Mean,
+			reg.Depth.Mean, reg.GateCount.Mean, reg.CompileSec.Mean)
+	}
+	return t, nil
+}

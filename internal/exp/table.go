@@ -1,0 +1,153 @@
+// Package exp is the experiment harness: for every table and figure of the
+// paper's evaluation (Figs. 7–12 and the §VI comparison) it generates the
+// corresponding workload, runs the compilation methodologies, and renders
+// the measured series. Instance counts and seeds are configurable so the
+// same runners back both the fast benchmarks and the full regeneration in
+// cmd/qaoa-exp.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a labelled numeric result grid for one figure panel.
+type Table struct {
+	ID      string   // e.g. "fig7-er"
+	Title   string   // human description
+	Columns []string // value column headers
+	Rows    []Row
+}
+
+// Row is one labelled line of a Table.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	width := 12
+	labelWidth := 8
+	for _, r := range t.Rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelWidth+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelWidth+2, r.Label)
+		for _, v := range r.Values {
+			switch {
+			case math.IsNaN(v):
+				fmt.Fprintf(&b, "%*s", width, "-")
+			case math.Abs(v) >= 1000:
+				fmt.Fprintf(&b, "%*.0f", width, v)
+			default:
+				fmt.Fprintf(&b, "%*.4f", width, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Column returns the values of column j across rows.
+func (t *Table) Column(j int) []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.Values[j]
+	}
+	return out
+}
+
+// Lookup returns the value at (rowLabel, colName) and whether it exists.
+func (t *Table) Lookup(rowLabel, colName string) (float64, bool) {
+	col := -1
+	for j, c := range t.Columns {
+		if c == colName {
+			col = j
+			break
+		}
+	}
+	if col == -1 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && col < len(r.Values) {
+			return r.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// RenderMarkdown formats the table as a GitHub-flavoured Markdown table.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Label)
+		for _, v := range r.Values {
+			if math.IsNaN(v) {
+				b.WriteString(" - |")
+			} else {
+				fmt.Fprintf(&b, " %.4f |", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderCSV formats the table as CSV with a header row; the first column
+// holds the row labels.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.ID))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, v := range r.Values {
+			b.WriteByte(',')
+			if math.IsNaN(v) {
+				// empty field for missing values
+			} else {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

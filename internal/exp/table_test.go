@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAndLookup(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tb.Add("row1", 1.5, 2.0)
+	tb.Add("row2", math.NaN(), 1234567)
+	s := tb.Render()
+	for _, want := range []string{"x", "demo", "a", "b", "row1", "1.5000", "-", "1234567"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Render missing %q:\n%s", want, s)
+		}
+	}
+	v, ok := tb.Lookup("row1", "b")
+	if !ok || v != 2.0 {
+		t.Errorf("Lookup = (%v,%v)", v, ok)
+	}
+	if _, ok := tb.Lookup("row1", "zzz"); ok {
+		t.Error("Lookup found missing column")
+	}
+	if _, ok := tb.Lookup("zzz", "a"); ok {
+		t.Error("Lookup found missing row")
+	}
+	col := tb.Column(0)
+	if len(col) != 2 || col[0] != 1.5 || !math.IsNaN(col[1]) {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := &Table{ID: "f", Title: "demo", Columns: []string{"a"}}
+	tb.Add("r1", 0.5)
+	tb.Add("r2", math.NaN())
+	md := tb.RenderMarkdown()
+	for _, want := range []string{"### f — demo", "| | a |", "|---|---|", "| r1 | 0.5000 |", "| r2 | - |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := &Table{ID: "f,1", Columns: []string{`col"x`}}
+	tb.Add("row,1", 2.5)
+	tb.Add("rowN", math.NaN())
+	csv := tb.RenderCSV()
+	for _, want := range []string{`"f,1"`, `"col""x"`, `"row,1",2.5`, "rowN,\n"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("csv missing %q:\n%s", want, csv)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package graphs
+
+import "fmt"
+
+// EdgeColoring computes a proper edge coloring of g with at most Δ+1 colors
+// using the Misra–Gries constructive proof of Vizing's theorem. Colors are
+// 1-based; the returned slice is indexed by edge index (g.Edges() order).
+//
+// For QAOA this is the optimal-layer-count scheduler: edges of one color
+// class form a matching, so the cost layer executes in at most Δ+1 time
+// steps — the guarantee IP's first-fit heuristic only approximates (MOQ = Δ
+// is the lower bound; Vizing says Δ+1 always suffices).
+func EdgeColoring(g *Graph) ([]int, error) {
+	maxColors := g.MaxDegree() + 1
+	if g.M() == 0 {
+		return nil, nil
+	}
+	n := g.N()
+	// at[v][c] = neighbour joined to v by the edge of color c, or -1.
+	at := make([][]int, n)
+	for v := range at {
+		at[v] = make([]int, maxColors+1)
+		for c := range at[v] {
+			at[v][c] = -1
+		}
+	}
+	colorOf := make(map[[2]int]int, g.M())
+
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	setColor := func(a, b, c int) {
+		colorOf[key(a, b)] = c
+		at[a][c], at[b][c] = b, a
+	}
+	unsetColor := func(a, b int) {
+		c := colorOf[key(a, b)]
+		delete(colorOf, key(a, b))
+		at[a][c], at[b][c] = -1, -1
+	}
+	free := func(v int) int {
+		for c := 1; c <= maxColors; c++ {
+			if at[v][c] == -1 {
+				return c
+			}
+		}
+		panic("graphs: no free color within Δ+1 (impossible)")
+	}
+	isFree := func(v, c int) bool { return at[v][c] == -1 }
+
+	// invertPath flips colors c and d along the maximal alternating path
+	// starting at u with color d.
+	invertPath := func(u, c, d int) {
+		x, col := u, d
+		type step struct{ a, b, from, to int }
+		var steps []step
+		visited := map[int]bool{u: true}
+		for {
+			y := at[x][col]
+			if y == -1 {
+				break
+			}
+			other := c
+			if col == c {
+				other = d
+			}
+			steps = append(steps, step{x, y, col, other})
+			if visited[y] {
+				break // cycle (cannot happen for a cd-path from an endpoint)
+			}
+			visited[y] = true
+			x, col = y, other
+		}
+		for _, s := range steps {
+			unsetColor(s.a, s.b)
+		}
+		for _, s := range steps {
+			setColor(s.a, s.b, s.to)
+		}
+	}
+
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		// Maximal fan of u starting at v.
+		fan := []int{v}
+		inFan := map[int]bool{v: true}
+		for {
+			extended := false
+			last := fan[len(fan)-1]
+			for _, w := range g.Neighbors(u) {
+				if inFan[w] {
+					continue
+				}
+				cw, ok := colorOf[key(u, w)]
+				if !ok {
+					continue
+				}
+				if isFree(last, cw) {
+					fan = append(fan, w)
+					inFan[w] = true
+					extended = true
+					break
+				}
+			}
+			if !extended {
+				break
+			}
+		}
+
+		c := free(u)
+		d := free(fan[len(fan)-1])
+		if c != d {
+			invertPath(u, c, d)
+		}
+		// Find the first fan prefix whose tip has d free (exists by the
+		// Misra–Gries lemma after the inversion).
+		w := -1
+		for i := range fan {
+			// Check fan validity of the prefix up to i under current colors.
+			validPrefix := true
+			for j := 0; j < i; j++ {
+				cw, ok := colorOf[key(u, fan[j+1])]
+				if !ok || !isFree(fan[j], cw) {
+					validPrefix = false
+					break
+				}
+			}
+			if validPrefix && isFree(fan[i], d) {
+				w = i
+				break
+			}
+		}
+		if w == -1 {
+			return nil, fmt.Errorf("graphs: edge coloring invariant violated at edge (%d,%d)", u, v)
+		}
+		// Rotate the prefix: each fan edge takes its successor's color.
+		for j := 0; j < w; j++ {
+			cNext := colorOf[key(u, fan[j+1])]
+			unsetColor(u, fan[j+1])
+			if j == 0 {
+				// (u, fan[0]) = (u, v) is the uncolored edge being placed.
+				setColor(u, fan[0], cNext)
+			} else {
+				setColor(u, fan[j], cNext)
+			}
+		}
+		setColor(u, fan[w], d)
+	}
+
+	out := make([]int, g.M())
+	for i, e := range g.Edges() {
+		c, ok := colorOf[key(e.U, e.V)]
+		if !ok {
+			return nil, fmt.Errorf("graphs: edge (%d,%d) left uncolored", e.U, e.V)
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func validColoring(g *Graph, colors []int, maxColors int) bool {
+	if len(colors) != g.M() {
+		return false
+	}
+	// Proper: no two edges sharing a vertex share a color.
+	seen := make(map[[2]int]bool) // (vertex, color)
+	for i, e := range g.Edges() {
+		c := colors[i]
+		if c < 1 || c > maxColors {
+			return false
+		}
+		for _, v := range []int{e.U, e.V} {
+			if seen[[2]int{v, c}] {
+				return false
+			}
+			seen[[2]int{v, c}] = true
+		}
+	}
+	return true
+}
+
+func TestEdgeColoringSmallKnown(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+	}{
+		{"single edge", func() *Graph { g := New(2); g.MustAddEdge(0, 1); return g }},
+		{"path3", pathGraphBuilder(4)},
+		{"triangle", func() *Graph {
+			g := New(3)
+			g.MustAddEdge(0, 1)
+			g.MustAddEdge(1, 2)
+			g.MustAddEdge(0, 2)
+			return g
+		}},
+		{"star", func() *Graph {
+			g := New(5)
+			for i := 1; i < 5; i++ {
+				g.MustAddEdge(0, i)
+			}
+			return g
+		}},
+		{"K4", func() *Graph {
+			g := New(4)
+			for u := 0; u < 4; u++ {
+				for v := u + 1; v < 4; v++ {
+					g.MustAddEdge(u, v)
+				}
+			}
+			return g
+		}},
+	}
+	for _, tc := range cases {
+		g := tc.build()
+		colors, err := EdgeColoring(g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !validColoring(g, colors, g.MaxDegree()+1) {
+			t.Errorf("%s: invalid coloring %v", tc.name, colors)
+		}
+	}
+}
+
+func pathGraphBuilder(n int) func() *Graph {
+	return func() *Graph {
+		g := New(n)
+		for i := 0; i+1 < n; i++ {
+			g.MustAddEdge(i, i+1)
+		}
+		return g
+	}
+}
+
+func TestEdgeColoringEmpty(t *testing.T) {
+	colors, err := EdgeColoring(New(5))
+	if err != nil || colors != nil {
+		t.Errorf("empty graph: %v, %v", colors, err)
+	}
+}
+
+// A star's edges all share the center: exactly Δ colors are forced and
+// sufficient.
+func TestEdgeColoringStarUsesDegreeColors(t *testing.T) {
+	g := New(6)
+	for i := 1; i < 6; i++ {
+		g.MustAddEdge(0, i)
+	}
+	colors, err := EdgeColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int]bool{}
+	for _, c := range colors {
+		distinct[c] = true
+	}
+	if len(distinct) != 5 {
+		t.Errorf("star colored with %d colors, want 5", len(distinct))
+	}
+}
+
+// Property: Misra–Gries always yields a proper coloring within Δ+1 colors —
+// Vizing's theorem, constructively.
+func TestEdgeColoringVizingProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g *Graph
+		if seed%2 == 0 {
+			g = ErdosRenyi(4+rng.Intn(16), 0.2+0.6*rng.Float64(), rng)
+		} else {
+			n := 6 + 2*rng.Intn(8)
+			d := 3 + rng.Intn(4)
+			if d >= n {
+				d = n - 1
+			}
+			if n*d%2 == 1 {
+				d--
+			}
+			var err error
+			g, err = RandomRegular(n, d, rng)
+			if err != nil {
+				return false
+			}
+		}
+		colors, err := EdgeColoring(g)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return validColoring(g, colors, g.MaxDegree()+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The color classes form a layer schedule at least as tight as MOQ+1.
+func TestEdgeColoringLayerCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := MustRandomRegular(16, 5, rng)
+		colors, err := EdgeColoring(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0
+		for _, c := range colors {
+			if c > max {
+				max = c
+			}
+		}
+		if max > g.MaxDegree()+1 {
+			t.Fatalf("trial %d: %d colors exceed Δ+1 = %d", trial, max, g.MaxDegree()+1)
+		}
+	}
+}

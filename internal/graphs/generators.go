@@ -1,0 +1,147 @@
+package graphs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Named and structured graph constructors, used as additional QAOA
+// workloads and in tests.
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns C_n.
+func Cycle(n int) *Graph {
+	g := New(n)
+	if n < 3 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns P_n (n vertices, n−1 edges).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns K_{1,n−1} with vertex 0 at the center.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a−1} and {a..a+b−1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// WattsStrogatz samples a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbours (k even), with each edge
+// rewired to a uniform random endpoint with probability beta. Small-world
+// instances stress QAIM differently from ER/regular workloads — mostly
+// local structure plus a few long chords.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) (*Graph, error) {
+	if k%2 != 0 || k < 2 || k >= n {
+		return nil, fmt.Errorf("graphs: watts-strogatz needs even 2 ≤ k < n, got k=%d n=%d", k, n)
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			w := (v + j) % n
+			if !g.HasEdge(v, w) {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	// Rewire each lattice edge with probability beta.
+	for _, e := range append([]Edge(nil), g.Edges()...) {
+		if rng.Float64() >= beta {
+			continue
+		}
+		// Replace (u,v) with (u,w) for a random w avoiding loops/dups.
+		for attempts := 0; attempts < 2*n; attempts++ {
+			w := rng.Intn(n)
+			if w == e.U || g.HasEdge(e.U, w) {
+				continue
+			}
+			removeEdge(g, e.U, e.V)
+			g.MustAddEdge(e.U, w)
+			break
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert samples a preferential-attachment scale-free graph: each
+// new vertex attaches to m existing vertices with probability proportional
+// to their degree. Scale-free instances have hub qubits — the worst case
+// for layer packing (MOQ is large).
+func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("graphs: barabasi-albert needs 1 ≤ m < n, got m=%d n=%d", m, n)
+	}
+	g := New(n)
+	// Seed: star on the first m+1 vertices.
+	var stubs []int
+	for i := 1; i <= m; i++ {
+		g.MustAddEdge(0, i)
+		stubs = append(stubs, 0, i)
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			w := stubs[rng.Intn(len(stubs))]
+			if w != v && !chosen[w] {
+				chosen[w] = true
+			}
+		}
+		for w := range chosen {
+			g.MustAddEdge(v, w)
+			stubs = append(stubs, v, w)
+		}
+	}
+	return g, nil
+}
+
+// removeEdge deletes an edge by rebuilding — acceptable for the rewiring
+// generator's scale; the core Graph type stays append-only elsewhere.
+func removeEdge(g *Graph, u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	rebuilt := New(g.N())
+	for _, e := range g.Edges() {
+		if e.U == u && e.V == v {
+			continue
+		}
+		if err := rebuilt.AddWeightedEdge(e.U, e.V, e.Weight); err != nil {
+			panic(err)
+		}
+	}
+	*g = *rebuilt
+}

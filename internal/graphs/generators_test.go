@@ -1,0 +1,147 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNamedGraphs(t *testing.T) {
+	if g := Complete(5); g.M() != 10 || g.MaxDegree() != 4 {
+		t.Errorf("K5: m=%d Δ=%d", g.M(), g.MaxDegree())
+	}
+	if g := Cycle(6); g.M() != 6 || g.MaxDegree() != 2 {
+		t.Errorf("C6: m=%d Δ=%d", g.M(), g.MaxDegree())
+	}
+	if g := Cycle(2); g.M() != 0 {
+		t.Error("C2 should be edgeless (no multi-edges)")
+	}
+	if g := Path(5); g.M() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Errorf("P5 malformed")
+	}
+	if g := Star(7); g.M() != 6 || g.Degree(0) != 6 {
+		t.Errorf("star malformed")
+	}
+	if g := CompleteBipartite(3, 4); g.M() != 12 || g.HasEdge(0, 1) || !g.HasEdge(0, 3) {
+		t.Errorf("K(3,4) malformed")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// beta=0: pure ring lattice, n*k/2 edges, all degrees k.
+	g, err := WattsStrogatz(12, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 24 {
+		t.Errorf("lattice edges = %d, want 24", g.M())
+	}
+	for v := 0; v < 12; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("lattice degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	// beta=1: heavy rewiring keeps the edge count.
+	g2, err := WattsStrogatz(14, 4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 28 {
+		t.Errorf("rewired edges = %d, want 28", g2.M())
+	}
+	// Simple-graph invariants survive rewiring.
+	for v := 0; v < g2.N(); v++ {
+		nb := g2.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i] == nb[i-1] || nb[i] == v {
+				t.Fatalf("rewired graph not simple at %d: %v", v, nb)
+			}
+		}
+	}
+	if _, err := WattsStrogatz(10, 3, 0.5, rng); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := WattsStrogatz(4, 4, 0.5, rng); err == nil {
+		t.Error("k >= n accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := BarabasiAlbert(30, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge count: m seed edges + (n−m−1)·m.
+	want := 2 + 27*2
+	if g.M() != want {
+		t.Errorf("BA edges = %d, want %d", g.M(), want)
+	}
+	if !g.IsConnected() {
+		t.Error("BA graph disconnected")
+	}
+	// Scale-free signature: max degree well above the attachment count.
+	if g.MaxDegree() < 2*2 {
+		t.Errorf("no hubs formed: Δ = %d", g.MaxDegree())
+	}
+	if _, err := BarabasiAlbert(5, 0, rng); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(3, 3, rng); err == nil {
+		t.Error("m >= n accepted")
+	}
+}
+
+func TestMaxCutAnnealMatchesExactOnSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g := ErdosRenyi(12, 0.4, rng)
+		exact, _, err := MaxCutExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, assign := MaxCutAnneal(g, 150, rng)
+		if got > exact {
+			t.Fatalf("anneal %d exceeds exact %d", got, exact)
+		}
+		if int(CutValue(g, assign)) != got {
+			t.Fatalf("reported cut %d != assignment cut %v", got, CutValue(g, assign))
+		}
+		if got < exact-1 {
+			t.Errorf("trial %d: anneal %d far below exact %d", trial, got, exact)
+		}
+	}
+}
+
+func TestMaxCutAnnealBeatsGreedyOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	annealWins, greedyWins := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		g := ErdosRenyi(40, 0.3, rng)
+		a, _ := MaxCutAnneal(g, 200, rng)
+		gr, _ := MaxCutGreedy(g)
+		if a > gr {
+			annealWins++
+		} else if gr > a {
+			greedyWins++
+		}
+	}
+	if annealWins < greedyWins {
+		t.Errorf("anneal won %d, greedy won %d", annealWins, greedyWins)
+	}
+}
+
+func TestMaxCutAnnealEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if cut, assign := MaxCutAnneal(New(0), 10, rng); cut != 0 || assign != nil {
+		t.Error("empty graph")
+	}
+	if cut, _ := MaxCutAnneal(New(3), 10, rng); cut != 0 {
+		t.Error("edgeless graph")
+	}
+	// Bipartite: the anneal must find the perfect cut.
+	g := CompleteBipartite(4, 4)
+	if cut, _ := MaxCutAnneal(g, 200, rng); cut != 16 {
+		t.Errorf("K(4,4) anneal cut = %d, want 16", cut)
+	}
+}

@@ -1,0 +1,237 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 {
+		t.Fatalf("N = %d, want 5", g.N())
+	}
+	if g.M() != 0 {
+		t.Fatalf("M = %d, want 0", g.M())
+	}
+	for v := 0; v < 5; v++ {
+		if d := g.Degree(v); d != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", v, d)
+		}
+	}
+}
+
+func TestAddEdgeBasic(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge (0,1) missing in one orientation")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Error("edge (1,2) missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected edge (0,2)")
+	}
+	if g.M() != 2 {
+		t.Errorf("M = %d, want 2", g.M())
+	}
+	if d := g.Degree(1); d != 2 {
+		t.Errorf("Degree(1) = %d, want 2", d)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		name string
+		u, v int
+	}{
+		{"self-loop", 1, 1},
+		{"u out of range", -1, 0},
+		{"v out of range", 0, 3},
+	}
+	for _, tc := range cases {
+		if err := g.AddEdge(tc.u, tc.v); err == nil {
+			t.Errorf("%s: AddEdge(%d,%d) succeeded, want error", tc.name, tc.u, tc.v)
+		}
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestEdgeCanonicalAndOther(t *testing.T) {
+	e := Edge{U: 3, V: 1}.Canonical()
+	if e.U != 1 || e.V != 3 {
+		t.Fatalf("Canonical = (%d,%d), want (1,3)", e.U, e.V)
+	}
+	if got := e.Other(1); got != 3 {
+		t.Errorf("Other(1) = %d, want 3", got)
+	}
+	if got := e.Other(3); got != 1 {
+		t.Errorf("Other(3) = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other with non-endpoint did not panic")
+		}
+	}()
+	e.Other(2)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	for _, v := range []int{5, 2, 4, 1} {
+		g.MustAddEdge(3, v)
+	}
+	nb := g.Neighbors(3)
+	want := []int{1, 2, 4, 5}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(3) = %v, want %v", nb, want)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(3) = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	g := New(3)
+	if err := g.AddWeightedEdge(0, 2, 1.25); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := g.EdgeWeight(2, 0)
+	if !ok || w != 1.25 {
+		t.Fatalf("EdgeWeight = (%v,%v), want (1.25,true)", w, ok)
+	}
+	if err := g.SetEdgeWeight(0, 2, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.EdgeWeight(0, 2); w != 3.5 {
+		t.Errorf("after SetEdgeWeight: %v, want 3.5", w)
+	}
+	if err := g.SetEdgeWeight(0, 1, 1); err == nil {
+		t.Error("SetEdgeWeight on missing edge succeeded")
+	}
+	if _, ok := g.EdgeWeight(0, 1); ok {
+		t.Error("EdgeWeight reported missing edge present")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	c := g.Clone()
+	c.MustAddEdge(2, 3)
+	if err := c.SetEdgeWeight(0, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Errorf("original M changed to %d", g.M())
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 1 {
+		t.Errorf("original weight changed to %v", w)
+	}
+	if c.M() != 3 {
+		t.Errorf("clone M = %d, want 3", c.M())
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  bool
+	}{
+		{"empty", 0, nil, true},
+		{"single", 1, nil, true},
+		{"two isolated", 2, nil, false},
+		{"path", 3, [][2]int{{0, 1}, {1, 2}}, true},
+		{"two components", 4, [][2]int{{0, 1}, {2, 3}}, false},
+		{"cycle", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, true},
+	}
+	for _, tc := range cases {
+		g := New(tc.n)
+		for _, e := range tc.edges {
+			g.MustAddEdge(e[0], e[1])
+		}
+		if got := g.IsConnected(); got != tc.want {
+			t.Errorf("%s: IsConnected = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := New(5)
+	if g.MaxDegree() != 0 {
+		t.Error("MaxDegree of edgeless graph not 0")
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(1, 2)
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	// Triangle 0-1-2 plus pendant edge 2-3.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(2, 3)
+	tri := g.Triangles()
+	want := map[[2]int]int{{0, 1}: 1, {1, 2}: 1, {0, 2}: 1, {2, 3}: 0}
+	for i, e := range g.Edges() {
+		if tri[i] != want[[2]int{e.U, e.V}] {
+			t.Errorf("triangles through (%d,%d) = %d, want %d", e.U, e.V, tri[i], want[[2]int{e.U, e.V}])
+		}
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	if err := g.AddWeightedEdge(1, 2, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TotalWeight(); got != 3.5 {
+		t.Errorf("TotalWeight = %v, want 3.5", got)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(2, 0)
+	s := g.String()
+	if s != "n=3 m=1 edges=[(0,2)]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCloneIndependentRNGUsage(t *testing.T) {
+	// Two graphs generated with the same seed must be identical.
+	a := ErdosRenyi(12, 0.4, rand.New(rand.NewSource(7)))
+	b := ErdosRenyi(12, 0.4, rand.New(rand.NewSource(7)))
+	if a.M() != b.M() {
+		t.Fatalf("same-seed ER graphs differ: %d vs %d edges", a.M(), b.M())
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatalf("edge (%d,%d) missing from same-seed twin", e.U, e.V)
+		}
+	}
+}

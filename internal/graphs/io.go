@@ -1,0 +1,84 @@
+package graphs
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// ParseEdgeList reads a graph from the simple text format
+//
+//	# comment
+//	n <vertices>
+//	<u> <v> [weight]
+//
+// one edge per line. Weight defaults to 1. Used by the CLI to accept custom
+// problem instances.
+func ParseEdgeList(src string) (*Graph, error) {
+	var g *Graph
+	scanner := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if g != nil {
+				return nil, fmt.Errorf("graphs: line %d: duplicate vertex-count line", lineNo)
+			}
+			var n int
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphs: line %d: want \"n <count>\"", lineNo)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n <= 0 {
+				return nil, fmt.Errorf("graphs: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			g = New(n)
+			continue
+		}
+		if g == nil {
+			return nil, fmt.Errorf("graphs: line %d: edge before the \"n <count>\" line", lineNo)
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graphs: line %d: want \"u v [weight]\"", lineNo)
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(fields[0], "%d", &u); err != nil {
+			return nil, fmt.Errorf("graphs: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		if _, err := fmt.Sscanf(fields[1], "%d", &v); err != nil {
+			return nil, fmt.Errorf("graphs: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			if _, err := fmt.Sscanf(fields[2], "%g", &w); err != nil {
+				return nil, fmt.Errorf("graphs: line %d: bad weight %q", lineNo, fields[2])
+			}
+		}
+		if err := g.AddWeightedEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("graphs: line %d: %w", lineNo, err)
+		}
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graphs: no vertex-count line found")
+	}
+	return g, nil
+}
+
+// FormatEdgeList renders g in the ParseEdgeList text format; unit weights
+// are omitted.
+func FormatEdgeList(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n %d\n", g.N())
+	for _, e := range g.Edges() {
+		if e.Weight == 1 {
+			fmt.Fprintf(&b, "%d %d\n", e.U, e.V)
+		} else {
+			fmt.Fprintf(&b, "%d %d %g\n", e.U, e.V, e.Weight)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseEdgeListBasic(t *testing.T) {
+	src := `
+# a triangle with one weighted edge
+n 3
+0 1
+1 2 2.5
+0 2
+`
+	g, err := ParseEdgeList(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("parsed n=%d m=%d", g.N(), g.M())
+	}
+	if w, _ := g.EdgeWeight(1, 2); w != 2.5 {
+		t.Errorf("weight = %v", w)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 1 {
+		t.Errorf("default weight = %v", w)
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no header", "0 1\n"},
+		{"empty", ""},
+		{"duplicate header", "n 3\nn 4\n"},
+		{"bad count", "n x\n"},
+		{"zero count", "n 0\n"},
+		{"bad vertex", "n 2\na 1\n"},
+		{"too many fields", "n 2\n0 1 2 3\n"},
+		{"out of range", "n 2\n0 5\n"},
+		{"self loop", "n 2\n1 1\n"},
+		{"duplicate edge", "n 2\n0 1\n1 0\n"},
+		{"bad weight", "n 2\n0 1 w\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseEdgeList(tc.src); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ErdosRenyi(10, 0.4, rng)
+	if err := g.SetEdgeWeight(g.Edges()[0].U, g.Edges()[0].V, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEdgeList(FormatEdgeList(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		w, ok := back.EdgeWeight(e.U, e.V)
+		if !ok || w != e.Weight {
+			t.Fatalf("edge (%d,%d) weight %v lost (got %v,%v)", e.U, e.V, e.Weight, w, ok)
+		}
+	}
+}

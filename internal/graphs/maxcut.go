@@ -1,0 +1,138 @@
+package graphs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CutValue returns the (weighted) cut value of the partition encoded by
+// assign: vertex v is on side assign[v] (false/true). An edge contributes
+// its weight when its endpoints lie on different sides.
+func CutValue(g *Graph, assign []bool) float64 {
+	var cut float64
+	for _, e := range g.Edges() {
+		if assign[e.U] != assign[e.V] {
+			cut += e.Weight
+		}
+	}
+	return cut
+}
+
+// CutValueBits returns the cut value of the partition encoded in the low
+// g.N() bits of x (bit v set means vertex v on side 1). Weights are ignored;
+// each crossing edge counts 1 — matching the unweighted MaxCut objective the
+// paper's QAOA instances optimize.
+func CutValueBits(g *Graph, x uint64) int {
+	cut := 0
+	for _, e := range g.Edges() {
+		if (x>>uint(e.U))&1 != (x>>uint(e.V))&1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// MaxCutExact computes the exact unweighted MaxCut by exhaustive search over
+// all 2^(n-1) partitions (vertex 0 is fixed on side 0 by the cut symmetry).
+// It errors for n > 26 where exhaustive search is no longer sensible.
+func MaxCutExact(g *Graph) (best int, bestAssign uint64, err error) {
+	n := g.N()
+	if n > 26 {
+		return 0, 0, fmt.Errorf("graphs: exact MaxCut limited to 26 vertices, got %d", n)
+	}
+	if n == 0 {
+		return 0, 0, nil
+	}
+	edges := g.Edges()
+	masksU := make([]uint64, len(edges))
+	masksV := make([]uint64, len(edges))
+	for i, e := range edges {
+		masksU[i] = 1 << uint(e.U)
+		masksV[i] = 1 << uint(e.V)
+	}
+	total := uint64(1) << uint(n-1)
+	for x := uint64(0); x < total; x++ {
+		cut := 0
+		for i := range edges {
+			if (x&masksU[i] != 0) != (x&masksV[i] != 0) {
+				cut++
+			}
+		}
+		if cut > best {
+			best = cut
+			bestAssign = x
+		}
+	}
+	return best, bestAssign, nil
+}
+
+// MaxCutGreedy returns a lower bound on MaxCut using a single
+// deterministic greedy sweep followed by 1-swap local search. Used as a
+// sanity floor for instances too large for MaxCutExact.
+func MaxCutGreedy(g *Graph) (int, []bool) {
+	n := g.N()
+	assign := make([]bool, n)
+	// Greedy placement: each vertex goes to the side that cuts more of its
+	// already-placed neighbours.
+	for v := 0; v < n; v++ {
+		same, diff := 0, 0
+		for _, w := range g.Neighbors(v) {
+			if w < v {
+				if assign[w] {
+					diff++
+				} else {
+					same++
+				}
+			}
+		}
+		assign[v] = same >= diff
+	}
+	// 1-flip local search to a local optimum.
+	improved := true
+	for improved {
+		improved = false
+		for v := 0; v < n; v++ {
+			gain := 0
+			for _, w := range g.Neighbors(v) {
+				if assign[v] == assign[w] {
+					gain++
+				} else {
+					gain--
+				}
+			}
+			if gain > 0 {
+				assign[v] = !assign[v]
+				improved = true
+			}
+		}
+	}
+	cut := 0
+	for _, e := range g.Edges() {
+		if assign[e.U] != assign[e.V] {
+			cut++
+		}
+	}
+	return cut, assign
+}
+
+// PopcountCut is a helper for tests: cut value of x computed edge-by-edge
+// using XOR and popcount over per-edge masks.
+func PopcountCut(edgeMasks []uint64, x uint64) int {
+	cut := 0
+	for _, m := range edgeMasks {
+		if bits.OnesCount64(x&m)%2 == 1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// EdgeMasks returns a two-bit mask per edge (bits at both endpoints),
+// suitable for PopcountCut.
+func EdgeMasks(g *Graph) []uint64 {
+	masks := make([]uint64, g.M())
+	for i, e := range g.Edges() {
+		masks[i] = 1<<uint(e.U) | 1<<uint(e.V)
+	}
+	return masks
+}

@@ -1,0 +1,138 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCutValue(t *testing.T) {
+	g := New(4) // square
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 0)
+	cases := []struct {
+		assign []bool
+		want   float64
+	}{
+		{[]bool{false, false, false, false}, 0},
+		{[]bool{true, true, true, true}, 0},
+		{[]bool{false, true, false, true}, 4},
+		{[]bool{false, false, true, true}, 2},
+	}
+	for _, tc := range cases {
+		if got := CutValue(g, tc.assign); got != tc.want {
+			t.Errorf("CutValue(%v) = %v, want %v", tc.assign, got, tc.want)
+		}
+	}
+}
+
+func TestCutValueBitsMatchesCutValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := ErdosRenyi(10, 0.5, rng)
+	for trial := 0; trial < 100; trial++ {
+		x := rng.Uint64() & ((1 << 10) - 1)
+		assign := make([]bool, 10)
+		for v := 0; v < 10; v++ {
+			assign[v] = (x>>uint(v))&1 == 1
+		}
+		if float64(CutValueBits(g, x)) != CutValue(g, assign) {
+			t.Fatalf("bit/bool cut mismatch for x=%b", x)
+		}
+	}
+}
+
+func TestMaxCutExactKnown(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  int
+	}{
+		{"single edge", 2, [][2]int{{0, 1}}, 1},
+		{"triangle", 3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, 2},
+		{"square", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 4},
+		{"K4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4},
+		{"K5", 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}, 6},
+		{"C5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, 4},
+		{"path4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, 3},
+		{"edgeless", 3, nil, 0},
+	}
+	for _, tc := range cases {
+		g := New(tc.n)
+		for _, e := range tc.edges {
+			g.MustAddEdge(e[0], e[1])
+		}
+		got, assign, err := MaxCutExact(g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: MaxCutExact = %d, want %d", tc.name, got, tc.want)
+		}
+		if got != CutValueBits(g, assign) {
+			t.Errorf("%s: returned assignment has cut %d, reported %d", tc.name, CutValueBits(g, assign), got)
+		}
+	}
+}
+
+func TestMaxCutExactTooLarge(t *testing.T) {
+	if _, _, err := MaxCutExact(New(27)); err == nil {
+		t.Error("27-vertex exact MaxCut accepted")
+	}
+}
+
+// Property: greedy cut never exceeds the exact optimum, and the exact
+// optimum is at least half the edge count (classic 1/2 bound).
+func TestMaxCutBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(9)
+		g := ErdosRenyi(n, 0.5, rng)
+		exact, _, err := MaxCutExact(g)
+		if err != nil {
+			return false
+		}
+		greedy, assign := MaxCutGreedy(g)
+		if greedy > exact {
+			return false
+		}
+		if int(CutValue(g, assign)) != greedy {
+			return false
+		}
+		if 2*exact < g.M() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeMasksPopcountCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := ErdosRenyi(12, 0.4, rng)
+	masks := EdgeMasks(g)
+	for trial := 0; trial < 50; trial++ {
+		x := rng.Uint64() & ((1 << 12) - 1)
+		if PopcountCut(masks, x) != CutValueBits(g, x) {
+			t.Fatalf("PopcountCut disagrees with CutValueBits for x=%b", x)
+		}
+	}
+}
+
+func TestMaxCutGreedyBipartiteIsExact(t *testing.T) {
+	// Complete bipartite K(3,3): greedy local search must reach the full cut 9.
+	g := New(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	got, _ := MaxCutGreedy(g)
+	if got != 9 {
+		t.Errorf("greedy cut on K(3,3) = %d, want 9", got)
+	}
+}

@@ -1,0 +1,163 @@
+package graphs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestFloydWarshallPath(t *testing.T) {
+	g := pathGraph(5)
+	m := FloydWarshall(g, false)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := math.Abs(float64(i - j))
+			if m.Dist(i, j) != want {
+				t.Errorf("Dist(%d,%d) = %v, want %v", i, j, m.Dist(i, j), want)
+			}
+		}
+	}
+	p := m.Path(0, 4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("Path(0,4) = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Path(0,4) = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestFloydWarshallDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	m := FloydWarshall(g, false)
+	if !math.IsInf(m.Dist(0, 3), 1) {
+		t.Errorf("Dist(0,3) = %v, want +Inf", m.Dist(0, 3))
+	}
+	if p := m.Path(0, 3); p != nil {
+		t.Errorf("Path(0,3) = %v, want nil", p)
+	}
+}
+
+func TestFloydWarshallWeighted(t *testing.T) {
+	// Triangle where the direct edge is heavier than the two-hop detour.
+	g := New(3)
+	if err := g.AddWeightedEdge(0, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWeightedEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWeightedEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := FloydWarshall(g, true)
+	if m.Dist(0, 2) != 2 {
+		t.Errorf("weighted Dist(0,2) = %v, want 2 (via 1)", m.Dist(0, 2))
+	}
+	p := m.Path(0, 2)
+	if len(p) != 3 || p[1] != 1 {
+		t.Errorf("weighted Path(0,2) = %v, want [0 1 2]", p)
+	}
+	// Unweighted view of the same graph: direct hop wins.
+	mu := FloydWarshall(g, false)
+	if mu.Dist(0, 2) != 1 {
+		t.Errorf("unweighted Dist(0,2) = %v, want 1", mu.Dist(0, 2))
+	}
+}
+
+// Property: Floyd–Warshall hop distances agree with BFS on random graphs.
+func TestFloydWarshallMatchesBFS(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(14)
+		g := ErdosRenyi(n, 0.3, rng)
+		m := FloydWarshall(g, false)
+		for src := 0; src < n; src++ {
+			bfs := BFSDistances(g, src)
+			for v := 0; v < n; v++ {
+				fw := m.Dist(src, v)
+				if bfs[v] == -1 {
+					if !math.IsInf(fw, 1) {
+						return false
+					}
+				} else if fw != float64(bfs[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every reconstructed path is a real path of the right length.
+func TestPathReconstructionValid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		g := ErdosRenyi(n, 0.4, rng)
+		m := FloydWarshall(g, false)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				p := m.Path(u, v)
+				if p == nil {
+					if !math.IsInf(m.Dist(u, v), 1) {
+						return false
+					}
+					continue
+				}
+				if p[0] != u || p[len(p)-1] != v {
+					return false
+				}
+				if float64(len(p)-1) != m.Dist(u, v) {
+					return false
+				}
+				for i := 0; i+1 < len(p); i++ {
+					if !g.HasEdge(p[i], p[i+1]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborhoodSize(t *testing.T) {
+	// Star: center 0 connected to 1..4; vertex 1 additionally to 5.
+	g := New(6)
+	for v := 1; v <= 4; v++ {
+		g.MustAddEdge(0, v)
+	}
+	g.MustAddEdge(1, 5)
+	if got := NeighborhoodSize(g, 0, 1); got != 4 {
+		t.Errorf("radius-1 size of center = %d, want 4", got)
+	}
+	if got := NeighborhoodSize(g, 0, 2); got != 5 {
+		t.Errorf("radius-2 size of center = %d, want 5", got)
+	}
+	if got := NeighborhoodSize(g, 5, 2); got != 2 {
+		t.Errorf("radius-2 size of leaf 5 = %d, want 2 (1 and 0)", got)
+	}
+	if got := NeighborhoodSize(g, 5, 3); got != 5 {
+		t.Errorf("radius-3 size of leaf 5 = %d, want 5", got)
+	}
+}

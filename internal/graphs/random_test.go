@@ -1,0 +1,133 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := ErdosRenyi(10, 0, rng); g.M() != 0 {
+		t.Errorf("G(10,0) has %d edges", g.M())
+	}
+	if g := ErdosRenyi(10, 1, rng); g.M() != 45 {
+		t.Errorf("G(10,1) has %d edges, want 45", g.M())
+	}
+}
+
+func TestErdosRenyiEdgeCountConcentration(t *testing.T) {
+	// Mean edge count over many samples should be near p * C(n,2).
+	rng := rand.New(rand.NewSource(2))
+	const n, p, samples = 20, 0.3, 200
+	total := 0
+	for i := 0; i < samples; i++ {
+		total += ErdosRenyi(n, p, rng).M()
+	}
+	mean := float64(total) / samples
+	want := p * float64(n*(n-1)/2)
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("mean edges = %.1f, want within 10%% of %.1f", mean, want)
+	}
+}
+
+func TestErdosRenyiConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := ErdosRenyiConnected(15, 0.3, rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("ErdosRenyiConnected returned a disconnected graph")
+	}
+	if _, err := ErdosRenyiConnected(10, 0, rng, 5); err == nil {
+		t.Error("expected failure for p=0")
+	}
+}
+
+func TestErdosRenyiExactEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := ErdosRenyiExactEdges(8, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 8 {
+		t.Errorf("M = %d, want 8", g.M())
+	}
+	if _, err := ErdosRenyiExactEdges(4, 7, rng); err == nil {
+		t.Error("expected error: 7 edges impossible on 4 vertices")
+	}
+}
+
+func TestRandomRegularDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, d int }{{12, 3}, {20, 3}, {20, 8}, {36, 15}, {14, 6}} {
+		g, err := RandomRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < tc.n; v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("RandomRegular(%d,%d): Degree(%d) = %d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+		if g.M() != tc.n*tc.d/2 {
+			t.Fatalf("RandomRegular(%d,%d): M = %d, want %d", tc.n, tc.d, g.M(), tc.n*tc.d/2)
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Error("odd n*d accepted")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil {
+		t.Error("d >= n accepted")
+	}
+	g, err := RandomRegular(7, 0, rng)
+	if err != nil || g.M() != 0 {
+		t.Errorf("0-regular: %v, M=%d", err, g.M())
+	}
+}
+
+// Property: every generated random graph is simple — no vertex appears
+// twice in its own adjacency list and adjacency is symmetric.
+func TestRandomGraphsSimpleProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(15)
+		var g *Graph
+		if seed%2 == 0 {
+			g = ErdosRenyi(n, 0.2+0.6*rng.Float64(), rng)
+		} else {
+			d := 3
+			if n%2 == 1 {
+				d = 4
+			}
+			var err error
+			g, err = RandomRegular(n, d, rng)
+			if err != nil {
+				return false
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			nb := g.Neighbors(v)
+			for i, w := range nb {
+				if w == v {
+					return false // self-loop
+				}
+				if i > 0 && nb[i-1] >= w {
+					return false // duplicate or unsorted
+				}
+				if !g.HasEdge(w, v) {
+					return false // asymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

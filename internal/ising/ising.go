@@ -1,0 +1,261 @@
+// Package ising models general Ising-form cost Hamiltonians
+//
+//	H(s) = Σ_i h_i·s_i + Σ_{i<j} J_ij·s_i·s_j,   s_i ∈ {−1,+1},
+//
+// the form every combinatorial optimization problem reduces to before QAOA
+// (§II "QAOA-circuits", §VI "Applicability beyond QAOA-MaxCut"). It
+// provides QUBO conversion, problem constructors (MaxCut, number
+// partitioning), brute-force ground states for validation, and the bridge
+// to the compiler: every quadratic term becomes one commuting CPhase gate,
+// every linear term a virtual RZ.
+//
+// Bit convention: bit b_i of a basis state maps to spin s_i = 1 − 2·b_i
+// (|0⟩ ↔ +1), matching the simulator's Z eigenvalues.
+package ising
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compile"
+	"repro/internal/graphs"
+	"repro/internal/qaoa"
+)
+
+// Coupling is one quadratic term J·s_I·s_J with I < J.
+type Coupling struct {
+	I, J int
+	Val  float64
+}
+
+// Model is an Ising Hamiltonian over N spins.
+type Model struct {
+	N     int
+	field []float64
+	coup  map[[2]int]float64
+	order [][2]int // insertion order of couplings, for deterministic output
+}
+
+// New returns a zero Hamiltonian over n spins.
+func New(n int) *Model {
+	if n <= 0 || n > 63 {
+		panic(fmt.Sprintf("ising: spin count %d outside [1,63]", n))
+	}
+	return &Model{N: n, field: make([]float64, n), coup: make(map[[2]int]float64)}
+}
+
+// SetField sets the linear coefficient h_i.
+func (m *Model) SetField(i int, h float64) error {
+	if i < 0 || i >= m.N {
+		return fmt.Errorf("ising: spin %d out of range", i)
+	}
+	m.field[i] = h
+	return nil
+}
+
+// Field returns h_i.
+func (m *Model) Field(i int) float64 { return m.field[i] }
+
+// SetCoupling sets the quadratic coefficient J_ij (i ≠ j). A zero value
+// removes the term.
+func (m *Model) SetCoupling(i, j int, val float64) error {
+	if i < 0 || i >= m.N || j < 0 || j >= m.N || i == j {
+		return fmt.Errorf("ising: invalid coupling (%d,%d)", i, j)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	key := [2]int{i, j}
+	_, existed := m.coup[key]
+	if val == 0 {
+		if existed {
+			delete(m.coup, key)
+			for k, o := range m.order {
+				if o == key {
+					m.order = append(m.order[:k], m.order[k+1:]...)
+					break
+				}
+			}
+		}
+		return nil
+	}
+	if !existed {
+		m.order = append(m.order, key)
+	}
+	m.coup[key] = val
+	return nil
+}
+
+// Coupling returns J_ij and whether the term exists.
+func (m *Model) Coupling(i, j int) (float64, bool) {
+	if i > j {
+		i, j = j, i
+	}
+	v, ok := m.coup[[2]int{i, j}]
+	return v, ok
+}
+
+// Couplings returns all quadratic terms in insertion order.
+func (m *Model) Couplings() []Coupling {
+	out := make([]Coupling, 0, len(m.order))
+	for _, key := range m.order {
+		out = append(out, Coupling{I: key[0], J: key[1], Val: m.coup[key]})
+	}
+	return out
+}
+
+// Spin returns s_i of basis state x: +1 for bit 0, −1 for bit 1.
+func Spin(x uint64, i int) float64 {
+	if x&(1<<uint(i)) != 0 {
+		return -1
+	}
+	return 1
+}
+
+// Energy evaluates H at the spin configuration encoded by x.
+func (m *Model) Energy(x uint64) float64 {
+	var e float64
+	for i, h := range m.field {
+		if h != 0 {
+			e += h * Spin(x, i)
+		}
+	}
+	for _, key := range m.order {
+		e += m.coup[key] * Spin(x, key[0]) * Spin(x, key[1])
+	}
+	return e
+}
+
+// InteractionGraph returns the graph of non-zero couplings — what the
+// compiler's mapping passes profile.
+func (m *Model) InteractionGraph() *graphs.Graph {
+	g := graphs.New(m.N)
+	for _, key := range m.order {
+		g.MustAddEdge(key[0], key[1])
+	}
+	return g
+}
+
+// GroundState finds the minimum-energy configuration by exhaustive search
+// (N ≤ 26).
+func (m *Model) GroundState() (energy float64, state uint64, err error) {
+	if m.N > 26 {
+		return 0, 0, fmt.Errorf("ising: exhaustive ground state limited to 26 spins, got %d", m.N)
+	}
+	energy = math.Inf(1)
+	for x := uint64(0); x < 1<<uint(m.N); x++ {
+		if e := m.Energy(x); e < energy {
+			energy, state = e, x
+		}
+	}
+	return energy, state, nil
+}
+
+// CompileSpec converts the model into the compiler's generic cost spec for
+// the given QAOA angles: the level-l cost unitary e^{-iγ_l·H} maps each
+// J_ij term to CPhase(2γ_l·J_ij) and each h_i term to RZ(2γ_l·h_i).
+func (m *Model) CompileSpec(params qaoa.Params) (compile.Spec, error) {
+	if err := params.Validate(); err != nil {
+		return compile.Spec{}, err
+	}
+	spec := compile.Spec{N: m.N, Levels: make([]compile.LevelSpec, params.P())}
+	hasField := false
+	for _, h := range m.field {
+		if h != 0 {
+			hasField = true
+			break
+		}
+	}
+	for l := range spec.Levels {
+		gamma := params.Gamma[l]
+		level := compile.LevelSpec{MixerBeta: params.Beta[l]}
+		for _, c := range m.Couplings() {
+			level.ZZ = append(level.ZZ, compile.ZZTerm{U: c.I, V: c.J, Theta: 2 * gamma * c.Val})
+		}
+		if hasField {
+			level.Local = make([]float64, m.N)
+			for q, h := range m.field {
+				level.Local[q] = 2 * gamma * h
+			}
+		}
+		spec.Levels[l] = level
+	}
+	return spec, nil
+}
+
+// FromQUBO converts a QUBO objective f(x) = Σ_ij Q_ij·x_i·x_j over binary
+// x ∈ {0,1}^n (diagonal entries are the linear part) into an Ising model
+// and constant offset such that f(x) = offset + Energy(x) for every x under
+// the bit↔spin convention x_i = (1−s_i)/2.
+func FromQUBO(q [][]float64) (*Model, float64, error) {
+	n := len(q)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("ising: empty QUBO")
+	}
+	for i, row := range q {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("ising: QUBO row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	m := New(n)
+	offset := 0.0
+	for i := 0; i < n; i++ {
+		// Linear part from the diagonal: Q_ii·x_i = Q_ii·(1−s_i)/2.
+		offset += q[i][i] / 2
+		hi := -q[i][i] / 2
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Off-diagonal (i,j) and (j,i) both contribute to the pair.
+			hi -= (q[i][j] + q[j][i]) / 4
+		}
+		if err := m.SetField(i, hi); err != nil {
+			return nil, 0, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			qij := q[i][j] + q[j][i]
+			offset += qij / 4
+			if qij != 0 {
+				if err := m.SetCoupling(i, j, qij/4); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	return m, offset, nil
+}
+
+// MaxCut returns the Ising form of the MaxCut objective: cut(x) = offset −
+// Energy(x) with J_uv = w_uv/2 and offset = TotalWeight/2, so *maximizing*
+// the cut is *minimizing* the energy (the ground state is the maximum cut).
+func MaxCut(g *graphs.Graph) (*Model, float64) {
+	m := New(g.N())
+	for _, e := range g.Edges() {
+		if err := m.SetCoupling(e.U, e.V, e.Weight/2); err != nil {
+			panic(err) // graph edges are always valid couplings
+		}
+	}
+	return m, g.TotalWeight() / 2
+}
+
+// NumberPartition returns the Ising form of the two-way number-partitioning
+// objective (Σ_i s_i·w_i)² = offset + Energy(x) with J_ij = 2·w_i·w_j and
+// offset = Σ w_i². A perfect partition has Energy = −offset.
+func NumberPartition(weights []float64) (*Model, float64) {
+	m := New(len(weights))
+	offset := 0.0
+	for i, w := range weights {
+		offset += w * w
+		for j := i + 1; j < len(weights); j++ {
+			if w*weights[j] != 0 {
+				if err := m.SetCoupling(i, j, 2*w*weights[j]); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return m, offset
+}

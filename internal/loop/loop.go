@@ -1,0 +1,177 @@
+// Package loop implements the quantum-classical hybrid optimization flow of
+// QAOA (§II "QAOA Optimization Flow"): a classical optimizer iteratively
+// updates the 2p circuit parameters to maximize the cost expectation, where
+// each evaluation runs the parameterized circuit on a backend — either the
+// noiseless state-vector simulator or the full compile-and-noisy-sample
+// pipeline standing in for hardware.
+package loop
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/optimize"
+	"repro/internal/qaoa"
+	"repro/internal/sim"
+)
+
+// Evaluator scores one parameter point — the "quantum" side of the loop.
+type Evaluator interface {
+	// Expectation returns ⟨C⟩ for the given angles.
+	Expectation(params qaoa.Params) (float64, error)
+	// Levels returns the number of QAOA levels the evaluator expects.
+	Levels() int
+}
+
+// SimEvaluator evaluates exactly on the noiseless state-vector simulator.
+type SimEvaluator struct {
+	Prob *qaoa.Problem
+	P    int
+}
+
+// Levels returns the configured level count.
+func (e *SimEvaluator) Levels() int { return e.P }
+
+// Expectation simulates the logical circuit and returns ⟨C⟩.
+func (e *SimEvaluator) Expectation(params qaoa.Params) (float64, error) {
+	return qaoa.Expectation(e.Prob, params)
+}
+
+// HardwareEvaluator evaluates by compiling for a device and sampling its
+// noisy execution — the full in-the-loop flow the paper's §V-G runs on
+// ibmq_16_melbourne, against our simulator substitute. Each evaluation is
+// stochastic; use enough shots for stable gradients-free optimization.
+type HardwareEvaluator struct {
+	Prob         *qaoa.Problem
+	Dev          *device.Device
+	Preset       compile.Preset
+	P            int
+	Shots        int
+	Trajectories int
+	Noise        *sim.NoiseModel // nil: derive from the device calibration
+	Rng          *rand.Rand
+}
+
+// Levels returns the configured level count.
+func (e *HardwareEvaluator) Levels() int { return e.P }
+
+// Expectation compiles, noisily samples, and averages the cost.
+func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
+	if e.Rng == nil {
+		return 0, fmt.Errorf("loop: HardwareEvaluator needs an Rng")
+	}
+	nm := e.Noise
+	if nm == nil {
+		nm = sim.NoiseFromDevice(e.Dev)
+	}
+	res, err := compile.Compile(e.Prob, params, e.Dev, e.Preset.Options(e.Rng))
+	if err != nil {
+		return 0, err
+	}
+	shots := e.Shots
+	if shots <= 0 {
+		shots = 1024
+	}
+	traj := e.Trajectories
+	if traj <= 0 {
+		traj = 16
+	}
+	samples := sim.SampleNoisy(res.Circuit, nm, shots, traj, e.Rng)
+	var sum float64
+	for _, y := range samples {
+		sum += e.Prob.Cost(res.ExtractLogical(y))
+	}
+	return sum / float64(len(samples)), nil
+}
+
+// Result is the outcome of one hybrid optimization run.
+type Result struct {
+	Params      qaoa.Params
+	Expectation float64
+	Evaluations int
+}
+
+// Options tunes Run.
+type Options struct {
+	// Restarts is the number of independent starting points (default 3;
+	// the first start uses the analytic p=1 optimum when available).
+	Restarts int
+	// MaxIter bounds each Nelder–Mead descent (default 200).
+	MaxIter int
+	// Rng seeds the random restarts (required).
+	Rng *rand.Rand
+}
+
+// Run maximizes the evaluator's expectation over the 2p angles with
+// multi-start Nelder–Mead (derivative-free, as appropriate for sampled
+// objectives), returning the best parameters found.
+func Run(ev Evaluator, prob *qaoa.Problem, opts Options) (Result, error) {
+	p := ev.Levels()
+	if p <= 0 {
+		return Result{}, fmt.Errorf("loop: evaluator reports %d levels", p)
+	}
+	if opts.Rng == nil {
+		return Result{}, fmt.Errorf("loop: Options.Rng required")
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+
+	evals := 0
+	objective := func(x []float64) float64 {
+		evals++
+		v, err := ev.Expectation(vecToParams(x, p))
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -v
+	}
+
+	best := Result{Expectation: math.Inf(-1)}
+	for r := 0; r < restarts; r++ {
+		x0 := make([]float64, 2*p)
+		if r == 0 && prob != nil {
+			// Seed level angles from the analytic p=1 optimum.
+			g0, b0, _, err := optimize.MaximizeP1(func(gm, bt float64) float64 {
+				return qaoa.ExpectationP1Analytic(prob.G, gm, bt)
+			}, 16)
+			if err == nil {
+				for l := 0; l < p; l++ {
+					scale := float64(l+1) / float64(p)
+					x0[l] = g0 * scale
+					x0[p+l] = b0 * (1 - scale + 1/float64(2*p))
+				}
+			}
+		} else {
+			for i := 0; i < p; i++ {
+				x0[i] = (opts.Rng.Float64() - 0.5) * 2 * math.Pi // gamma
+				x0[p+i] = (opts.Rng.Float64() - 0.5) * math.Pi   // beta
+			}
+		}
+		res, err := optimize.NelderMead(objective, x0, optimize.Options{MaxIter: maxIter, TolF: 1e-7})
+		if err != nil {
+			return Result{}, err
+		}
+		if v := -res.F; v > best.Expectation {
+			best.Expectation = v
+			best.Params = vecToParams(res.X, p)
+		}
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+func vecToParams(x []float64, p int) qaoa.Params {
+	params := qaoa.NewParams(p)
+	copy(params.Gamma, x[:p])
+	copy(params.Beta, x[p:2*p])
+	return params
+}

@@ -1,0 +1,112 @@
+// Package metrics aggregates compiled-circuit quality measurements —
+// depth, gate count, compilation time, success probability — across
+// instance sets and computes the ratio statistics the paper reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sample records the quality metrics of one compiled circuit.
+type Sample struct {
+	Depth       int
+	GateCount   int
+	SwapCount   int
+	CompileTime time.Duration
+	// RouteTime is the backend (SWAP-insertion) share of CompileTime.
+	RouteTime   time.Duration
+	SuccessProb float64
+}
+
+// Aggregate summarizes a set of samples.
+type Aggregate struct {
+	N           int
+	Depth       Stat
+	GateCount   Stat
+	SwapCount   Stat
+	CompileSec  Stat
+	RouteSec    Stat
+	SuccessProb Stat
+}
+
+// Stat holds a mean and standard deviation.
+type Stat struct {
+	Mean, Std float64
+}
+
+// Collect aggregates samples into per-metric statistics.
+func Collect(samples []Sample) Aggregate {
+	n := len(samples)
+	agg := Aggregate{N: n}
+	if n == 0 {
+		return agg
+	}
+	depth := make([]float64, n)
+	gates := make([]float64, n)
+	swaps := make([]float64, n)
+	secs := make([]float64, n)
+	routeSecs := make([]float64, n)
+	succ := make([]float64, n)
+	for i, s := range samples {
+		depth[i] = float64(s.Depth)
+		gates[i] = float64(s.GateCount)
+		swaps[i] = float64(s.SwapCount)
+		secs[i] = s.CompileTime.Seconds()
+		routeSecs[i] = s.RouteTime.Seconds()
+		succ[i] = s.SuccessProb
+	}
+	agg.Depth = NewStat(depth)
+	agg.GateCount = NewStat(gates)
+	agg.SwapCount = NewStat(swaps)
+	agg.CompileSec = NewStat(secs)
+	agg.RouteSec = NewStat(routeSecs)
+	agg.SuccessProb = NewStat(succ)
+	return agg
+}
+
+// NewStat computes mean and (population) standard deviation of xs.
+func NewStat(xs []float64) Stat {
+	if len(xs) == 0 {
+		return Stat{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	return Stat{Mean: mean, Std: math.Sqrt(sq / float64(len(xs)))}
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 { return NewStat(xs).Mean }
+
+// Ratio returns a/b, or NaN when b is zero — the "X vs NAIVE" ratios of
+// Figs. 7–9.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// PercentChange returns 100·(b−a)/a: positive when b exceeds a.
+func PercentChange(a, b float64) float64 {
+	if a == 0 {
+		return math.NaN()
+	}
+	return 100 * (b - a) / a
+}
+
+// String renders the aggregate compactly.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("n=%d depth=%.1f±%.1f gates=%.1f±%.1f swaps=%.1f time=%.3fs success=%.4f",
+		a.N, a.Depth.Mean, a.Depth.Std, a.GateCount.Mean, a.GateCount.Std,
+		a.SwapCount.Mean, a.CompileSec.Mean, a.SuccessProb.Mean)
+}

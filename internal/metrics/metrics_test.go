@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewStat(t *testing.T) {
+	s := NewStat([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", s.Std)
+	}
+	if z := NewStat(nil); z.Mean != 0 || z.Std != 0 {
+		t.Errorf("empty stat = %+v", z)
+	}
+	if one := NewStat([]float64{3.5}); one.Mean != 3.5 || one.Std != 0 {
+		t.Errorf("single stat = %+v", one)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	samples := []Sample{
+		{Depth: 10, GateCount: 100, SwapCount: 3, CompileTime: 100 * time.Millisecond, SuccessProb: 0.5},
+		{Depth: 20, GateCount: 200, SwapCount: 5, CompileTime: 300 * time.Millisecond, SuccessProb: 0.7},
+	}
+	agg := Collect(samples)
+	if agg.N != 2 {
+		t.Fatalf("N = %d", agg.N)
+	}
+	if agg.Depth.Mean != 15 || agg.GateCount.Mean != 150 || agg.SwapCount.Mean != 4 {
+		t.Errorf("means: %+v", agg)
+	}
+	if math.Abs(agg.CompileSec.Mean-0.2) > 1e-12 {
+		t.Errorf("time mean = %v", agg.CompileSec.Mean)
+	}
+	if math.Abs(agg.SuccessProb.Mean-0.6) > 1e-12 {
+		t.Errorf("success mean = %v", agg.SuccessProb.Mean)
+	}
+	if empty := Collect(nil); empty.N != 0 {
+		t.Error("empty collect N != 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(1, 0); !math.IsNaN(got) {
+		t.Errorf("Ratio by zero = %v, want NaN", got)
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	if got := PercentChange(10, 8); got != -20 {
+		t.Errorf("PercentChange = %v, want -20", got)
+	}
+	if got := PercentChange(10, 15); got != 50 {
+		t.Errorf("PercentChange = %v, want 50", got)
+	}
+	if got := PercentChange(0, 1); !math.IsNaN(got) {
+		t.Errorf("PercentChange from zero = %v, want NaN", got)
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	agg := Collect([]Sample{{Depth: 5, GateCount: 50, SuccessProb: 0.9}})
+	s := agg.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,203 @@
+// Package optimize provides the derivative-free classical optimizers used
+// in the QAOA quantum-classical loop: Nelder–Mead simplex descent and a
+// coarse grid search used to seed it. The paper used SciPy's L-BFGS-B;
+// these serve the identical role (finding optimal γ, β) without gradients,
+// which suits simulator- or hardware-sampled objectives.
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Options tunes NelderMead. The zero value picks sensible defaults.
+type Options struct {
+	// MaxIter bounds the number of simplex iterations (default 400).
+	MaxIter int
+	// TolF stops when the simplex function-value spread drops below it
+	// (default 1e-6, matching the paper's convergence limit).
+	TolF float64
+	// InitStep is the initial simplex edge length (default 0.25).
+	InitStep float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 400
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-6
+	}
+	if o.InitStep <= 0 {
+		o.InitStep = 0.25
+	}
+	return o
+}
+
+// Result reports an optimization outcome.
+type Result struct {
+	X     []float64 // best point found
+	F     float64   // objective value at X
+	Iters int       // iterations used
+	Evals int       // objective evaluations
+}
+
+// NelderMead minimizes f starting from x0 using the standard simplex method
+// (reflection 1, expansion 2, contraction 0.5, shrink 0.5).
+func NelderMead(f func([]float64) float64, x0 []float64, opts Options) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, fmt.Errorf("optimize: empty start point")
+	}
+	o := opts.withDefaults()
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	// Initial simplex: x0 plus a step along each axis.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range pts {
+		p := append([]float64(nil), x0...)
+		if i > 0 {
+			p[i-1] += o.InitStep
+		}
+		pts[i] = p
+		vals[i] = eval(p)
+	}
+
+	order := make([]int, n+1)
+	iters := 0
+	for ; iters < o.MaxIter; iters++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+		best, worst, second := order[0], order[n], order[n-1]
+		if math.Abs(vals[worst]-vals[best]) < o.TolF {
+			break
+		}
+
+		// Centroid of all but the worst point.
+		centroid := make([]float64, n)
+		for _, i := range order[:n] {
+			for d := 0; d < n; d++ {
+				centroid[d] += pts[i][d]
+			}
+		}
+		for d := range centroid {
+			centroid[d] /= float64(n)
+		}
+
+		combine := func(alpha float64) []float64 {
+			p := make([]float64, n)
+			for d := 0; d < n; d++ {
+				p[d] = centroid[d] + alpha*(centroid[d]-pts[worst][d])
+			}
+			return p
+		}
+
+		refl := combine(1)
+		fr := eval(refl)
+		switch {
+		case fr < vals[best]:
+			// Try to expand.
+			exp := combine(2)
+			if fe := eval(exp); fe < fr {
+				pts[worst], vals[worst] = exp, fe
+			} else {
+				pts[worst], vals[worst] = refl, fr
+			}
+		case fr < vals[second]:
+			pts[worst], vals[worst] = refl, fr
+		default:
+			// Contract toward the centroid.
+			con := combine(-0.5)
+			if fc := eval(con); fc < vals[worst] {
+				pts[worst], vals[worst] = con, fc
+			} else {
+				// Shrink everything toward the best point.
+				for _, i := range order[1:] {
+					for d := 0; d < n; d++ {
+						pts[i][d] = pts[best][d] + 0.5*(pts[i][d]-pts[best][d])
+					}
+					vals[i] = eval(pts[i])
+				}
+			}
+		}
+	}
+
+	bi := 0
+	for i := 1; i <= n; i++ {
+		if vals[i] < vals[bi] {
+			bi = i
+		}
+	}
+	return Result{X: append([]float64(nil), pts[bi]...), F: vals[bi], Iters: iters, Evals: evals}, nil
+}
+
+// GridSearch minimizes f over the axis-aligned box [lo,hi] with the given
+// number of samples per dimension and returns the best grid point. Used to
+// seed NelderMead over the periodic QAOA angle landscape, which has many
+// local optima.
+func GridSearch(f func([]float64) float64, lo, hi []float64, steps int) (Result, error) {
+	n := len(lo)
+	if n == 0 || len(hi) != n {
+		return Result{}, fmt.Errorf("optimize: bounds length mismatch (%d vs %d)", len(lo), len(hi))
+	}
+	if steps < 2 {
+		return Result{}, fmt.Errorf("optimize: need at least 2 steps per dimension, got %d", steps)
+	}
+	idx := make([]int, n)
+	x := make([]float64, n)
+	best := Result{F: math.Inf(1)}
+	evals := 0
+	for {
+		for d := 0; d < n; d++ {
+			x[d] = lo[d] + (hi[d]-lo[d])*float64(idx[d])/float64(steps-1)
+		}
+		v := f(x)
+		evals++
+		if v < best.F {
+			best.F = v
+			best.X = append(best.X[:0], x...)
+		}
+		// Odometer increment.
+		d := 0
+		for ; d < n; d++ {
+			idx[d]++
+			if idx[d] < steps {
+				break
+			}
+			idx[d] = 0
+		}
+		if d == n {
+			break
+		}
+	}
+	best.X = append([]float64(nil), best.X...)
+	best.Evals = evals
+	return best, nil
+}
+
+// MaximizeP1 finds (γ, β) maximizing the given p=1 objective by a grid scan
+// over γ ∈ [−π, π], β ∈ [−π/2, π/2] refined with Nelder–Mead. It returns
+// the best angles and the (maximized) objective value.
+func MaximizeP1(objective func(gamma, beta float64) float64, gridSteps int) (gamma, beta, value float64, err error) {
+	neg := func(x []float64) float64 { return -objective(x[0], x[1]) }
+	seed, err := GridSearch(neg, []float64{-math.Pi, -math.Pi / 2}, []float64{math.Pi, math.Pi / 2}, gridSteps)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res, err := NelderMead(neg, seed.X, Options{MaxIter: 300, TolF: 1e-9, InitStep: 0.05})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if res.F > seed.F {
+		res = seed
+	}
+	return res.X[0], res.X[1], -res.F, nil
+}

@@ -1,0 +1,286 @@
+package qaoa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/graphs"
+	"repro/internal/sim"
+)
+
+func k4() *graphs.Graph {
+	g := graphs.New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestNewMaxCut(t *testing.T) {
+	p, err := NewMaxCut(k4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCut != 4 {
+		t.Errorf("K4 MaxCut = %d, want 4", p.MaxCut)
+	}
+	if p.NumQubits() != 4 {
+		t.Errorf("NumQubits = %d", p.NumQubits())
+	}
+	if got := p.Cost(0b0101); got != 4 {
+		t.Errorf("Cost(0101) = %v, want 4", got)
+	}
+	if got := p.Cost(0); got != 0 {
+		t.Errorf("Cost(0000) = %v, want 0", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Gamma: []float64{1}, Beta: []float64{1}}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if err := (Params{Gamma: []float64{1}, Beta: nil}).Validate(); err == nil {
+		t.Error("mismatched params accepted")
+	}
+	if err := (Params{}).Validate(); err == nil {
+		t.Error("empty params accepted")
+	}
+	if NewParams(3).P() != 3 {
+		t.Error("NewParams(3).P() != 3")
+	}
+}
+
+func TestBuildCircuitStructure(t *testing.T) {
+	p, _ := NewMaxCut(k4())
+	params := Params{Gamma: []float64{0.4, 0.2}, Beta: []float64{0.1, 0.3}}
+	c, err := BuildCircuit(p, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CountKind(circuit.H); got != 4 {
+		t.Errorf("H count = %d, want 4", got)
+	}
+	if got := c.CountKind(circuit.CPhase); got != 12 {
+		t.Errorf("CPhase count = %d, want 12 (6 edges × 2 levels)", got)
+	}
+	if got := c.CountKind(circuit.RX); got != 8 {
+		t.Errorf("RX count = %d, want 8", got)
+	}
+	// Gate angles: CPhase carries −γ, RX carries 2β.
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.CPhase:
+			if g.Params[0] != -0.4 && g.Params[0] != -0.2 {
+				t.Errorf("CPhase angle %v", g.Params[0])
+			}
+		case circuit.RX:
+			if g.Params[0] != 0.2 && g.Params[0] != 0.6 {
+				t.Errorf("RX angle %v", g.Params[0])
+			}
+		}
+	}
+}
+
+func TestBuildCircuitCustomOrder(t *testing.T) {
+	p, _ := NewMaxCut(k4())
+	order := []graphs.Edge{{U: 2, V: 3}, {U: 0, V: 1}}
+	c, err := BuildCircuit(p, Params{Gamma: []float64{0.5}, Beta: []float64{0.5}}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First CPhase must act on (2,3).
+	for _, g := range c.Gates {
+		if g.Kind == circuit.CPhase {
+			if g.Q0 != 2 || g.Q1 != 3 {
+				t.Errorf("first CPhase on (%d,%d), want (2,3)", g.Q0, g.Q1)
+			}
+			break
+		}
+	}
+	if got := c.CountKind(circuit.CPhase); got != 2 {
+		t.Errorf("custom order CPhase count = %d, want 2", got)
+	}
+}
+
+func TestBuildCircuitRejectsBadParams(t *testing.T) {
+	p, _ := NewMaxCut(k4())
+	if _, err := BuildCircuit(p, Params{}, nil); err == nil {
+		t.Error("empty params accepted")
+	}
+}
+
+// At γ=0 the QAOA state is uniform: every cut is equally likely and the
+// expectation is half the edge count.
+func TestZeroGammaUniform(t *testing.T) {
+	g := k4()
+	p, _ := NewMaxCut(g)
+	c, err := BuildCircuit(p, Params{Gamma: []float64{0}, Beta: []float64{0.7}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewState(4).Run(c)
+	got := s.ExpectationDiagonal(p.Cost)
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("⟨C⟩ at γ=0 = %v, want 3 (= m/2)", got)
+	}
+}
+
+// The analytic p=1 formula must agree with direct simulation — this pins
+// both the formula and the circuit sign conventions.
+func TestAnalyticMatchesSimulator(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		g := graphs.ErdosRenyi(n, 0.5, rng)
+		if g.M() == 0 {
+			return true
+		}
+		gamma := (rng.Float64() - 0.5) * 2 * math.Pi
+		beta := (rng.Float64() - 0.5) * math.Pi
+		prob := &Problem{G: g, MaxCut: 1}
+		c, err := BuildCircuit(prob, Params{Gamma: []float64{gamma}, Beta: []float64{beta}}, nil)
+		if err != nil {
+			return false
+		}
+		simVal := sim.NewState(n).Run(c).ExpectationDiagonal(prob.Cost)
+		anaVal := ExpectationP1Analytic(g, gamma, beta)
+		return math.Abs(simVal-anaVal) < 1e-8
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyticSingleEdgeClosedForm(t *testing.T) {
+	g := graphs.New(2)
+	g.MustAddEdge(0, 1)
+	for _, tc := range []struct{ gamma, beta float64 }{{0.3, 0.2}, {1.1, -0.4}, {-0.8, 0.9}} {
+		want := 0.5 + 0.5*math.Sin(4*tc.beta)*math.Sin(tc.gamma)
+		if got := ExpectationP1Analytic(g, tc.gamma, tc.beta); math.Abs(got-want) > 1e-12 {
+			t.Errorf("single edge ⟨C⟩(%v,%v) = %v, want %v", tc.gamma, tc.beta, got, want)
+		}
+	}
+}
+
+// The single-edge optimum is ⟨C⟩=1 at γ=π/2, β=π/8.
+func TestSingleEdgeOptimum(t *testing.T) {
+	g := graphs.New(2)
+	g.MustAddEdge(0, 1)
+	got := ExpectationP1Analytic(g, math.Pi/2, math.Pi/8)
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("single-edge optimum = %v, want 1", got)
+	}
+}
+
+func TestApproximationRatio(t *testing.T) {
+	p, _ := NewMaxCut(k4())
+	// Samples: two optimal cuts (value 4) and two zero cuts.
+	r, err := ApproximationRatio(p, []uint64{0b0101, 0b1010, 0, 0b1111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("ratio = %v, want 0.5", r)
+	}
+	if _, err := ApproximationRatio(p, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := ApproximationRatio(&Problem{G: k4()}, []uint64{0}); err == nil {
+		t.Error("zero optimum accepted")
+	}
+}
+
+func TestARG(t *testing.T) {
+	if got := ARG(0.8, 0.6); math.Abs(got-25) > 1e-12 {
+		t.Errorf("ARG(0.8,0.6) = %v, want 25", got)
+	}
+	if got := ARG(0.8, 0.8); got != 0 {
+		t.Errorf("ARG equal ratios = %v", got)
+	}
+	if got := ARG(0, 0.5); got != 0 {
+		t.Errorf("ARG with r0=0 = %v, want 0", got)
+	}
+	if got := ARG(0.5, 0.6); got >= 0 {
+		t.Errorf("ARG should be negative when hardware beats ideal, got %v", got)
+	}
+}
+
+// Full pipeline sanity: optimized angles on a triangle give a ratio above
+// the uniform-sampling baseline of 0.5·m/optimum = 0.75.
+func TestQAOAImprovesOverUniform(t *testing.T) {
+	g := graphs.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	p, _ := NewMaxCut(g)
+	bestVal := math.Inf(-1)
+	var bestG, bestB float64
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 30; j++ {
+			gamma := float64(i) / 60 * 2 * math.Pi
+			beta := float64(j) / 30 * math.Pi
+			if v := ExpectationP1Analytic(g, gamma, beta); v > bestVal {
+				bestVal, bestG, bestB = v, gamma, beta
+			}
+		}
+	}
+	c, err := BuildCircuit(p, Params{Gamma: []float64{bestG}, Beta: []float64{bestB}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewState(3).Run(c)
+	ratio := s.ExpectationDiagonal(p.Cost) / float64(p.MaxCut)
+	uniform := 0.5 * 3 / 2 // m/2 over optimum
+	if ratio <= uniform+0.05 {
+		t.Errorf("optimized ratio %v not above uniform baseline %v", ratio, uniform)
+	}
+}
+
+func TestExpectationMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graphs.ErdosRenyi(8, 0.4, rng)
+	prob := &Problem{G: g, MaxCut: 1}
+	params := Params{Gamma: []float64{0.6}, Beta: []float64{0.25}}
+	got, err := Expectation(prob, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectationP1Analytic(g, 0.6, 0.25)
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("Expectation = %v, want %v", got, want)
+	}
+	if _, err := Expectation(prob, Params{}); err == nil {
+		t.Error("empty params accepted")
+	}
+}
+
+func TestExpectationSampled(t *testing.T) {
+	g := graphs.New(2)
+	g.MustAddEdge(0, 1)
+	prob := &Problem{G: g, MaxCut: 1}
+	// Half the samples cut (cost 1), half don't (cost 0).
+	samples := []uint64{0b01, 0b10, 0b00, 0b11}
+	mean, stderr, err := ExpectationSampled(prob, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 0.5 {
+		t.Errorf("mean = %v, want 0.5", mean)
+	}
+	if math.Abs(stderr-0.25) > 1e-12 {
+		t.Errorf("stderr = %v, want 0.25", stderr)
+	}
+	// Deterministic samples: zero spread.
+	_, se2, err := ExpectationSampled(prob, []uint64{1, 1, 1})
+	if err != nil || se2 != 0 {
+		t.Errorf("constant samples stderr = %v (%v)", se2, err)
+	}
+	if _, _, err := ExpectationSampled(prob, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+}

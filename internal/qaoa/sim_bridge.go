@@ -1,0 +1,13 @@
+package qaoa
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// simExpectation runs the circuit on the state-vector simulator and
+// evaluates the diagonal observable. Kept in its own file so the qaoa
+// package's dependency on the simulator is explicit and minimal.
+func simExpectation(c *circuit.Circuit, cost func(uint64) float64) float64 {
+	return sim.NewState(c.NQubits).Run(c).ExpectationDiagonal(cost)
+}

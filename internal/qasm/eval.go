@@ -1,0 +1,73 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// evalParam evaluates the restricted OpenQASM parameter grammar:
+// optionally-signed products/quotients of numbers and `pi`, e.g.
+// "0.5", "-pi/4", "2*pi", "3*pi/2".
+func evalParam(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty parameter")
+	}
+	neg := false
+	for strings.HasPrefix(s, "-") || strings.HasPrefix(s, "+") {
+		if s[0] == '-' {
+			neg = !neg
+		}
+		s = strings.TrimSpace(s[1:])
+	}
+
+	val := 1.0
+	op := byte('*')
+	for {
+		idx := strings.IndexAny(s, "*/")
+		var tok string
+		if idx == -1 {
+			tok, s = s, ""
+		} else {
+			tok = s[:idx]
+		}
+		t, err := evalAtom(strings.TrimSpace(tok))
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case '*':
+			val *= t
+		case '/':
+			if t == 0 {
+				return 0, fmt.Errorf("division by zero in parameter")
+			}
+			val /= t
+		}
+		if idx == -1 {
+			break
+		}
+		op = s[idx]
+		s = s[idx+1:]
+		if strings.TrimSpace(s) == "" {
+			return 0, fmt.Errorf("dangling operator in parameter")
+		}
+	}
+	if neg {
+		val = -val
+	}
+	return val, nil
+}
+
+func evalAtom(tok string) (float64, error) {
+	if tok == "pi" {
+		return math.Pi, nil
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad parameter token %q", tok)
+	}
+	return v, nil
+}

@@ -1,0 +1,210 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+func TestExportHeaderAndGates(t *testing.T) {
+	c := circuit.New(3).Append(
+		circuit.NewH(0),
+		circuit.NewCPhase(0, 1, math.Pi/4),
+		circuit.NewCNOT(1, 2),
+		circuit.NewSwap(0, 2),
+		circuit.NewRX(1, 0.5),
+		circuit.NewMeasure(2),
+	)
+	got := Export(c)
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		`include "qelib1.inc";`,
+		"qreg q[3];",
+		"creg c[3];",
+		"h q[0];",
+		"rzz(0.785398163397) q[0],q[1];",
+		"cx q[1],q[2];",
+		"swap q[0],q[2];",
+		"rx(0.5) q[1];",
+		"measure q[2] -> c[2];",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("export missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestImportBasic(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+// a comment line
+qreg q[2];
+creg c[2];
+h q[0]; // trailing comment
+rzz(pi/4) q[0],q[1];
+u3(0.1,0.2,0.3) q[1];
+measure q[0] -> c[0];
+`
+	c, err := Import(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NQubits != 2 {
+		t.Fatalf("NQubits = %d", c.NQubits)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("gates = %d, want 4", c.Len())
+	}
+	zz := c.Gates[1]
+	if zz.Kind != circuit.CPhase || math.Abs(zz.Params[0]-math.Pi/4) > 1e-12 {
+		t.Errorf("rzz parsed as %v", zz)
+	}
+	u3 := c.Gates[2]
+	if u3.Kind != circuit.U3 || u3.Params != [3]float64{0.1, 0.2, 0.3} {
+		t.Errorf("u3 parsed as %v", u3)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no qreg", "h q[0];"},
+		{"empty", ""},
+		{"duplicate qreg", "qreg q[2];\nqreg q[3];"},
+		{"unknown gate", "qreg q[2];\nfoo q[0];"},
+		{"out of range", "qreg q[2];\nh q[5];"},
+		{"bad params", "qreg q[2];\nrx() q[0];"},
+		{"too many params", "qreg q[2];\nh(0.5) q[0];"},
+		{"wrong qubit count", "qreg q[2];\ncx q[0];"},
+		{"bad operand", "qreg q[2];\nh foo;"},
+		{"bad measure", "qreg q[2];\nmeasure q[0];"},
+		{"unbalanced parens", "qreg q[2];\nrx)0.5( q[0];"},
+		{"same qubit twice", "qreg q[2];\ncx q[1],q[1];"},
+	}
+	for _, tc := range cases {
+		if _, err := Import(tc.src); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestEvalParam(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"0.5", 0.5},
+		{"pi", math.Pi},
+		{"-pi", -math.Pi},
+		{"pi/2", math.Pi / 2},
+		{"-pi/4", -math.Pi / 4},
+		{"2*pi", 2 * math.Pi},
+		{"3*pi/2", 3 * math.Pi / 2},
+		{"+1.25", 1.25},
+		{"--2", 2},
+		{"1e-3", 1e-3},
+	}
+	for _, tc := range cases {
+		got, err := evalParam(tc.in)
+		if err != nil {
+			t.Errorf("evalParam(%q): %v", tc.in, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("evalParam(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "foo", "1/0", "2*", "/2", "1**2"} {
+		if _, err := evalParam(bad); err == nil {
+			t.Errorf("evalParam(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBarrierRoundTrip(t *testing.T) {
+	c := circuit.New(2).Append(circuit.NewH(0))
+	c.Gates = append(c.Gates, circuit.Gate{Kind: circuit.Barrier})
+	c.Append(circuit.NewH(1))
+	back, err := Import(Export(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Gates[1].Kind != circuit.Barrier {
+		t.Errorf("barrier lost in round trip: %v", back.Gates)
+	}
+}
+
+// Property: export → import is the identity on gate sequences (angles to
+// 1e-10) and the reloaded circuit simulates identically.
+func TestRoundTripProperty(t *testing.T) {
+	kinds := []func(rng *rand.Rand, n int) circuit.Gate{
+		func(r *rand.Rand, n int) circuit.Gate { return circuit.NewH(r.Intn(n)) },
+		func(r *rand.Rand, n int) circuit.Gate { return circuit.NewX(r.Intn(n)) },
+		func(r *rand.Rand, n int) circuit.Gate { return circuit.NewRZ(r.Intn(n), r.Float64()*7-3.5) },
+		func(r *rand.Rand, n int) circuit.Gate { return circuit.NewRY(r.Intn(n), r.Float64()*7-3.5) },
+		func(r *rand.Rand, n int) circuit.Gate {
+			return circuit.NewU3(r.Intn(n), r.Float64(), r.Float64(), r.Float64())
+		},
+		func(r *rand.Rand, n int) circuit.Gate {
+			a, b := twoDistinct(n, r)
+			return circuit.NewCNOT(a, b)
+		},
+		func(r *rand.Rand, n int) circuit.Gate {
+			a, b := twoDistinct(n, r)
+			return circuit.NewCPhase(a, b, r.Float64()*7-3.5)
+		},
+		func(r *rand.Rand, n int) circuit.Gate {
+			a, b := twoDistinct(n, r)
+			return circuit.NewSwap(a, b)
+		},
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := circuit.New(n)
+		for i := 0; i < 15; i++ {
+			c.Append(kinds[rng.Intn(len(kinds))](rng, n))
+		}
+		back, err := Import(Export(c))
+		if err != nil {
+			return false
+		}
+		if back.NQubits != n || back.Len() != c.Len() {
+			return false
+		}
+		for i := range c.Gates {
+			a, b := c.Gates[i], back.Gates[i]
+			if a.Kind != b.Kind || a.Q0 != b.Q0 || a.Q1 != b.Q1 {
+				return false
+			}
+			for p := 0; p < 3; p++ {
+				if math.Abs(a.Params[p]-b.Params[p]) > 1e-10 {
+					return false
+				}
+			}
+		}
+		sa := sim.NewState(n).Run(c)
+		sb := sim.NewState(n).Run(back)
+		return math.Abs(sim.FidelityOverlap(sa, sb)-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func twoDistinct(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}

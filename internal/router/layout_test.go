@@ -1,0 +1,93 @@
+package router
+
+import "testing"
+
+func TestNewLayoutValid(t *testing.T) {
+	l, err := NewLayout(3, 5, []int{4, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Phys(0) != 4 || l.Phys(1) != 0 || l.Phys(2) != 2 {
+		t.Errorf("L2P = %v", l.L2P)
+	}
+	if l.LogicalAt(4) != 0 || l.LogicalAt(1) != -1 || l.LogicalAt(3) != -1 {
+		t.Errorf("P2L = %v", l.P2L)
+	}
+	if l.NLogical() != 3 || l.NPhysical() != 5 {
+		t.Error("shape wrong")
+	}
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(2, 5, []int{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := NewLayout(6, 5, []int{0, 1, 2, 3, 4, 4}); err == nil {
+		t.Error("oversubscribed device accepted")
+	}
+	if _, err := NewLayout(2, 5, []int{0, 0}); err == nil {
+		t.Error("non-injective assignment accepted")
+	}
+	if _, err := NewLayout(2, 5, []int{0, 7}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+}
+
+func TestTrivialLayout(t *testing.T) {
+	l := TrivialLayout(3, 6)
+	for q := 0; q < 3; q++ {
+		if l.Phys(q) != q {
+			t.Errorf("Phys(%d) = %d", q, l.Phys(q))
+		}
+	}
+	for p := 3; p < 6; p++ {
+		if l.LogicalAt(p) != -1 {
+			t.Errorf("LogicalAt(%d) = %d, want -1", p, l.LogicalAt(p))
+		}
+	}
+}
+
+func TestSwapPhysical(t *testing.T) {
+	l, _ := NewLayout(2, 4, []int{0, 1})
+	l.SwapPhysical(1, 2) // logical 1 moves to physical 2
+	if l.Phys(1) != 2 || l.LogicalAt(2) != 1 || l.LogicalAt(1) != -1 {
+		t.Errorf("after swap: L2P=%v P2L=%v", l.L2P, l.P2L)
+	}
+	l.SwapPhysical(0, 2) // swap two occupied
+	if l.Phys(0) != 2 || l.Phys(1) != 0 {
+		t.Errorf("after second swap: L2P=%v", l.L2P)
+	}
+	l.SwapPhysical(3, 1) // two free qubits: no-op on L2P
+	if l.Phys(0) != 2 || l.Phys(1) != 0 {
+		t.Errorf("free-free swap changed mapping: %v", l.L2P)
+	}
+}
+
+func TestSwapPhysicalInvolution(t *testing.T) {
+	l, _ := NewLayout(3, 5, []int{2, 4, 0})
+	ref := l.Clone()
+	l.SwapPhysical(2, 4)
+	l.SwapPhysical(2, 4)
+	if !l.Equal(ref) {
+		t.Error("double swap is not identity")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	l, _ := NewLayout(2, 3, []int{0, 1})
+	c := l.Clone()
+	c.SwapPhysical(0, 2)
+	if l.Phys(0) != 0 {
+		t.Error("clone shares storage")
+	}
+	if l.Equal(c) {
+		t.Error("Equal true after divergence")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	l, _ := NewLayout(2, 3, []int{2, 0})
+	if got := l.String(); got != "{q0→2 q1→0}" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,102 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// OptimalSwaps computes the exact minimum number of SWAPs needed to execute
+// every gate in gates — an unordered set of logical qubit pairs, execution
+// being free once a pair sits on a coupling edge — starting from the given
+// layout. It searches breadth-first over (layout, executed-set) states, so
+// it is exponential and intentionally restricted to tiny instances; its
+// role is to bound how far the heuristic router strays from optimal (the
+// "reasoning engine" approach of §III, usable only at toy scale).
+func OptimalSwaps(gates [][2]int, dev *device.Device, initial *Layout) (int, error) {
+	const (
+		maxPhysical = 8
+		maxGates    = 12
+		maxStates   = 2_000_000
+	)
+	if dev.NQubits() > maxPhysical {
+		return 0, fmt.Errorf("router: optimal search limited to %d physical qubits, device has %d", maxPhysical, dev.NQubits())
+	}
+	if len(gates) > maxGates {
+		return 0, fmt.Errorf("router: optimal search limited to %d gates, got %d", maxGates, len(gates))
+	}
+	if initial == nil {
+		return 0, fmt.Errorf("router: optimal search needs an initial layout")
+	}
+	for _, g := range gates {
+		if g[0] < 0 || g[0] >= initial.NLogical() || g[1] < 0 || g[1] >= initial.NLogical() || g[0] == g[1] {
+			return 0, fmt.Errorf("router: invalid gate (%d,%d)", g[0], g[1])
+		}
+	}
+
+	full := (1 << uint(len(gates))) - 1
+
+	type state struct {
+		key  string
+		mask int
+	}
+	encode := func(l *Layout) string {
+		b := make([]byte, len(l.L2P))
+		for i, p := range l.L2P {
+			b[i] = byte(p)
+		}
+		return string(b)
+	}
+	// closure executes every currently-adjacent gate (free).
+	closure := func(l *Layout, mask int) int {
+		for i, g := range gates {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			if dev.Connected(l.Phys(g[0]), l.Phys(g[1])) {
+				mask |= 1 << uint(i)
+			}
+		}
+		return mask
+	}
+
+	start := initial.Clone()
+	startMask := closure(start, 0)
+	if startMask == full {
+		return 0, nil
+	}
+	type node struct {
+		layout *Layout
+		mask   int
+	}
+	frontier := []node{{start, startMask}}
+	visited := map[state]bool{{encode(start), startMask}: true}
+	edges := dev.Coupling.Edges()
+
+	for swaps := 1; ; swaps++ {
+		var next []node
+		for _, nd := range frontier {
+			for _, e := range edges {
+				l := nd.layout.Clone()
+				l.SwapPhysical(e.U, e.V)
+				mask := closure(l, nd.mask)
+				if mask == full {
+					return swaps, nil
+				}
+				st := state{encode(l), mask}
+				if visited[st] {
+					continue
+				}
+				visited[st] = true
+				if len(visited) > maxStates {
+					return 0, fmt.Errorf("router: optimal search exceeded %d states", maxStates)
+				}
+				next = append(next, node{l, mask})
+			}
+		}
+		if len(next) == 0 {
+			return 0, fmt.Errorf("router: optimal search exhausted without executing all gates (disconnected device?)")
+		}
+		frontier = next
+	}
+}

@@ -1,0 +1,313 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/graphs"
+)
+
+// Router inserts SWAPs to make a logical circuit comply with a device's
+// coupling constraints. It is the layer-partitioning heuristic backend the
+// paper describes for conventional compilers (§III "SWAP Insertion"): the
+// circuit is split into layers of concurrently executable gates and SWAPs
+// are added before each layer until all of its two-qubit gates touch
+// coupled pairs.
+type Router struct {
+	// Dev is the routing target.
+	Dev *device.Device
+	// Dist supplies inter-qubit distances for SWAP scoring and path
+	// selection. IC uses hop distances; VIC passes reliability-weighted
+	// distances so SWAP chains prefer reliable links. Defaults to the
+	// device's hop distances.
+	Dist *graphs.DistanceMatrix
+	// LookaheadWeight blends the next layer's gate distances into the SWAP
+	// score (0 disables lookahead; default 0.5).
+	LookaheadWeight float64
+	// Trials > 1 routes the circuit that many times with randomized
+	// tie-breaking (a shuffled coupling-edge scan order, seeded by Rng) and
+	// keeps the attempt with the fewest SWAPs — the stochastic-swap
+	// strategy of conventional compilers. Trials ≤ 1 is single-shot
+	// deterministic routing.
+	Trials int
+	// Rng seeds the trial shuffles; required when Trials > 1.
+	Rng *rand.Rand
+
+	// edgeOrder overrides the coupling-edge scan order for tie-breaking
+	// (nil: the device's canonical order).
+	edgeOrder []graphs.Edge
+}
+
+// New returns a Router over dev using hop distances and default lookahead.
+func New(dev *device.Device) *Router {
+	return &Router{Dev: dev, Dist: dev.HopDistances(), LookaheadWeight: 0.5}
+}
+
+// Result is a routed circuit plus layout bookkeeping.
+type Result struct {
+	// Circuit is the hardware-compliant physical circuit (register size =
+	// device qubits). Two-qubit gates act only on coupling edges.
+	Circuit *circuit.Circuit
+	// Initial and Final are the layouts before and after routing.
+	Initial, Final *Layout
+	// SwapCount is the number of SWAP gates inserted.
+	SwapCount int
+}
+
+// Route compiles the logical circuit c onto the device starting from the
+// given initial layout (TrivialLayout when nil). The input gate order is
+// respected up to concurrency: gates are processed in ASAP layers. With
+// Trials > 1 the best of several randomized-tie-break attempts is returned.
+func (r *Router) Route(c *circuit.Circuit, initial *Layout) (*Result, error) {
+	if r.Trials > 1 {
+		return r.routeTrials(c, initial)
+	}
+	return r.routeOnce(c, initial)
+}
+
+// routeTrials runs Trials randomized attempts and keeps the fewest-SWAP one.
+func (r *Router) routeTrials(c *circuit.Circuit, initial *Layout) (*Result, error) {
+	if r.Rng == nil {
+		return nil, fmt.Errorf("router: Trials > 1 requires Rng")
+	}
+	canonical := r.Dev.Coupling.Edges()
+	var best *Result
+	for trial := 0; trial < r.Trials; trial++ {
+		attempt := *r
+		attempt.Trials = 0
+		if trial > 0 {
+			order := append([]graphs.Edge(nil), canonical...)
+			r.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			attempt.edgeOrder = order
+		}
+		res, err := attempt.routeOnce(c, initial)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.SwapCount < best.SwapCount {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// routeOnce performs one deterministic routing pass.
+func (r *Router) routeOnce(c *circuit.Circuit, initial *Layout) (*Result, error) {
+	dev := r.Dev
+	if c.NQubits > dev.NQubits() {
+		return nil, fmt.Errorf("router: circuit needs %d qubits, device %s has %d", c.NQubits, dev.Name, dev.NQubits())
+	}
+	if initial == nil {
+		initial = TrivialLayout(c.NQubits, dev.NQubits())
+	}
+	if initial.NLogical() != c.NQubits || initial.NPhysical() != dev.NQubits() {
+		return nil, fmt.Errorf("router: layout shape (%d,%d) does not match circuit %d / device %d",
+			initial.NLogical(), initial.NPhysical(), c.NQubits, dev.NQubits())
+	}
+	dist := r.Dist
+	if dist == nil {
+		dist = dev.HopDistances()
+	}
+
+	layout := initial.Clone()
+	out := circuit.New(dev.NQubits())
+	swaps := 0
+	layers := c.Layers()
+
+	for li, layer := range layers {
+		// Pass through one-qubit gates immediately; collect two-qubit work.
+		var pending []circuit.Gate
+		for _, gi := range layer {
+			g := c.Gates[gi]
+			switch g.Arity() {
+			case 1:
+				mapped := g
+				mapped.Q0 = layout.Phys(g.Q0)
+				out.Append(mapped)
+			case 2:
+				pending = append(pending, g)
+			}
+		}
+		// Next layer's two-qubit gates feed the lookahead score.
+		var next []circuit.Gate
+		if r.LookaheadWeight > 0 && li+1 < len(layers) {
+			for _, gi := range layers[li+1] {
+				if g := c.Gates[gi]; g.Arity() == 2 {
+					next = append(next, g)
+				}
+			}
+		}
+		swaps += r.routeLayer(pending, next, layout, out)
+	}
+
+	return &Result{Circuit: out, Initial: initial, Final: layout, SwapCount: swaps}, nil
+}
+
+// routeLayer emits the pending two-qubit gates, inserting SWAPs as needed,
+// and returns the number of SWAPs added. The layout is updated in place.
+func (r *Router) routeLayer(pending, next []circuit.Gate, layout *Layout, out *circuit.Circuit) int {
+	swaps := 0
+	for len(pending) > 0 {
+		// Emit every gate that is currently executable.
+		rest := pending[:0]
+		for _, g := range pending {
+			p0, p1 := layout.Phys(g.Q0), layout.Phys(g.Q1)
+			if r.Dev.Connected(p0, p1) {
+				mapped := g
+				mapped.Q0, mapped.Q1 = p0, p1
+				out.Append(mapped)
+			} else {
+				rest = append(rest, g)
+			}
+		}
+		pending = rest
+		if len(pending) == 0 {
+			break
+		}
+
+		if p1, p2, ok := r.bestSwap(pending, next, layout); ok {
+			out.Append(circuit.NewSwap(p1, p2))
+			layout.SwapPhysical(p1, p2)
+			swaps++
+			continue
+		}
+
+		// No strictly improving swap exists: walk the closest pending gate's
+		// control along its (distance-matrix) shortest path until adjacent.
+		swaps += r.forcePath(pending, layout, out)
+	}
+	return swaps
+}
+
+// bestSwap searches coupling edges adjacent to pending gates' qubits for
+// the swap minimizing pending distance plus the lookahead term plus the
+// swap's own execution cost (the edge's distance weight — uniform for hop
+// routing, reliability-dependent for VIC, so unreliable links are avoided
+// even when geometrically equivalent). A strict improvement of the pending
+// term is required so routing always terminates. Deterministic: ties broken
+// by coupling-edge order.
+//
+// Candidates are scored by delta-evaluation: only gates with an endpoint on
+// one of the swapped physical qubits change distance, so each candidate
+// costs O(gates touching the edge) instead of O(all pending gates).
+func (r *Router) bestSwap(pending, next []circuit.Gate, layout *Layout) (int, int, bool) {
+	// Combined entry list: pending gates first, then lookahead gates;
+	// indexed by physical endpoint for delta evaluation.
+	type entry struct {
+		p0, p1  int
+		pending bool
+	}
+	entries := make([]entry, 0, len(pending)+len(next))
+	for _, g := range pending {
+		entries = append(entries, entry{layout.Phys(g.Q0), layout.Phys(g.Q1), true})
+	}
+	lookahead := r.LookaheadWeight
+	if lookahead > 0 {
+		for _, g := range next {
+			entries = append(entries, entry{layout.Phys(g.Q0), layout.Phys(g.Q1), false})
+		}
+	}
+	touch := make(map[int][]int, 2*len(entries))
+	for i, e := range entries {
+		touch[e.p0] = append(touch[e.p0], i)
+		touch[e.p1] = append(touch[e.p1], i)
+	}
+	active := make(map[int]bool, 2*len(pending))
+	for _, g := range pending {
+		active[layout.Phys(g.Q0)] = true
+		active[layout.Phys(g.Q1)] = true
+	}
+
+	bestTotal := 0.0
+	var bp1, bp2 int
+	found := false
+	mark := make([]int, len(entries)) // visit stamp per entry
+	stamp := 0
+	scan := r.edgeOrder
+	if scan == nil {
+		scan = r.Dev.Coupling.Edges()
+	}
+	for _, e := range scan {
+		if !active[e.U] && !active[e.V] {
+			continue
+		}
+		stamp++
+		// Distance delta for gates touching either end of the swap; an
+		// entry touching both ends is visited once (its distance is
+		// unchanged anyway, both endpoints staying within {e.U, e.V}).
+		pendingDelta, nextDelta := 0.0, 0.0
+		for _, p := range [2]int{e.U, e.V} {
+			for _, i := range touch[p] {
+				if mark[i] == stamp {
+					continue
+				}
+				mark[i] = stamp
+				en := entries[i]
+				before := r.Dist.Dist(en.p0, en.p1)
+				after := r.Dist.Dist(swapped(en.p0, e.U, e.V), swapped(en.p1, e.U, e.V))
+				if en.pending {
+					pendingDelta += after - before
+				} else {
+					nextDelta += after - before
+				}
+			}
+		}
+		if !(pendingDelta < 0) {
+			// Must strictly improve the current layer. The negated form
+			// also rejects NaN deltas (∞−∞ on disconnected devices), which
+			// would otherwise loop forever; forcePath then reports the
+			// disconnection.
+			continue
+		}
+		total := pendingDelta + r.Dist.Dist(e.U, e.V)
+		if lookahead > 0 {
+			total += lookahead * nextDelta
+		}
+		if !found || total < bestTotal {
+			bestTotal = total
+			bp1, bp2 = e.U, e.V
+			found = true
+		}
+	}
+	return bp1, bp2, found
+}
+
+// swapped maps physical position p through the transposition (a b).
+func swapped(p, a, b int) int {
+	switch p {
+	case a:
+		return b
+	case b:
+		return a
+	}
+	return p
+}
+
+// forcePath routes the closest pending gate directly: the occupant of the
+// control's physical qubit is swapped along the shortest path toward the
+// target until the pair is coupled. Returns the number of swaps emitted.
+func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.Circuit) int {
+	best := 0
+	bestD := r.Dist.Dist(layout.Phys(pending[0].Q0), layout.Phys(pending[0].Q1))
+	for i := 1; i < len(pending); i++ {
+		d := r.Dist.Dist(layout.Phys(pending[i].Q0), layout.Phys(pending[i].Q1))
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	g := pending[best]
+	src, dst := layout.Phys(g.Q0), layout.Phys(g.Q1)
+	path := r.Dist.Path(src, dst)
+	if path == nil {
+		panic(fmt.Sprintf("router: physical qubits %d and %d disconnected on %s", src, dst, r.Dev.Name))
+	}
+	swaps := 0
+	for i := 0; i+2 < len(path); i++ {
+		out.Append(circuit.NewSwap(path[i], path[i+1]))
+		layout.SwapPhysical(path[i], path[i+1])
+		swaps++
+	}
+	return swaps
+}

@@ -1,0 +1,321 @@
+package router
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/graphs"
+	"repro/internal/sim"
+)
+
+// verifySemantics checks that the routed physical circuit implements the
+// logical circuit: simulating both, the physical amplitudes must equal the
+// logical amplitudes re-indexed through the final layout (global phase is
+// exact here because SWAP insertion adds no phases), with unmapped physical
+// qubits left in |0⟩.
+func verifySemantics(t *testing.T, logical *circuit.Circuit, res *Result) {
+	t.Helper()
+	psi := sim.NewState(logical.NQubits).Run(logical)
+	phi := sim.NewState(res.Circuit.NQubits).Run(res.Circuit)
+
+	// Mask of physical qubits that hold logical qubits at the end.
+	usedMask := uint64(0)
+	for q := 0; q < logical.NQubits; q++ {
+		usedMask |= 1 << uint(res.Final.Phys(q))
+	}
+	for y := range phi.Amp {
+		want := complex(0, 0)
+		if uint64(y)&^usedMask == 0 {
+			x := uint64(0)
+			for q := 0; q < logical.NQubits; q++ {
+				if uint64(y)&(1<<uint(res.Final.Phys(q))) != 0 {
+					x |= 1 << uint(q)
+				}
+			}
+			want = psi.Amp[x]
+		}
+		if cmplx.Abs(phi.Amp[y]-want) > 1e-9 {
+			t.Fatalf("physical amplitude %d = %v, want %v (initial %v, final %v)",
+				y, phi.Amp[y], want, res.Initial, res.Final)
+		}
+	}
+}
+
+func TestRouteCompliantCircuitUnchanged(t *testing.T) {
+	dev := device.Linear(4)
+	c := circuit.New(4).Append(
+		circuit.NewH(0),
+		circuit.NewCNOT(0, 1),
+		circuit.NewCNOT(2, 3),
+		circuit.NewCPhase(1, 2, 0.5),
+	)
+	res, err := New(dev).Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Errorf("swaps = %d, want 0", res.SwapCount)
+	}
+	if !res.Final.Equal(res.Initial) {
+		t.Error("layout changed without swaps")
+	}
+	if res.Circuit.GateCount() != c.GateCount() {
+		t.Errorf("gate count %d, want %d", res.Circuit.GateCount(), c.GateCount())
+	}
+	if err := dev.VerifyCompliant(res.Circuit); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteDistantCNOTOnLine(t *testing.T) {
+	dev := device.Linear(4)
+	c := circuit.New(4).Append(circuit.NewCNOT(0, 3))
+	res, err := New(dev).Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount < 2 {
+		t.Errorf("swaps = %d, want ≥ 2 for distance-3 pair", res.SwapCount)
+	}
+	if err := dev.VerifyCompliant(res.Circuit); err != nil {
+		t.Error(err)
+	}
+	verifySemantics(t, c, res)
+}
+
+func TestRouteRespectsInitialLayout(t *testing.T) {
+	dev := device.Linear(4)
+	// Logical 0 on physical 3, logical 1 on physical 2: already adjacent.
+	init, _ := NewLayout(2, 4, []int{3, 2})
+	c := circuit.New(2).Append(circuit.NewCNOT(0, 1))
+	res, err := New(dev).Route(c, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Errorf("swaps = %d, want 0", res.SwapCount)
+	}
+	g := res.Circuit.Gates[0]
+	if g.Q0 != 3 || g.Q1 != 2 {
+		t.Errorf("CNOT routed to (%d,%d), want (3,2)", g.Q0, g.Q1)
+	}
+}
+
+func TestRouteSwapCountMatchesCircuit(t *testing.T) {
+	dev := device.Ring(6)
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.New(6)
+	for i := 0; i < 10; i++ {
+		a, b := rng.Intn(6), rng.Intn(6)
+		if a == b {
+			continue
+		}
+		c.Append(circuit.NewCPhase(a, b, 0.4))
+	}
+	res, err := New(dev).Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Circuit.CountKind(circuit.Swap); got != res.SwapCount {
+		t.Errorf("SwapCount = %d but circuit has %d swap gates", res.SwapCount, got)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	dev := device.Linear(3)
+	if _, err := New(dev).Route(circuit.New(4), nil); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+	badLayout, _ := NewLayout(2, 5, []int{0, 1})
+	if _, err := New(dev).Route(circuit.New(2), badLayout); err == nil {
+		t.Error("layout with wrong physical count accepted")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	dev := device.Grid(3, 3)
+	rng := rand.New(rand.NewSource(2))
+	c := circuit.New(9)
+	for i := 0; i < 15; i++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.Append(circuit.NewCPhase(a, b, 0.3))
+		}
+	}
+	r1, err := New(dev).Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(dev).Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Circuit.Len() != r2.Circuit.Len() || !r1.Final.Equal(r2.Final) {
+		t.Error("routing is not deterministic")
+	}
+	for i := range r1.Circuit.Gates {
+		if r1.Circuit.Gates[i] != r2.Circuit.Gates[i] {
+			t.Fatal("routed gate sequences differ")
+		}
+	}
+}
+
+// Property: routing random circuits on random small devices preserves
+// semantics and produces compliant circuits, from random initial layouts.
+func TestRouteSemanticsProperty(t *testing.T) {
+	devices := []func() *device.Device{
+		func() *device.Device { return device.Linear(5) },
+		func() *device.Device { return device.Ring(6) },
+		func() *device.Device { return device.Grid(2, 3) },
+		func() *device.Device { return device.Grid(3, 3) },
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := devices[rng.Intn(len(devices))]()
+		n := 2 + rng.Intn(dev.NQubits()-1)
+		c := circuit.New(n)
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Append(circuit.NewH(rng.Intn(n)))
+			case 1:
+				c.Append(circuit.NewRZ(rng.Intn(n), rng.Float64()*math.Pi))
+			default:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					c.Append(circuit.NewCNOT(a, b))
+				} else {
+					c.Append(circuit.NewCPhase(a, b, rng.Float64()*math.Pi))
+				}
+			}
+		}
+		perm := rng.Perm(dev.NQubits())[:n]
+		init, err := NewLayout(n, dev.NQubits(), perm)
+		if err != nil {
+			return false
+		}
+		res, err := New(dev).Route(c, init)
+		if err != nil {
+			return false
+		}
+		if err := dev.VerifyCompliant(res.Circuit); err != nil {
+			return false
+		}
+		verifySemantics(t, c, res)
+		return !t.Failed()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Routing with reliability-weighted distances must avoid a terrible link
+// when a good detour exists.
+func TestWeightedDistancesAvoidBadLink(t *testing.T) {
+	// Square 0-1-2-3-0 plus: CNOT between 0 and 2 (distance 2 both ways).
+	// Edge (1,2) is awful; the path through 3 must be preferred.
+	dev := device.Ring(4)
+	dev.Calib = &device.Calibration{CNOTError: map[[2]int]float64{
+		{0, 1}: 0.01, {1, 2}: 0.45, {2, 3}: 0.01, {0, 3}: 0.01,
+	}}
+	r := &Router{Dev: dev, Dist: dev.ReliabilityDistances(), LookaheadWeight: 0}
+	c := circuit.New(4).Append(circuit.NewCNOT(0, 2))
+	res, err := r.Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Circuit.Gates {
+		if g.Arity() == 2 {
+			u, v := g.Q0, g.Q1
+			if u > v {
+				u, v = v, u
+			}
+			if u == 1 && v == 2 {
+				t.Errorf("gate %v uses the unreliable link", g)
+			}
+		}
+	}
+	verifySemantics(t, c, res)
+}
+
+func TestMeasureGatesAreMapped(t *testing.T) {
+	dev := device.Linear(3)
+	init, _ := NewLayout(2, 3, []int{2, 0})
+	c := circuit.New(2).Append(circuit.NewMeasure(0), circuit.NewMeasure(1))
+	res, err := New(dev).Route(c, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.Gates[0].Q0 != 2 || res.Circuit.Gates[1].Q0 != 0 {
+		t.Errorf("measures mapped to %d,%d; want 2,0",
+			res.Circuit.Gates[0].Q0, res.Circuit.Gates[1].Q0)
+	}
+}
+
+// Stochastic trials must never be worse than the deterministic single shot
+// (the deterministic attempt is trial 0) and must stay semantically exact.
+func TestRouteTrialsImproveOrMatch(t *testing.T) {
+	dev := device.Grid(3, 3)
+	rng := rand.New(rand.NewSource(31))
+	c := circuit.New(9)
+	for i := 0; i < 14; i++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.Append(circuit.NewCPhase(a, b, 0.4))
+		}
+	}
+	single, err := New(dev).Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := New(dev)
+	multi.Trials = 8
+	multi.Rng = rand.New(rand.NewSource(32))
+	best, err := multi.Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.SwapCount > single.SwapCount {
+		t.Errorf("trials result %d swaps worse than single shot %d", best.SwapCount, single.SwapCount)
+	}
+	if err := dev.VerifyCompliant(best.Circuit); err != nil {
+		t.Error(err)
+	}
+	verifySemantics(t, c, best)
+}
+
+func TestRouteTrialsRequireRng(t *testing.T) {
+	r := New(device.Linear(3))
+	r.Trials = 4
+	if _, err := r.Route(circuit.New(3).Append(circuit.NewCNOT(0, 2)), nil); err == nil {
+		t.Error("Trials without Rng accepted")
+	}
+}
+
+// Routing across a disconnected device must panic with a clear message when
+// a gate spans components (no silent wrong answer).
+func TestRouteDisconnectedDevicePanics(t *testing.T) {
+	dev := &device.Device{Name: "split", Coupling: splitGraph()}
+	c := circuit.New(4).Append(circuit.NewCNOT(0, 3))
+	defer func() {
+		if recover() == nil {
+			t.Error("routing across components did not panic")
+		}
+	}()
+	_, _ = New(dev).Route(c, nil)
+}
+
+func splitGraph() *graphs.Graph {
+	g := graphs.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	return g
+}

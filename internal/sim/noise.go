@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// NoiseModel is a stochastic Pauli error model: after each gate a random
+// Pauli fault is injected with the gate's error probability, and measured
+// bits are flipped with the per-qubit readout error. Error accumulation
+// therefore grows with gate count, and longer idle-free circuits decohere
+// more — the coupling the ARG experiments of Fig. 11(b) rely on.
+type NoiseModel struct {
+	// OneQubit is the fault probability per one-qubit gate.
+	OneQubit float64
+	// TwoQubit maps canonical physical edges {u<v} to the per-CNOT fault
+	// probability; gates that decompose into k CNOTs draw k times.
+	TwoQubit map[[2]int]float64
+	// TwoQubitDefault is used for edges absent from TwoQubit.
+	TwoQubitDefault float64
+	// Readout is the per-qubit measurement bit-flip probability (nil: ideal).
+	Readout []float64
+}
+
+// NoiseFromDevice builds a NoiseModel from a device's calibration snapshot.
+// It panics if the device has no calibration.
+func NoiseFromDevice(d *device.Device) *NoiseModel {
+	if d.Calib == nil {
+		panic("sim: device " + d.Name + " has no calibration")
+	}
+	nm := &NoiseModel{
+		OneQubit: d.Calib.SingleQubitError,
+		TwoQubit: make(map[[2]int]float64, len(d.Calib.CNOTError)),
+	}
+	for k, v := range d.Calib.CNOTError {
+		nm.TwoQubit[k] = v
+	}
+	if d.Calib.ReadoutError != nil {
+		nm.Readout = append([]float64(nil), d.Calib.ReadoutError...)
+	}
+	return nm
+}
+
+func (nm *NoiseModel) twoQubitError(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if e, ok := nm.TwoQubit[[2]int{a, b}]; ok {
+		return e
+	}
+	return nm.TwoQubitDefault
+}
+
+// injectPauli1 applies a uniformly random non-identity Pauli to qubit q.
+func injectPauli1(s *State, q int, rng *rand.Rand) {
+	switch rng.Intn(3) {
+	case 0:
+		s.Apply1Q(q, matX)
+	case 1:
+		s.Apply1Q(q, matY)
+	default:
+		s.Apply1Q(q, matZ)
+	}
+}
+
+// injectPauli2 applies a uniformly random non-identity two-qubit Pauli
+// (one of the 15 products P⊗Q ≠ I⊗I) to qubits a, b.
+func injectPauli2(s *State, a, b int, rng *rand.Rand) {
+	k := 1 + rng.Intn(15) // 1..15, base-4 digits choose I/X/Y/Z per qubit
+	applyPauliDigit(s, a, k&3)
+	applyPauliDigit(s, b, (k>>2)&3)
+}
+
+func applyPauliDigit(s *State, q, digit int) {
+	switch digit {
+	case 1:
+		s.Apply1Q(q, matX)
+	case 2:
+		s.Apply1Q(q, matY)
+	case 3:
+		s.Apply1Q(q, matZ)
+	}
+}
+
+// RunNoisy executes one noisy trajectory of c from |0…0⟩: every gate is
+// applied ideally and followed by a probabilistic Pauli fault. The returned
+// state is a single sample of the noisy process; average observables over
+// many trajectories.
+func RunNoisy(c *circuit.Circuit, nm *NoiseModel, rng *rand.Rand) *State {
+	s := NewState(c.NQubits)
+	for _, g := range c.Gates {
+		s.ApplyGate(g)
+		switch {
+		case g.Kind == circuit.Barrier || g.Kind == circuit.Measure:
+		case g.Arity() == 2:
+			e := nm.twoQubitError(g.Q0, g.Q1)
+			for i := 0; i < circuit.NativeCNOTCost(g.Kind); i++ {
+				if rng.Float64() < e {
+					injectPauli2(s, g.Q0, g.Q1, rng)
+				}
+			}
+		default:
+			if nm.OneQubit > 0 && rng.Float64() < nm.OneQubit {
+				injectPauli1(s, g.Q0, rng)
+			}
+		}
+	}
+	return s
+}
+
+// SampleNoisy draws shots measurement outcomes from the noisy execution of
+// c, spreading them over the given number of independent Pauli-fault
+// trajectories and applying readout bit-flips to every sample.
+func SampleNoisy(c *circuit.Circuit, nm *NoiseModel, shots, trajectories int, rng *rand.Rand) []uint64 {
+	if trajectories < 1 {
+		trajectories = 1
+	}
+	if trajectories > shots {
+		trajectories = shots
+	}
+	out := make([]uint64, 0, shots)
+	base := shots / trajectories
+	extra := shots % trajectories
+	for t := 0; t < trajectories; t++ {
+		k := base
+		if t < extra {
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		s := RunNoisy(c, nm, rng)
+		samples := s.Sample(rng, k)
+		if nm.Readout != nil {
+			for i, x := range samples {
+				samples[i] = flipReadout(x, nm.Readout, rng)
+			}
+		}
+		out = append(out, samples...)
+	}
+	return out
+}
+
+func flipReadout(x uint64, readout []float64, rng *rand.Rand) uint64 {
+	for q, e := range readout {
+		if e > 0 && rng.Float64() < e {
+			x ^= 1 << uint(q)
+		}
+	}
+	return x
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+func bellCircuit() *circuit.Circuit {
+	return circuit.New(2).Append(circuit.NewH(0), circuit.NewCNOT(0, 1))
+}
+
+func TestNoiseFromDevice(t *testing.T) {
+	d := device.Melbourne15()
+	nm := NoiseFromDevice(d)
+	if got := nm.twoQubitError(1, 0); got != 1.87e-2 {
+		t.Errorf("twoQubitError(1,0) = %v", got)
+	}
+	if nm.Readout == nil || len(nm.Readout) != 15 {
+		t.Errorf("readout errors not copied")
+	}
+	if nm.OneQubit != d.Calib.SingleQubitError {
+		t.Errorf("one-qubit error not copied")
+	}
+}
+
+func TestNoiseFromDevicePanicsWithoutCalib(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for uncalibrated device")
+		}
+	}()
+	NoiseFromDevice(device.Tokyo20())
+}
+
+func TestZeroNoiseMatchesIdeal(t *testing.T) {
+	nm := &NoiseModel{}
+	c := bellCircuit()
+	rng := rand.New(rand.NewSource(1))
+	noisy := RunNoisy(c, nm, rng)
+	ideal := NewState(2).Run(c)
+	if f := FidelityOverlap(noisy, ideal); math.Abs(f-1) > 1e-9 {
+		t.Errorf("zero-noise trajectory diverges, overlap %v", f)
+	}
+}
+
+func TestNoisyNormPreserved(t *testing.T) {
+	nm := &NoiseModel{OneQubit: 0.3, TwoQubitDefault: 0.3}
+	rng := rand.New(rand.NewSource(2))
+	c := randomCircuit(4, 40, rng)
+	s := RunNoisy(c, nm, rng)
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Errorf("noisy norm = %v", s.Norm())
+	}
+}
+
+func TestNoiseDegradesFidelity(t *testing.T) {
+	// With heavy noise, the average overlap with the ideal Bell state over
+	// trajectories must drop well below 1.
+	nm := &NoiseModel{TwoQubitDefault: 0.5}
+	c := bellCircuit()
+	ideal := NewState(2).Run(c)
+	rng := rand.New(rand.NewSource(3))
+	var avg float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		f := FidelityOverlap(RunNoisy(c, nm, rng), ideal)
+		avg += f * f
+	}
+	avg /= trials
+	if avg > 0.9 {
+		t.Errorf("heavy noise kept average fidelity %v", avg)
+	}
+}
+
+func TestSampleNoisyShotCount(t *testing.T) {
+	nm := &NoiseModel{TwoQubitDefault: 0.05}
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct{ shots, traj int }{{100, 7}, {64, 64}, {10, 100}, {1, 1}} {
+		got := SampleNoisy(bellCircuit(), nm, tc.shots, tc.traj, rng)
+		if len(got) != tc.shots {
+			t.Errorf("shots=%d traj=%d: got %d samples", tc.shots, tc.traj, len(got))
+		}
+	}
+}
+
+func TestSampleNoisyIdealBell(t *testing.T) {
+	// Without noise, Bell samples are only 00 or 11 and roughly balanced.
+	nm := &NoiseModel{}
+	rng := rand.New(rand.NewSource(5))
+	samples := SampleNoisy(bellCircuit(), nm, 4000, 4, rng)
+	var n00, n11 int
+	for _, x := range samples {
+		switch x {
+		case 0:
+			n00++
+		case 3:
+			n11++
+		default:
+			t.Fatalf("ideal Bell sample %02b", x)
+		}
+	}
+	if n00 < 1600 || n11 < 1600 {
+		t.Errorf("Bell counts unbalanced: %d/%d", n00, n11)
+	}
+}
+
+func TestReadoutErrorFlipsBits(t *testing.T) {
+	// Certain readout error on qubit 0 deterministically flips it.
+	nm := &NoiseModel{Readout: []float64{1, 0}}
+	rng := rand.New(rand.NewSource(6))
+	c := circuit.New(2) // state |00⟩
+	samples := SampleNoisy(c, nm, 50, 1, rng)
+	for _, x := range samples {
+		if x != 1 {
+			t.Fatalf("sample %02b, want 01 after certain flip of qubit 0", x)
+		}
+	}
+}
+
+func TestNoiseDeterministicWithSeed(t *testing.T) {
+	nm := &NoiseModel{OneQubit: 0.05, TwoQubitDefault: 0.1, Readout: []float64{0.02, 0.02}}
+	a := SampleNoisy(bellCircuit(), nm, 100, 10, rand.New(rand.NewSource(7)))
+	b := SampleNoisy(bellCircuit(), nm, 100, 10, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed noisy sampling differs")
+		}
+	}
+}
+
+func TestInjectPauli2CoversBothQubits(t *testing.T) {
+	// Statistically, two-qubit faults must sometimes touch each qubit.
+	rng := rand.New(rand.NewSource(8))
+	touched0, touched1 := false, false
+	for i := 0; i < 200 && !(touched0 && touched1); i++ {
+		s := NewState(2)
+		injectPauli2(s, 0, 1, rng)
+		// A fault changes the ground state iff it includes X or Y.
+		if s.Probability(0) < 0.5 {
+			p1 := s.Probability(1) + s.Probability(3)
+			p2 := s.Probability(2) + s.Probability(3)
+			if p1 > 0.5 {
+				touched0 = true
+			}
+			if p2 > 0.5 {
+				touched1 = true
+			}
+		}
+	}
+	if !touched0 || !touched1 {
+		t.Error("two-qubit Pauli injection never flipped one of the qubits")
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelThreshold is the amplitude count above which gate application
+// fans out across CPU cores. States at or below it (≤ 17 qubits, the scale
+// of the paper's experiments) stay single-threaded — goroutine overhead
+// dominates there.
+var ParallelThreshold = 1 << 18
+
+// parallelFor runs f over [0,n) in contiguous chunks across GOMAXPROCS
+// goroutines when n exceeds ParallelThreshold, serially otherwise.
+func parallelFor(n int, f func(lo, hi int)) {
+	if n <= ParallelThreshold {
+		f(0, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// apply1QParallel is the fan-out variant of Apply1Q: amplitude pair k is
+// (i, i|bit) with i = (k &^ (bit−1))<<1 | (k & (bit−1)); pairs are
+// independent, so chunking over k is safe.
+func (s *State) apply1QParallel(q int, m [2][2]complex128) {
+	bit := 1 << uint(q)
+	mask := bit - 1
+	pairs := len(s.Amp) >> 1
+	parallelFor(pairs, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := (k&^mask)<<1 | (k & mask)
+			j := i | bit
+			a0, a1 := s.Amp[i], s.Amp[j]
+			s.Amp[i] = m[0][0]*a0 + m[0][1]*a1
+			s.Amp[j] = m[1][0]*a0 + m[1][1]*a1
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// Parallel and serial gate application must agree bit for bit (the chunked
+// loops touch disjoint amplitude pairs).
+func TestParallelMatchesSerial(t *testing.T) {
+	saved := ParallelThreshold
+	defer func() { ParallelThreshold = saved }()
+
+	rng := rand.New(rand.NewSource(1))
+	const n = 10
+	c := randomCircuit(n, 60, rng)
+
+	ParallelThreshold = 1 << 30 // force serial
+	serial := NewState(n).Run(c)
+	ParallelThreshold = 1 // force parallel on every gate
+	parallel := NewState(n).Run(c)
+
+	for i := range serial.Amp {
+		if cmplx.Abs(serial.Amp[i]-parallel.Amp[i]) > 1e-12 {
+			t.Fatalf("amplitude %d differs: %v vs %v", i, serial.Amp[i], parallel.Amp[i])
+		}
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	saved := ParallelThreshold
+	defer func() { ParallelThreshold = saved }()
+	ParallelThreshold = 4
+
+	hits := make([]int32, 1000)
+	parallelFor(len(hits), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	// Serial path (n below threshold after restore).
+	ParallelThreshold = 1 << 30
+	count := 0
+	parallelFor(10, func(lo, hi int) { count += hi - lo })
+	if count != 10 {
+		t.Errorf("serial path covered %d of 10", count)
+	}
+}
+
+// BenchmarkApply1QLarge exercises the parallel fan-out on a 20-qubit state.
+func BenchmarkApply1QLarge(b *testing.B) {
+	s := NewState(20)
+	s.Apply1Q(0, matH)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply1Q(i%20, matH)
+	}
+}
+
+// BenchmarkApplyZZLarge exercises the parallel diagonal path.
+func BenchmarkApplyZZLarge(b *testing.B) {
+	s := NewState(20)
+	for q := 0; q < 20; q++ {
+		s.Apply1Q(q, matH)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApplyZZ(i%20, (i+1)%20, 0.3)
+	}
+}

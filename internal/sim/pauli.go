@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ExpectationPauli returns ⟨ψ|P|ψ⟩ for a Pauli string P given as a text
+// label over {I,X,Y,Z}, where label[k] acts on qubit k (so "ZZI" measures
+// Z₀Z₁). The result of a Hermitian observable is real; the real part is
+// returned. Useful for verifying that compiled circuits preserve arbitrary
+// observables, not just the diagonal cost.
+func (s *State) ExpectationPauli(label string) (float64, error) {
+	if len(label) != s.N {
+		return 0, fmt.Errorf("sim: Pauli label %q has %d terms for %d qubits", label, len(label), s.N)
+	}
+	// φ = P|ψ⟩ computed amplitude-wise: P maps basis state |x⟩ to
+	// phase(x)·|x⊕flip⟩ where flip has a bit per X/Y and the phase collects
+	// i per Y (sign by bit) and −1 per Z-bit set.
+	var flip uint64
+	var yMask, zMask uint64
+	for k := 0; k < s.N; k++ {
+		switch label[k] {
+		case 'I', 'i':
+		case 'X', 'x':
+			flip |= 1 << uint(k)
+		case 'Y', 'y':
+			flip |= 1 << uint(k)
+			yMask |= 1 << uint(k)
+		case 'Z', 'z':
+			zMask |= 1 << uint(k)
+		default:
+			return 0, fmt.Errorf("sim: invalid Pauli %q at position %d", label[k], k)
+		}
+	}
+	var dot complex128
+	for x := range s.Amp {
+		ux := uint64(x)
+		// amplitude of P|ψ⟩ at x comes from ψ[x⊕flip].
+		src := ux ^ flip
+		phase := complex(1, 0)
+		// Y contributes i·(−1)^{bit of source}: Y|0⟩=i|1⟩, Y|1⟩=−i|0⟩.
+		for m := yMask; m != 0; m &= m - 1 {
+			bit := m & -m
+			if src&bit != 0 {
+				phase *= complex(0, -1)
+			} else {
+				phase *= complex(0, 1)
+			}
+		}
+		for m := zMask; m != 0; m &= m - 1 {
+			bit := m & -m
+			if src&bit != 0 {
+				phase = -phase
+			}
+		}
+		dot += cmplx.Conj(s.Amp[ux]) * phase * s.Amp[src]
+	}
+	return real(dot), nil
+}

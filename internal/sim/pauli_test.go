@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpectationPauliSingleQubit(t *testing.T) {
+	zero := NewState(1)
+	one := NewState(1)
+	one.Apply1Q(0, matX)
+	plus := NewState(1)
+	plus.Apply1Q(0, matH)
+	iPlus := NewState(1) // (|0⟩ + i|1⟩)/√2 = RX(-π/2)|0⟩
+	iPlus.Apply1Q(0, MatRX(-math.Pi/2))
+
+	cases := []struct {
+		name  string
+		s     *State
+		label string
+		want  float64
+	}{
+		{"⟨0|Z|0⟩", zero, "Z", 1},
+		{"⟨1|Z|1⟩", one, "Z", -1},
+		{"⟨0|X|0⟩", zero, "X", 0},
+		{"⟨+|X|+⟩", plus, "X", 1},
+		{"⟨+|Z|+⟩", plus, "Z", 0},
+		{"⟨i|Y|i⟩", iPlus, "Y", 1},
+		{"⟨0|I|0⟩", zero, "I", 1},
+	}
+	for _, tc := range cases {
+		got, err := tc.s.ExpectationPauli(tc.label)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestExpectationPauliBell(t *testing.T) {
+	bell := NewState(2)
+	bell.Apply1Q(0, matH)
+	bell.ApplyCNOT(0, 1)
+	for _, tc := range []struct {
+		label string
+		want  float64
+	}{
+		{"ZZ", 1}, {"XX", 1}, {"YY", -1}, {"ZI", 0}, {"IZ", 0}, {"XY", 0},
+	} {
+		got, err := bell.ExpectationPauli(tc.label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Bell ⟨%s⟩ = %v, want %v", tc.label, got, tc.want)
+		}
+	}
+}
+
+func TestExpectationPauliErrors(t *testing.T) {
+	s := NewState(2)
+	if _, err := s.ExpectationPauli("Z"); err == nil {
+		t.Error("short label accepted")
+	}
+	if _, err := s.ExpectationPauli("ZQ"); err == nil {
+		t.Error("invalid Pauli accepted")
+	}
+}
+
+// Z-string expectations must agree with the diagonal-observable path.
+func TestExpectationPauliMatchesDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := RandomState(5, rng)
+	for trial := 0; trial < 20; trial++ {
+		var mask uint64
+		label := make([]byte, 5)
+		for k := range label {
+			if rng.Intn(2) == 0 {
+				label[k] = 'I'
+			} else {
+				label[k] = 'Z'
+				mask |= 1 << uint(k)
+			}
+		}
+		want := s.ExpectationDiagonal(func(x uint64) float64 {
+			if popcount(x&mask)%2 == 0 {
+				return 1
+			}
+			return -1
+		})
+		got, err := s.ExpectationPauli(string(label))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("⟨%s⟩ = %v, diagonal path %v", label, got, want)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Expectations of Hermitian Paulis on random states stay within [-1, 1].
+func TestExpectationPauliBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := RandomState(4, rng)
+	paulis := []string{"XYZI", "YYYY", "XXZZ", "IZXI"}
+	for _, p := range paulis {
+		got, err := s.ExpectationPauli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < -1-1e-9 || got > 1+1e-9 {
+			t.Errorf("⟨%s⟩ = %v outside [-1,1]", p, got)
+		}
+	}
+}

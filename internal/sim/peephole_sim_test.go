@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+// Property: Peephole preserves the circuit's action up to global phase and
+// never increases the gate count. Lives here (not in package circuit)
+// because the check needs the simulator.
+func TestPeepholePreservesSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(n, 40, rng)
+		// Inject deliberate redundancy so the optimizer has work to do.
+		for i := 0; i < 6; i++ {
+			q := rng.Intn(n)
+			c.Append(circuit.NewH(q), circuit.NewH(q))
+		}
+		opt := circuit.Peephole(c)
+		if opt.Len() > c.Len() {
+			return false
+		}
+		a := NewState(n).Run(c)
+		b := NewState(n).Run(opt)
+		return math.Abs(FidelityOverlap(a, b)-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Peephole after decomposition must also preserve semantics (the U1 merges
+// and CNOT cancellations interact).
+func TestPeepholeNativeSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c := randomCircuit(n, 30, rng).Decompose(circuit.BasisIBM)
+		opt := circuit.Peephole(c)
+		a := NewState(n).Run(c)
+		b := NewState(n).Run(opt)
+		return math.Abs(FidelityOverlap(a, b)-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

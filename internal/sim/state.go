@@ -1,0 +1,268 @@
+// Package sim implements a state-vector quantum-circuit simulator with a
+// stochastic Pauli noise model. It provides the "ideal execution" and
+// "noisy hardware execution" oracles used to compute the paper's
+// Approximation Ratio Gap (ARG) metric, and is exact (up to float rounding)
+// for the gate set of package circuit.
+//
+// Qubit q corresponds to bit q (1<<q) of a basis-state index, so basis state
+// |b_{n-1} … b_1 b_0⟩ has index Σ b_q·2^q.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// State is an n-qubit state vector of 2^n complex amplitudes.
+type State struct {
+	N   int
+	Amp []complex128
+}
+
+// MaxQubits bounds the register size (2^24 amplitudes ≈ 256 MiB).
+const MaxQubits = 24
+
+// NewState returns |0…0⟩ on n qubits.
+func NewState(n int) *State {
+	if n < 0 || n > MaxQubits {
+		panic(fmt.Sprintf("sim: qubit count %d outside [0,%d]", n, MaxQubits))
+	}
+	amp := make([]complex128, 1<<uint(n))
+	amp[0] = 1
+	return &State{N: n, Amp: amp}
+}
+
+// Clone returns a deep copy of s.
+func (s *State) Clone() *State {
+	amp := make([]complex128, len(s.Amp))
+	copy(amp, s.Amp)
+	return &State{N: s.N, Amp: amp}
+}
+
+// Reset returns s to |0…0⟩.
+func (s *State) Reset() {
+	for i := range s.Amp {
+		s.Amp[i] = 0
+	}
+	s.Amp[0] = 1
+}
+
+// Norm returns the 2-norm of the state (1 for any valid state).
+func (s *State) Norm() float64 {
+	var sum float64
+	for _, a := range s.Amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Probability returns |⟨x|ψ⟩|² for basis state x.
+func (s *State) Probability(x uint64) float64 {
+	a := s.Amp[x]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Probabilities returns the full measurement distribution.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.Amp))
+	for i, a := range s.Amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Apply1Q applies the 2×2 unitary m to qubit q, fanning out across cores
+// for large registers (see ParallelThreshold).
+func (s *State) Apply1Q(q int, m [2][2]complex128) {
+	if len(s.Amp) > ParallelThreshold {
+		s.apply1QParallel(q, m)
+		return
+	}
+	bit := 1 << uint(q)
+	n := len(s.Amp)
+	for base := 0; base < n; base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			a0, a1 := s.Amp[i], s.Amp[i|bit]
+			s.Amp[i] = m[0][0]*a0 + m[0][1]*a1
+			s.Amp[i|bit] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+}
+
+// ApplyCNOT applies CNOT with control c, target t. Each amplitude pair
+// (i, i|tb) is touched exactly once (at the member with the target bit
+// clear), so chunked iteration is safe.
+func (s *State) ApplyCNOT(c, t int) {
+	cb, tb := 1<<uint(c), 1<<uint(t)
+	parallelFor(len(s.Amp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&cb != 0 && i&tb == 0 {
+				j := i | tb
+				s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+			}
+		}
+	})
+}
+
+// ApplyCZ applies a controlled-Z between a and b.
+func (s *State) ApplyCZ(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.Amp {
+		if i&ab != 0 && i&bb != 0 {
+			s.Amp[i] = -s.Amp[i]
+		}
+	}
+}
+
+// ApplyZZ applies exp(-i θ/2 Z⊗Z) between a and b: amplitudes where the two
+// bits agree pick up e^{-iθ/2}, disagreeing ones e^{+iθ/2}.
+func (s *State) ApplyZZ(a, b int, theta float64) {
+	same := cmplx.Exp(complex(0, -theta/2))
+	diff := cmplx.Exp(complex(0, +theta/2))
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	parallelFor(len(s.Amp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if (i&ab != 0) == (i&bb != 0) {
+				s.Amp[i] *= same
+			} else {
+				s.Amp[i] *= diff
+			}
+		}
+	})
+}
+
+// ApplySwap exchanges qubits a and b.
+func (s *State) ApplySwap(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.Amp {
+		if i&ab != 0 && i&bb == 0 {
+			j := (i &^ ab) | bb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
+// ApplyGate dispatches a single IR gate. Measure and Barrier gates are
+// no-ops at the state level (sampling is performed separately).
+func (s *State) ApplyGate(g circuit.Gate) {
+	switch g.Kind {
+	case circuit.H:
+		s.Apply1Q(g.Q0, matH)
+	case circuit.X:
+		s.Apply1Q(g.Q0, matX)
+	case circuit.Y:
+		s.Apply1Q(g.Q0, matY)
+	case circuit.Z:
+		s.Apply1Q(g.Q0, matZ)
+	case circuit.RX:
+		s.Apply1Q(g.Q0, MatRX(g.Params[0]))
+	case circuit.RY:
+		s.Apply1Q(g.Q0, MatRY(g.Params[0]))
+	case circuit.RZ:
+		s.Apply1Q(g.Q0, MatRZ(g.Params[0]))
+	case circuit.U1:
+		s.Apply1Q(g.Q0, MatU1(g.Params[0]))
+	case circuit.U2:
+		s.Apply1Q(g.Q0, MatU2(g.Params[0], g.Params[1]))
+	case circuit.U3:
+		s.Apply1Q(g.Q0, MatU3(g.Params[0], g.Params[1], g.Params[2]))
+	case circuit.CNOT:
+		s.ApplyCNOT(g.Q0, g.Q1)
+	case circuit.CZ:
+		s.ApplyCZ(g.Q0, g.Q1)
+	case circuit.CPhase:
+		s.ApplyZZ(g.Q0, g.Q1, g.Params[0])
+	case circuit.Swap:
+		s.ApplySwap(g.Q0, g.Q1)
+	case circuit.Measure, circuit.Barrier:
+		// no-op
+	default:
+		panic("sim: cannot simulate " + g.Kind.String())
+	}
+}
+
+// Run applies every gate of c in order and returns s for chaining.
+func (s *State) Run(c *circuit.Circuit) *State {
+	if c.NQubits > s.N {
+		panic(fmt.Sprintf("sim: circuit needs %d qubits, state has %d", c.NQubits, s.N))
+	}
+	for _, g := range c.Gates {
+		s.ApplyGate(g)
+	}
+	return s
+}
+
+// Sample draws shots basis states from the measurement distribution.
+func (s *State) Sample(rng *rand.Rand, shots int) []uint64 {
+	cdf := make([]float64, len(s.Amp))
+	var acc float64
+	for i, a := range s.Amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cdf[i] = acc
+	}
+	out := make([]uint64, shots)
+	for k := 0; k < shots; k++ {
+		out[k] = uint64(searchCDF(cdf, rng.Float64()*acc))
+	}
+	return out
+}
+
+// searchCDF returns the smallest index i with cdf[i] > r.
+func searchCDF(cdf []float64, r float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] > r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ExpectationDiagonal returns Σ_x |⟨x|ψ⟩|² f(x) for a diagonal observable f
+// — e.g. the MaxCut cost of bitstring x.
+func (s *State) ExpectationDiagonal(f func(x uint64) float64) float64 {
+	var e float64
+	for i, a := range s.Amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > 0 {
+			e += p * f(uint64(i))
+		}
+	}
+	return e
+}
+
+// FidelityOverlap returns |⟨a|b⟩| — 1 when the states match up to global
+// phase.
+func FidelityOverlap(a, b *State) float64 {
+	if len(a.Amp) != len(b.Amp) {
+		panic("sim: overlap of states with different sizes")
+	}
+	var dot complex128
+	for i := range a.Amp {
+		dot += cmplx.Conj(a.Amp[i]) * b.Amp[i]
+	}
+	return cmplx.Abs(dot)
+}
+
+// RandomState returns a Haar-ish random normalized state for testing.
+func RandomState(n int, rng *rand.Rand) *State {
+	s := NewState(n)
+	var norm float64
+	for i := range s.Amp {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		s.Amp[i] = complex(re, im)
+		norm += re*re + im*im
+	}
+	norm = math.Sqrt(norm)
+	for i := range s.Amp {
+		s.Amp[i] /= complex(norm, 0)
+	}
+	return s
+}

@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+const eps = 1e-12
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestNewStateGround(t *testing.T) {
+	s := NewState(3)
+	if len(s.Amp) != 8 {
+		t.Fatalf("amp len = %d", len(s.Amp))
+	}
+	if s.Amp[0] != 1 {
+		t.Errorf("amp[0] = %v", s.Amp[0])
+	}
+	if !approx(s.Norm(), 1) {
+		t.Errorf("norm = %v", s.Norm())
+	}
+	if !approx(s.Probability(0), 1) {
+		t.Errorf("P(0) = %v", s.Probability(0))
+	}
+}
+
+func TestNewStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized state accepted")
+		}
+	}()
+	NewState(MaxQubits + 1)
+}
+
+func TestHadamardUniform(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(0, matH)
+	s.Apply1Q(1, matH)
+	for x := uint64(0); x < 4; x++ {
+		if !approx(s.Probability(x), 0.25) {
+			t.Errorf("P(%d) = %v, want 0.25", x, s.Probability(x))
+		}
+	}
+}
+
+func TestHadamardInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomState(3, rng)
+	ref := s.Clone()
+	s.Apply1Q(1, matH)
+	s.Apply1Q(1, matH)
+	if f := FidelityOverlap(s, ref); !approx(f, 1) {
+		t.Errorf("HH != I, overlap %v", f)
+	}
+}
+
+func TestXFlip(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(1, matX)
+	if !approx(s.Probability(2), 1) {
+		t.Errorf("X on qubit 1: P(10b) = %v", s.Probability(2))
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	for in := uint64(0); in < 4; in++ {
+		s := NewState(2)
+		if in&1 != 0 {
+			s.Apply1Q(0, matX)
+		}
+		if in&2 != 0 {
+			s.Apply1Q(1, matX)
+		}
+		s.ApplyCNOT(0, 1) // control qubit 0, target qubit 1
+		want := in
+		if in&1 != 0 {
+			want ^= 2
+		}
+		if !approx(s.Probability(want), 1) {
+			t.Errorf("CNOT|%02b⟩: P(%02b) = %v", in, want, s.Probability(want))
+		}
+	}
+}
+
+func TestCZPhase(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(0, matX)
+	s.Apply1Q(1, matX) // |11⟩
+	s.ApplyCZ(0, 1)
+	if !approx(real(s.Amp[3]), -1) {
+		t.Errorf("CZ|11⟩ amp = %v, want -1", s.Amp[3])
+	}
+	s2 := NewState(2)
+	s2.Apply1Q(0, matX) // |01⟩
+	s2.ApplyCZ(0, 1)
+	if !approx(real(s2.Amp[1]), 1) {
+		t.Errorf("CZ|01⟩ amp = %v, want 1", s2.Amp[1])
+	}
+}
+
+func TestSwap(t *testing.T) {
+	s := NewState(3)
+	s.Apply1Q(0, matX) // |001⟩
+	s.ApplySwap(0, 2)
+	if !approx(s.Probability(4), 1) {
+		t.Errorf("Swap: P(100b) = %v", s.Probability(4))
+	}
+}
+
+func TestZZPhases(t *testing.T) {
+	theta := 0.7
+	for x := uint64(0); x < 4; x++ {
+		s := NewState(2)
+		if x&1 != 0 {
+			s.Apply1Q(0, matX)
+		}
+		if x&2 != 0 {
+			s.Apply1Q(1, matX)
+		}
+		s.ApplyZZ(0, 1, theta)
+		sign := -1.0 // bits agree
+		if (x&1 != 0) != (x&2 != 0) {
+			sign = 1.0
+		}
+		want := cmplx.Exp(complex(0, sign*theta/2))
+		if cmplx.Abs(s.Amp[x]-want) > 1e-9 {
+			t.Errorf("ZZ|%02b⟩ amp = %v, want %v", x, s.Amp[x], want)
+		}
+	}
+}
+
+// ZZ must equal its CNOT·RZ·CNOT decomposition exactly (not just up to
+// global phase) — the identity the compiler relies on.
+func TestZZEqualsCNOTDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomState(3, rng)
+	b := a.Clone()
+	theta := 1.234
+	a.ApplyZZ(0, 2, theta)
+	b.ApplyCNOT(0, 2)
+	b.Apply1Q(2, MatRZ(theta))
+	b.ApplyCNOT(0, 2)
+	for i := range a.Amp {
+		if cmplx.Abs(a.Amp[i]-b.Amp[i]) > 1e-9 {
+			t.Fatalf("amp %d differs: %v vs %v", i, a.Amp[i], b.Amp[i])
+		}
+	}
+}
+
+func TestU3SpecialCases(t *testing.T) {
+	// U3(π,0,π) = X up to global phase; U2(0,π) = H exactly.
+	rng := rand.New(rand.NewSource(3))
+	a := RandomState(2, rng)
+	b := a.Clone()
+	a.Apply1Q(0, matX)
+	b.Apply1Q(0, MatU3(math.Pi, 0, math.Pi))
+	if f := FidelityOverlap(a, b); !approx(f, 1) {
+		t.Errorf("U3(π,0,π) vs X overlap = %v", f)
+	}
+	a2 := RandomState(2, rng)
+	b2 := a2.Clone()
+	a2.Apply1Q(1, matH)
+	b2.Apply1Q(1, MatU2(0, math.Pi))
+	if f := FidelityOverlap(a2, b2); !approx(f, 1) {
+		t.Errorf("U2(0,π) vs H overlap = %v", f)
+	}
+}
+
+func TestU1IsRZUpToPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandomState(2, rng)
+	b := a.Clone()
+	a.Apply1Q(0, MatRZ(0.9))
+	b.Apply1Q(0, MatU1(0.9))
+	if f := FidelityOverlap(a, b); !approx(f, 1) {
+		t.Errorf("RZ vs U1 overlap = %v", f)
+	}
+}
+
+func randomCircuit(n, gates int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.Append(circuit.NewH(rng.Intn(n)))
+		case 1:
+			c.Append(circuit.NewRX(rng.Intn(n), rng.Float64()*2*math.Pi))
+		case 2:
+			c.Append(circuit.NewRZ(rng.Intn(n), rng.Float64()*2*math.Pi))
+		case 3:
+			c.Append(circuit.NewRY(rng.Intn(n), rng.Float64()*2*math.Pi))
+		case 4:
+			a, b := twoDistinct(n, rng)
+			c.Append(circuit.NewCNOT(a, b))
+		case 5:
+			a, b := twoDistinct(n, rng)
+			c.Append(circuit.NewCPhase(a, b, rng.Float64()*2*math.Pi))
+		case 6:
+			a, b := twoDistinct(n, rng)
+			c.Append(circuit.NewSwap(a, b))
+		default:
+			a, b := twoDistinct(n, rng)
+			c.Append(circuit.NewCZ(a, b))
+		}
+	}
+	return c
+}
+
+func twoDistinct(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// Property: unitarity — random circuits preserve the norm.
+func TestRandomCircuitPreservesNorm(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(n, 30, rng)
+		s := NewState(n).Run(c)
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the IBM-basis decomposition is equivalent up to global phase.
+func TestDecomposeEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(n, 25, rng)
+		a := NewState(n).Run(c)
+		b := NewState(n).Run(c.Decompose(circuit.BasisIBM))
+		return math.Abs(FidelityOverlap(a, b)-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CPhase gates commute — any permutation of a cost layer yields
+// the identical state. This is the physical fact the whole paper exploits.
+func TestCPhaseCommutation(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		// Build a random set of CPhase gates.
+		var gs []circuit.Gate
+		for i := 0; i < 8; i++ {
+			a, b := twoDistinct(n, rng)
+			gs = append(gs, circuit.NewCPhase(a, b, rng.Float64()*2*math.Pi))
+		}
+		c1 := circuit.New(n)
+		for q := 0; q < n; q++ {
+			c1.Append(circuit.NewH(q))
+		}
+		c2 := c1.Clone()
+		c1.Append(gs...)
+		perm := rng.Perm(len(gs))
+		for _, i := range perm {
+			c2.Append(gs[i])
+		}
+		a := NewState(n).Run(c1)
+		b := NewState(n).Run(c2)
+		for i := range a.Amp {
+			if cmplx.Abs(a.Amp[i]-b.Amp[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewState(1)
+	s.Apply1Q(0, matH)
+	samples := s.Sample(rng, 20000)
+	ones := 0
+	for _, x := range samples {
+		if x == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / 20000
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("|+⟩ sampling gave %v ones fraction", frac)
+	}
+}
+
+func TestSampleDeterministicState(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := NewState(3)
+	s.Apply1Q(0, matX)
+	s.Apply1Q(2, matX)
+	for _, x := range s.Sample(rng, 100) {
+		if x != 5 {
+			t.Fatalf("sample %b from |101⟩", x)
+		}
+	}
+}
+
+func TestExpectationDiagonal(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(0, matH)
+	s.Apply1Q(1, matH)
+	// f(x) = popcount; uniform state over 2 qubits has mean 1.
+	got := s.ExpectationDiagonal(func(x uint64) float64 {
+		return float64((x & 1) + (x>>1)&1)
+	})
+	if !approx(got, 1) {
+		t.Errorf("⟨popcount⟩ = %v, want 1", got)
+	}
+}
+
+func TestResetAndClone(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(0, matH)
+	c := s.Clone()
+	s.Reset()
+	if !approx(s.Probability(0), 1) {
+		t.Error("Reset did not restore ground state")
+	}
+	if approx(c.Probability(0), 1) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestRunPanicsOnOversizedCircuit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run accepted circuit larger than state")
+		}
+	}()
+	NewState(2).Run(circuit.New(3))
+}

@@ -1,0 +1,50 @@
+package qaoac
+
+import "repro/internal/exp"
+
+// ExpTable is a labelled numeric result grid for one figure panel.
+type ExpTable = exp.Table
+
+// Experiment configurations (defaults reproduce the paper's workload sizes).
+type (
+	// Fig7Config parameterizes the initial-mapping comparison of Fig. 7.
+	Fig7Config = exp.Fig7Config
+	// Fig8Config parameterizes the problem-size sweep of Fig. 8.
+	Fig8Config = exp.Fig8Config
+	// Fig9Config parameterizes the ordering comparison of Fig. 9.
+	Fig9Config = exp.Fig9Config
+	// Fig10Config parameterizes the VIC/IC success-probability study of Fig. 10.
+	Fig10Config = exp.Fig10Config
+	// Fig11aConfig parameterizes the Fig. 11(a) performance summary.
+	Fig11aConfig = exp.Fig11aConfig
+	// Fig11bConfig parameterizes the Fig. 11(b) ARG validation.
+	Fig11bConfig = exp.Fig11bConfig
+	// Fig12Config parameterizes the packing-density study of Fig. 12.
+	Fig12Config = exp.Fig12Config
+	// DiscussionConfig parameterizes the §VI ring-architecture comparison.
+	DiscussionConfig = exp.DiscussionConfig
+)
+
+// Default experiment configurations matching the paper.
+var (
+	DefaultFig7       = exp.DefaultFig7
+	DefaultFig8       = exp.DefaultFig8
+	DefaultFig9       = exp.DefaultFig9
+	DefaultFig10      = exp.DefaultFig10
+	DefaultFig11a     = exp.DefaultFig11a
+	DefaultFig11b     = exp.DefaultFig11b
+	DefaultFig12      = exp.DefaultFig12
+	DefaultDiscussion = exp.DefaultDiscussion
+)
+
+// Experiment runners; each regenerates the series of one paper figure.
+var (
+	Fig7       = exp.Fig7
+	Fig8       = exp.Fig8
+	Fig9       = exp.Fig9
+	Fig10      = exp.Fig10
+	Fig11a     = exp.Fig11a
+	Fig11b     = exp.Fig11b
+	Fig12      = exp.Fig12
+	Discussion = exp.Discussion
+)

@@ -1,0 +1,213 @@
+package qaoac
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQASMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := MustRandomRegular(6, 3, rng)
+	res, err := Compile(&Problem{G: g, MaxCut: 1}, P1Params(0.5, 0.2), Melbourne15(), PresetIC.Options(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ExportQASM(res.Circuit)
+	back, err := ImportQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != res.Circuit.Len() {
+		t.Errorf("round trip %d → %d gates", res.Circuit.Len(), back.Len())
+	}
+}
+
+func TestFacadeCrosstalk(t *testing.T) {
+	bell := NewCircuit(4).Append(
+		NewCNOT(0, 1),
+		NewCNOT(2, 3),
+	)
+	prone := NewPronePairs()
+	prone.Add(0, 1, 2, 3)
+	steps, depth := CrosstalkSchedule(bell, prone)
+	if depth != 2 || steps[0] == steps[1] {
+		t.Errorf("crosstalk schedule steps=%v depth=%d", steps, depth)
+	}
+	if CrosstalkDepth(bell, nil) != 1 {
+		t.Error("no-prone depth should be 1")
+	}
+}
+
+func TestFacadeDrawAndDurations(t *testing.T) {
+	c := NewCircuit(2).Append(NewH(0), NewCNOT(0, 1))
+	art := DrawCircuit(c)
+	if !strings.Contains(art, "⊕") || !strings.Contains(art, "q1:") {
+		t.Errorf("draw output:\n%s", art)
+	}
+	d := IBMDurations()
+	if got := c.ExecutionTime(d); got != 350 {
+		t.Errorf("execution time = %v, want 350", got)
+	}
+}
+
+func TestFacadePeepholeAndOptimalSwaps(t *testing.T) {
+	c := NewCircuit(2).Append(NewH(0), NewH(0))
+	if got := Peephole(c); got.Len() != 0 {
+		t.Errorf("peephole left %d gates", got.Len())
+	}
+	dev := LinearDevice(4)
+	layout := TrivialLayout(4, 4)
+	swaps, err := OptimalSwaps([][2]int{{0, 3}}, dev, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 2 {
+		t.Errorf("optimal swaps = %d, want 2", swaps)
+	}
+}
+
+func TestFacadeDeviceJSON(t *testing.T) {
+	data, err := json.Marshal(Melbourne15())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DeviceFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NQubits() != 15 {
+		t.Errorf("loaded %d qubits", d.NQubits())
+	}
+	if Falcon27().NQubits() != 27 {
+		t.Error("Falcon27 missing")
+	}
+}
+
+func TestFacadeIsing(t *testing.T) {
+	m := NewIsing(3)
+	if err := m.SetCoupling(0, 1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if IsingSpin(0, 0) != 1 || IsingSpin(1, 0) != -1 {
+		t.Error("spin convention broken")
+	}
+	g := NewGraph(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	mc, offset := IsingMaxCut(g)
+	if offset != 1 {
+		t.Errorf("maxcut offset = %v", offset)
+	}
+	if cut := offset - mc.Energy(0b010); cut != 2 {
+		t.Errorf("cut(010) = %v, want 2", cut)
+	}
+	np, off2 := IsingNumberPartition([]float64{1, 1})
+	if off2 != 2 {
+		t.Errorf("partition offset = %v", off2)
+	}
+	if e := np.Energy(0b01); e != -2 {
+		t.Errorf("balanced partition energy = %v, want -2", e)
+	}
+	q, off3, err := IsingFromQUBO([][]float64{{1, 0}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(x) = x0: f(0)=0, f(1)=1.
+	if v := off3 + q.Energy(0); v != 0 {
+		t.Errorf("QUBO f(0) = %v", v)
+	}
+	if v := off3 + q.Energy(1); v != 1 {
+		t.Errorf("QUBO f(1) = %v", v)
+	}
+	rng := rand.New(rand.NewSource(2))
+	res, err := CompileIsing(mc, P1Params(0.4, 0.2), Melbourne15(), PresetVIC.Options(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth <= 0 {
+		t.Error("degenerate ising compile")
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	c := NewCircuit(4)
+	for q := 0; q < 4; q++ {
+		c.Append(NewH(q))
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}, {0, 3}} {
+		c.Append(NewCPhase(e[0], e[1], 0.5))
+	}
+	for q := 0; q < 4; q++ {
+		c.Append(NewRX(q, 0.4))
+	}
+	if !Commute(NewCPhase(0, 1, 0.3), NewCPhase(1, 2, 0.7)) {
+		t.Error("ZZ gates must commute")
+	}
+	if d := CommutationDepth(c); d >= c.Depth() {
+		t.Errorf("commutation depth %d not below naive %d", d, c.Depth())
+	}
+	if groups := CommutingGroups(c); len(groups) == 0 {
+		t.Error("no commuting groups found")
+	}
+	spec, _, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 4 || len(spec.Levels) != 1 {
+		t.Errorf("spec shape %d/%d", spec.N, len(spec.Levels))
+	}
+	res, err := CompileCircuit(c, Tokyo20(), PresetIC.Options(rand.New(rand.NewSource(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Tokyo20().VerifyCompliant(res.Circuit); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeLoop(t *testing.T) {
+	g := NewGraph(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	prob, err := NewMaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeLoop(&SimEvaluator{Prob: prob, P: 1}, prob,
+		LoopOptions{Rng: rand.New(rand.NewSource(4)), Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expectation < 1.0 {
+		t.Errorf("loop expectation %v too low", res.Expectation)
+	}
+}
+
+func TestFacadeExtConfigs(t *testing.T) {
+	// Defaults must be sane and runnable at tiny scale.
+	lv := DefaultExtLevels()
+	lv.Instances, lv.Levels = 2, []int{1}
+	if _, err := ExtLevels(lv); err != nil {
+		t.Error(err)
+	}
+	dv := DefaultExtDevices()
+	dv.Instances = 2
+	if _, err := ExtDevices(dv); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadePauliExpectation(t *testing.T) {
+	c := NewCircuit(2).Append(NewH(0), NewCNOT(0, 1))
+	s := Simulate(c)
+	v, err := s.ExpectationPauli("ZZ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("Bell ⟨ZZ⟩ = %v", v)
+	}
+}
