@@ -152,6 +152,7 @@ func run(fig string, scale float64, format string) error {
 		matched = true
 		start := time.Now()
 		tables, err := j.run()
+		printFaults(j.name)
 		if err != nil {
 			return fmt.Errorf("fig %s: %w", j.name, err)
 		}
@@ -178,4 +179,19 @@ func wrap(t *qaoac.ExpTable, err error) ([]*qaoac.ExpTable, error) {
 		return nil, err
 	}
 	return []*qaoac.ExpTable{t}, nil
+}
+
+// printFaults surfaces the structured partial-failure reports a job
+// accumulated: sweep points that lost some instance×preset compilations
+// still contribute their surviving samples, and this is where the loss is
+// accounted for instead of silently shrinking the sample counts.
+func printFaults(fig string) {
+	reports := qaoac.DrainFaultReports()
+	if len(reports) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "qaoa-exp: fig %s completed with partial failures:\n", fig)
+	for _, r := range reports {
+		fmt.Fprintln(os.Stderr, "  "+r.Summary())
+	}
 }

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/qaoac"
 )
@@ -29,15 +31,16 @@ func main() {
 		check      = flag.Bool("check", false, "re-import the emitted QASM and verify")
 		out        = flag.String("o", "", "output file (default stdout)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		timeout    = flag.Duration("timeout", 0, "abort compilation after this long (0 = no deadline)")
 	)
 	flag.Parse()
-	if err := run(*deviceName, *nodes, *degree, *method, *native, *check, *out, *seed); err != nil {
+	if err := run(*deviceName, *nodes, *degree, *method, *native, *check, *out, *seed, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-qasm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deviceName string, nodes, degree int, method string, native, check bool, out string, seed int64) error {
+func run(deviceName string, nodes, degree int, method string, native, check bool, out string, seed int64, timeout time.Duration) error {
 	var dev *qaoac.Device
 	switch deviceName {
 	case "tokyo":
@@ -68,7 +71,13 @@ func run(deviceName string, nodes, degree int, method string, native, check bool
 	}
 	opts := preset.Options(rng)
 	opts.Measure = true
-	res, err := qaoac.Compile(&qaoac.Problem{G: g, MaxCut: 1}, qaoac.P1Params(0.8, 0.35), dev, opts)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := qaoac.CompileContext(ctx, &qaoac.Problem{G: g, MaxCut: 1}, qaoac.P1Params(0.8, 0.35), dev, opts)
 	if err != nil {
 		return err
 	}

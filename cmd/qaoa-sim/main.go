@@ -9,33 +9,36 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/qaoac"
 )
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 10, "problem graph size (≤ 15 for melbourne)")
-		degree = flag.Int("degree", 3, "edges per node")
-		method = flag.String("method", "IC", "compilation method: NAIVE | GreedyV | QAIM | IP | IC | VIC")
-		shots  = flag.Int("shots", 8192, "measurement shots")
-		traj   = flag.Int("traj", 32, "noise trajectories")
-		seed   = flag.Int64("seed", 1, "random seed")
-		mit    = flag.Bool("mitigate", false, "also report ARG after readout-error mitigation")
+		nodes   = flag.Int("nodes", 10, "problem graph size (≤ 15 for melbourne)")
+		degree  = flag.Int("degree", 3, "edges per node")
+		method  = flag.String("method", "IC", "compilation method: NAIVE | GreedyV | QAIM | IP | IC | VIC")
+		shots   = flag.Int("shots", 8192, "measurement shots")
+		traj    = flag.Int("traj", 32, "noise trajectories")
+		seed    = flag.Int64("seed", 1, "random seed")
+		mit     = flag.Bool("mitigate", false, "also report ARG after readout-error mitigation")
+		timeout = flag.Duration("timeout", 0, "abort compilation after this long (0 = no deadline)")
 	)
 	flag.Parse()
-	if err := run(*nodes, *degree, *method, *shots, *traj, *seed, *mit); err != nil {
+	if err := run(*nodes, *degree, *method, *shots, *traj, *seed, *mit, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate bool) error {
+func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate bool, timeout time.Duration) error {
 	rng := rand.New(rand.NewSource(seed))
 	g, err := qaoac.RandomRegular(nodes, degree, rng)
 	if err != nil {
@@ -67,7 +70,13 @@ func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate
 	}
 
 	dev := qaoac.Melbourne15()
-	res, err := qaoac.Compile(prob, qaoac.P1Params(gamma, beta), dev, preset.Options(rng))
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := qaoac.CompileContext(ctx, prob, qaoac.P1Params(gamma, beta), dev, preset.Options(rng))
 	if err != nil {
 		return err
 	}

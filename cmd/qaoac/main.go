@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/qaoac"
 )
@@ -35,16 +37,23 @@ func main() {
 		print      = flag.Bool("print", false, "print the compiled circuit")
 		native     = flag.Bool("native", false, "print the native-basis circuit instead")
 		draw       = flag.Bool("draw", false, "draw the compiled circuit as ASCII art")
+		timeout    = flag.Duration("timeout", 0, "abort compilation after this long (0 = no deadline)")
+		resilient  = flag.Bool("resilient", false, "retry and degrade through the preset ladder on failure")
+		deadQubits = flag.Int("fault-dead", 0, "fault injection: kill this many random qubits")
+		dropCalib  = flag.Float64("fault-calib", 0, "fault injection: delete this fraction of CNOT calibration entries")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injection: seed for the degradation")
 	)
 	flag.Parse()
 
-	if err := run(*deviceName, *deviceFile, *graphKind, *graphFile, *nodes, *degree, *prob, *method, *levels, *packing, *seed, *print, *native, *draw); err != nil {
+	if err := run(*deviceName, *deviceFile, *graphKind, *graphFile, *nodes, *degree, *prob, *method, *levels, *packing, *seed, *print, *native, *draw,
+		*timeout, *resilient, *deadQubits, *dropCalib, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoac:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int, prob float64, method string, levels, packing int, seed int64, print, native, draw bool) error {
+func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int, prob float64, method string, levels, packing int, seed int64, print, native, draw bool,
+	timeout time.Duration, resilient bool, deadQubits int, dropCalib float64, faultSeed int64) error {
 	var dev *qaoac.Device
 	var err error
 	if deviceFile != "" {
@@ -58,6 +67,15 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 	}
 	if err != nil {
 		return err
+	}
+	if deadQubits > 0 || dropCalib > 0 {
+		spec := qaoac.FaultSpec{Seed: faultSeed, DeadQubits: deadQubits, DeleteCalibFrac: dropCalib}
+		degraded, rep, ferr := spec.Apply(dev)
+		if ferr != nil {
+			return ferr
+		}
+		fmt.Println(rep)
+		dev = degraded
 	}
 	rng := rand.New(rand.NewSource(seed))
 
@@ -95,9 +113,21 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 	}
 
 	problem := &qaoac.Problem{G: g, MaxCut: 1}
-	opts := preset.Options(rng)
-	opts.PackingLimit = packing
-	res, err := qaoac.Compile(problem, params, dev, opts)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var res *qaoac.CompileResult
+	if resilient {
+		res, err = qaoac.CompileResilient(ctx, problem, params, dev, preset,
+			qaoac.FallbackOptions{Seed: seed, PackingLimit: packing})
+	} else {
+		opts := preset.Options(rng)
+		opts.PackingLimit = packing
+		res, err = qaoac.CompileContext(ctx, problem, params, dev, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -105,6 +135,13 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 	fmt.Printf("device:        %s (%d qubits, %d couplers)\n", dev.Name, dev.NQubits(), dev.Coupling.M())
 	fmt.Printf("problem:       %s n=%d m=%d, p=%d\n", graphKind, g.N(), g.M(), levels)
 	fmt.Printf("method:        %s (packing limit %d)\n", preset, packing)
+	if fb := res.Fallback; fb != nil {
+		if fb.Degraded {
+			fmt.Printf("degraded:      %s -> %s after %d failed attempts (%s)\n", fb.Requested, fb.Effective, len(fb.Attempts), fb.Reason)
+		} else if len(fb.Attempts) > 0 {
+			fmt.Printf("retries:       %s succeeded after %d failed attempts\n", fb.Effective, len(fb.Attempts))
+		}
+	}
 	fmt.Printf("initial map:   %s\n", res.Initial)
 	fmt.Printf("final map:     %s\n", res.Final)
 	fmt.Printf("swaps added:   %d\n", res.SwapCount)

@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -11,6 +12,28 @@ import (
 	"repro/internal/qaoa"
 	"repro/internal/router"
 )
+
+// PanicError wraps a panic recovered at the compile boundary. Pass bugs and
+// device-model panics (e.g. a calibration query on a severed edge) surface
+// as ordinary errors instead of crashing the caller; Value holds the
+// original panic payload so typed panics (like *device.NotCoupledError)
+// remain inspectable via errors.As on the Unwrap chain.
+type PanicError struct {
+	Stage string
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("compile: panic in %s pass: %v", e.Stage, e.Value)
+}
+
+// Unwrap exposes a panic payload that was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Result is a compiled QAOA circuit with its quality metrics.
 type Result struct {
@@ -38,6 +61,11 @@ type Result struct {
 	MapTime     time.Duration
 	OrderTime   time.Duration
 	RouteTime   time.Duration
+	// Fallback records how the graceful-degradation ladder arrived at this
+	// result (requested vs effective preset, retries, reasons). It is nil
+	// for direct Compile/CompileSpec calls, and always set by
+	// CompileResilient — even on the happy path, where Degraded is false.
+	Fallback *FallbackInfo
 }
 
 // ExtractLogical converts a measured physical bitstring y (bit p = physical
@@ -58,31 +86,54 @@ func (r *Result) ExtractLogical(y uint64) uint64 {
 // circuit with metrics. It is the MaxCut entry point; CompileSpec accepts
 // arbitrary commuting cost Hamiltonians.
 func Compile(prob *qaoa.Problem, params qaoa.Params, dev *device.Device, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), prob, params, dev, opts)
+}
+
+// CompileContext is Compile honoring a deadline/cancellation: the mapping,
+// ordering and routing passes check ctx and return a ctx-wrapped error as
+// soon as it is done.
+func CompileContext(ctx context.Context, prob *qaoa.Problem, params qaoa.Params, dev *device.Device, opts Options) (*Result, error) {
 	spec, err := SpecFromMaxCut(prob, params)
 	if err != nil {
 		return nil, err
 	}
-	return CompileSpec(spec, dev, opts)
+	return CompileSpecContext(ctx, spec, dev, opts)
 }
 
 // CompileSpec lowers an arbitrary commuting-cost QAOA circuit onto dev,
 // tying together mapping (QAIM/GreedyV/random), term ordering (random/IP)
 // and routing (whole-circuit or incremental).
 func CompileSpec(spec Spec, dev *device.Device, opts Options) (*Result, error) {
+	return CompileSpecContext(context.Background(), spec, dev, opts)
+}
+
+// CompileSpecContext is CompileSpec honoring ctx. It is also the recover
+// boundary of the pipeline: a panic in any pass (or injected through
+// Options.Hook) is converted into a *PanicError instead of escaping to the
+// caller, so one bad compilation cannot take down a batch or a service.
+func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts Options) (res *Result, err error) {
+	stage := StageMap
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Stage: stage, Value: r}
+		}
+	}()
 	o := opts.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if spec.N > dev.NQubits() {
-		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", spec.N, dev.Name, dev.NQubits())
+		return nil, &InsufficientQubitsError{Device: dev.Name, Need: spec.N, Usable: dev.NQubits(), Total: dev.NQubits()}
 	}
 	if o.Strategy == IncrementalVariation && dev.Calib == nil {
 		return nil, fmt.Errorf("compile: VIC requires device calibration on %s", dev.Name)
 	}
+	if err := checkpoint(ctx, StageMap, o.Hook); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 
 	var initial *router.Layout
-	var err error
 	if o.Mapper == MapReverse {
 		initial, err = ReverseTraversalMapping(spec, dev, o.ReverseIterations, o)
 	} else {
@@ -93,12 +144,13 @@ func CompileSpec(spec Spec, dev *device.Device, opts Options) (*Result, error) {
 	}
 	mapTime := time.Since(start)
 
-	var res *Result
 	switch o.Strategy {
 	case WholeRandom, WholeIP, WholeColor:
-		res, err = compileWhole(spec, dev, initial, o)
+		stage = StageOrder
+		res, err = compileWhole(ctx, spec, dev, initial, o, &stage)
 	case Incremental, IncrementalVariation:
-		res, err = compileIncremental(spec, dev, initial, o)
+		stage = StageRoute
+		res, err = compileIncremental(ctx, spec, dev, initial, o)
 	default:
 		return nil, fmt.Errorf("compile: unknown strategy %v", o.Strategy)
 	}
@@ -120,6 +172,23 @@ func CompileSpec(spec Spec, dev *device.Device, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// checkpoint enforces ctx and fires the pass hook at a stage boundary.
+func checkpoint(ctx context.Context, stage string, hook Hook) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("compile: %s pass: %w", stage, err)
+	}
+	if hook != nil {
+		if err := hook(stage); err != nil {
+			return fmt.Errorf("compile: %s pass: %w", stage, err)
+		}
+		// A latency-injecting hook may outlive the deadline; re-check.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("compile: %s pass: %w", stage, err)
+		}
+	}
+	return nil
+}
+
 // emitLocals appends the level's RZ phases mapped through the layout.
 func emitLocals(out *circuit.Circuit, level LevelSpec, phys func(int) int) {
 	if level.Local == nil {
@@ -134,8 +203,11 @@ func emitLocals(out *circuit.Circuit, level LevelSpec, phys func(int) int) {
 
 // compileWhole builds the complete logical circuit (with the strategy's
 // ZZ-term order) and routes it in a single backend call — the NAIVE/QAIM/IP
-// flow of Fig. 2.
-func compileWhole(spec Spec, dev *device.Device, initial *router.Layout, o Options) (*Result, error) {
+// flow of Fig. 2. stage tracks the running pass for panic attribution.
+func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *router.Layout, o Options, stage *string) (*Result, error) {
+	if err := checkpoint(ctx, StageOrder, o.Hook); err != nil {
+		return nil, err
+	}
 	orderStart := time.Now()
 	logical := circuit.New(spec.N)
 	for q := 0; q < spec.N; q++ {
@@ -168,11 +240,15 @@ func compileWhole(spec Spec, dev *device.Device, initial *router.Layout, o Optio
 	}
 	orderTime := time.Since(orderStart)
 
+	*stage = StageRoute
+	if err := checkpoint(ctx, StageRoute, o.Hook); err != nil {
+		return nil, err
+	}
 	r := router.New(dev)
 	r.LookaheadWeight = o.LookaheadWeight
 	r.Trials, r.Rng = o.RouterTrials, o.Rng
 	routeStart := time.Now()
-	routed, err := r.Route(logical, initial)
+	routed, err := r.RouteContext(ctx, logical, initial)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +267,7 @@ func compileWhole(spec Spec, dev *device.Device, initial *router.Layout, o Optio
 // current layout, each layer is routed as a partial circuit, and the
 // partial circuits are stitched. VIC differs only in the distance matrix
 // (reliability-weighted) handed to layer formation and routing.
-func compileIncremental(spec Spec, dev *device.Device, initial *router.Layout, o Options) (*Result, error) {
+func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, initial *router.Layout, o Options) (*Result, error) {
 	dist := dev.HopDistances()
 	if o.Strategy == IncrementalVariation {
 		dist = dev.ReliabilityDistances()
@@ -216,6 +292,9 @@ func compileIncremental(spec Spec, dev *device.Device, initial *router.Layout, o
 		emitLocals(out, level, layout.Phys)
 		remaining := append([]ZZTerm(nil), level.ZZ...)
 		for len(remaining) > 0 {
+			if err := checkpoint(ctx, StageRoute, o.Hook); err != nil {
+				return nil, err
+			}
 			orderStart := time.Now()
 			layer, rest := nextIncrementalLayer(remaining, layout, dist, o)
 			// Route the single-layer partial circuit from the live layout.
@@ -225,7 +304,7 @@ func compileIncremental(spec Spec, dev *device.Device, initial *router.Layout, o
 			}
 			orderTime += time.Since(orderStart)
 			routeStart := time.Now()
-			routed, err := r.Route(partial, layout)
+			routed, err := r.RouteContext(ctx, partial, layout)
 			if err != nil {
 				return nil, err
 			}

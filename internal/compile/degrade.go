@@ -1,0 +1,213 @@
+package compile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/qaoa"
+)
+
+// Attempt records one try of the degradation ladder: which preset ran, the
+// zero-based retry index within its rung, and the error it failed with.
+type Attempt struct {
+	Preset Preset
+	Retry  int
+	Err    string
+}
+
+// FallbackInfo reports how CompileResilient arrived at its result.
+type FallbackInfo struct {
+	// Requested is the preset the caller asked for; Effective is the preset
+	// that produced the returned circuit.
+	Requested, Effective Preset
+	// Degraded is true when Effective differs from Requested.
+	Degraded bool
+	// Reason is the error that forced the first step down the ladder
+	// (empty when not degraded).
+	Reason string
+	// Attempts lists every failed try before the success, in order.
+	Attempts []Attempt
+}
+
+// FallbackOptions tunes the degradation ladder of CompileResilient.
+type FallbackOptions struct {
+	// Retries is the number of extra attempts per rung after the first,
+	// each on a fresh deterministic seed (default 1; negative disables
+	// retries).
+	Retries int
+	// Backoff is the pause before a retry, doubling per retry within a rung
+	// and honoring ctx (default 5ms; the first attempt of each rung never
+	// waits).
+	Backoff time.Duration
+	// AttemptTimeout bounds each individual attempt (0 = only the caller's
+	// ctx bounds it). When an attempt times out but the caller's ctx is
+	// still live, the ladder treats it like any other failure and moves on.
+	AttemptTimeout time.Duration
+	// Seed derives the per-attempt rngs, keeping the whole ladder
+	// reproducible (default 1).
+	Seed int64
+	// PackingLimit, Measure, Optimize and Hook carry through to the
+	// underlying Options of every attempt.
+	PackingLimit int
+	Measure      bool
+	Optimize     bool
+	Hook         Hook
+}
+
+func (fo FallbackOptions) withDefaults() FallbackOptions {
+	if fo.Retries == 0 {
+		fo.Retries = 1
+	}
+	if fo.Retries < 0 {
+		fo.Retries = 0
+	}
+	if fo.Backoff == 0 {
+		fo.Backoff = 5 * time.Millisecond
+	}
+	if fo.Seed == 0 {
+		fo.Seed = 1
+	}
+	return fo
+}
+
+// Ladder returns the preset fallback sequence starting at p: each step
+// trades compilation quality for robustness, ending at NAIVE, which needs
+// neither calibration nor clever layer formation. The variation-aware and
+// incremental strategies degrade along the paper's own quality ordering
+// VIC → IC → IP → NAIVE; the pure mapping presets fall straight to NAIVE.
+func Ladder(p Preset) []Preset {
+	switch p {
+	case PresetVIC:
+		return []Preset{PresetVIC, PresetIC, PresetIP, PresetNaive}
+	case PresetIC:
+		return []Preset{PresetIC, PresetIP, PresetNaive}
+	case PresetIP:
+		return []Preset{PresetIP, PresetNaive}
+	case PresetQAIM:
+		return []Preset{PresetQAIM, PresetNaive}
+	case PresetGreedyV:
+		return []Preset{PresetGreedyV, PresetNaive}
+	default:
+		return []Preset{PresetNaive}
+	}
+}
+
+// LadderError reports that every rung of the degradation ladder failed.
+type LadderError struct {
+	Requested Preset
+	Attempts  []Attempt
+}
+
+func (e *LadderError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compile: all fallbacks for %v failed (%d attempts):", e.Requested, len(e.Attempts))
+	for _, a := range e.Attempts {
+		fmt.Fprintf(&b, " [%v#%d: %s]", a.Preset, a.Retry, a.Err)
+	}
+	return b.String()
+}
+
+// CompileResilient compiles prob with the requested preset, surviving the
+// failure modes of degraded devices: each rung of the preset's fallback
+// ladder is attempted with bounded retries (fresh seed per retry, backoff
+// between them), and on persistent failure the next rung runs. The returned
+// Result always carries a FallbackInfo recording the effective preset and
+// every failed attempt. Context deadline/cancellation aborts the whole
+// ladder immediately; unrecoverable shape errors (problem larger than the
+// usable device) do too, since no preset can fix them.
+func CompileResilient(ctx context.Context, prob *qaoa.Problem, params qaoa.Params, dev *device.Device, preset Preset, fo FallbackOptions) (*Result, error) {
+	spec, err := SpecFromMaxCut(prob, params)
+	if err != nil {
+		return nil, err
+	}
+	return CompileSpecResilient(ctx, spec, dev, preset, fo)
+}
+
+// CompileSpecResilient is CompileResilient for arbitrary commuting-cost
+// specs.
+func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, preset Preset, fo FallbackOptions) (*Result, error) {
+	fo = fo.withDefaults()
+	var attempts []Attempt
+	var firstFailure string
+
+	for rung, p := range Ladder(preset) {
+		if p == PresetVIC && dev.Calib == nil {
+			// VIC cannot run without calibration; record why and step down.
+			attempts = append(attempts, Attempt{Preset: p, Err: fmt.Sprintf("vic requires device calibration on %s", dev.Name)})
+			if firstFailure == "" {
+				firstFailure = attempts[len(attempts)-1].Err
+			}
+			continue
+		}
+		for retry := 0; retry <= fo.Retries; retry++ {
+			if retry > 0 {
+				if err := sleepCtx(ctx, fo.Backoff<<uint(retry-1)); err != nil {
+					return nil, fmt.Errorf("compile: fallback aborted: %w", err)
+				}
+			}
+			res, err := attemptOnce(ctx, spec, dev, p, rung, retry, fo)
+			if err == nil {
+				res.Fallback = &FallbackInfo{
+					Requested: preset,
+					Effective: p,
+					Degraded:  p != preset,
+					Reason:    firstFailure,
+					Attempts:  attempts,
+				}
+				return res, nil
+			}
+			attempts = append(attempts, Attempt{Preset: p, Retry: retry, Err: err.Error()})
+			if firstFailure == "" {
+				firstFailure = err.Error()
+			}
+			if ctx.Err() != nil {
+				// The caller's deadline is spent; degrading further would
+				// only burn more of nothing.
+				return nil, fmt.Errorf("compile: fallback aborted after %d attempts: %w", len(attempts), err)
+			}
+			var insufficient *InsufficientQubitsError
+			if errors.As(err, &insufficient) {
+				// No preset can conjure missing qubits.
+				return nil, err
+			}
+		}
+	}
+	return nil, &LadderError{Requested: preset, Attempts: attempts}
+}
+
+// attemptOnce runs a single ladder attempt with its own derived rng and
+// optional per-attempt timeout.
+func attemptOnce(ctx context.Context, spec Spec, dev *device.Device, p Preset, rung, retry int, fo FallbackOptions) (*Result, error) {
+	if fo.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, fo.AttemptTimeout)
+		defer cancel()
+	}
+	rng := rand.New(rand.NewSource(fo.Seed + int64(rung)*1_000_033 + int64(retry)*7_919))
+	opts := p.Options(rng)
+	opts.PackingLimit = fo.PackingLimit
+	opts.Measure = fo.Measure
+	opts.Optimize = fo.Optimize
+	opts.Hook = fo.Hook
+	return CompileSpecContext(ctx, spec, dev, opts)
+}
+
+// sleepCtx pauses for d unless ctx finishes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -10,14 +10,49 @@ import (
 	"repro/internal/router"
 )
 
-// RandomMapping places the n logical qubits on a uniformly random subset of
-// physical qubits — the NAIVE baseline's initial mapping.
-func RandomMapping(n int, dev *device.Device, rng *rand.Rand) (*router.Layout, error) {
-	if n > dev.NQubits() {
-		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", n, dev.Name, dev.NQubits())
+// InsufficientQubitsError reports a problem too large for the usable
+// (connected) portion of a device — on a healthy machine Usable equals
+// Total, on a degraded one it is the largest surviving coupling component.
+type InsufficientQubitsError struct {
+	Device        string
+	Need          int
+	Usable, Total int
+}
+
+func (e *InsufficientQubitsError) Error() string {
+	if e.Usable < e.Total {
+		return fmt.Sprintf("compile: %d logical qubits exceed the %d usable of degraded device %s (%d total)",
+			e.Need, e.Usable, e.Device, e.Total)
 	}
-	perm := rng.Perm(dev.NQubits())
-	return router.NewLayout(n, dev.NQubits(), perm[:n])
+	return fmt.Sprintf("compile: %d logical qubits exceed device %s (%d)", e.Need, e.Device, e.Total)
+}
+
+// usablePhysical returns the placement-eligible physical qubits (the whole
+// register, or the largest coupling component of a degraded device) and a
+// typed error when n does not fit on them. All mapping policies place only
+// on these qubits, so a device with dead qubits or severed edges keeps
+// compiling as long as its healthy part is big enough.
+func usablePhysical(n int, dev *device.Device) ([]int, error) {
+	usable := dev.UsableQubits()
+	if n > len(usable) {
+		return nil, &InsufficientQubitsError{Device: dev.Name, Need: n, Usable: len(usable), Total: dev.NQubits()}
+	}
+	return usable, nil
+}
+
+// RandomMapping places the n logical qubits on a uniformly random subset of
+// usable physical qubits — the NAIVE baseline's initial mapping.
+func RandomMapping(n int, dev *device.Device, rng *rand.Rand) (*router.Layout, error) {
+	usable, err := usablePhysical(n, dev)
+	if err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(len(usable))
+	l2p := make([]int, n)
+	for i := range l2p {
+		l2p[i] = usable[perm[i]]
+	}
+	return router.NewLayout(n, dev.NQubits(), l2p)
 }
 
 // GreedyVMapping implements the GreedyV policy of Murali et al. (ASPLOS'19):
@@ -26,11 +61,15 @@ func RandomMapping(n int, dev *device.Device, rng *rand.Rand) (*router.Layout, e
 // Ties are broken by index for determinism.
 func GreedyVMapping(g *graphs.Graph, dev *device.Device) (*router.Layout, error) {
 	n := g.N()
-	if n > dev.NQubits() {
-		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", n, dev.Name, dev.NQubits())
+	usable, err := usablePhysical(n, dev)
+	if err != nil {
+		return nil, err
 	}
 	logical := sortedByDesc(n, func(q int) int { return g.Degree(q) })
-	physical := sortedByDesc(dev.NQubits(), func(p int) int { return dev.Coupling.Degree(p) })
+	physical := append([]int(nil), usable...)
+	sort.SliceStable(physical, func(a, b int) bool {
+		return dev.Coupling.Degree(physical[a]) > dev.Coupling.Degree(physical[b])
+	})
 	l2p := make([]int, n)
 	for i, q := range logical {
 		l2p[q] = physical[i]
@@ -55,8 +94,13 @@ func GreedyVMapping(g *graphs.Graph, dev *device.Device) (*router.Layout, error)
 // reproducibility), matching the paper's "picked randomly" tie rule.
 func QAIMMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *rand.Rand) (*router.Layout, error) {
 	n := g.N()
-	if n > dev.NQubits() {
-		return nil, fmt.Errorf("compile: %d logical qubits exceed device %s (%d)", n, dev.Name, dev.NQubits())
+	usable, err := usablePhysical(n, dev)
+	if err != nil {
+		return nil, err
+	}
+	eligible := make([]bool, dev.NQubits())
+	for _, p := range usable {
+		eligible[p] = true
 	}
 	if strengthRadius <= 0 {
 		strengthRadius = 2
@@ -83,7 +127,7 @@ func QAIMMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *r
 		best, bestS := -1, -1
 		count := 0
 		for p := 0; p < dev.NQubits(); p++ {
-			if used[p] {
+			if used[p] || !eligible[p] {
 				continue
 			}
 			switch {
@@ -116,16 +160,16 @@ func QAIMMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *r
 			candSet := make(map[int]bool)
 			for _, p := range placed {
 				for _, nb := range dev.Coupling.Neighbors(p) {
-					if !used[nb] {
+					if !used[nb] && eligible[nb] {
 						candSet[nb] = true
 					}
 				}
 			}
 			if len(candSet) == 0 {
-				// All surrounding qubits taken: fall back to any free qubit,
-				// still scored by the QAIM cost metric.
+				// All surrounding qubits taken: fall back to any free usable
+				// qubit, still scored by the QAIM cost metric.
 				for p := 0; p < dev.NQubits(); p++ {
-					if !used[p] {
+					if !used[p] && eligible[p] {
 						candSet[p] = true
 					}
 				}

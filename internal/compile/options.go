@@ -91,6 +91,20 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
+// Hook observes pass boundaries during compilation. It is called with the
+// stage about to run ("map", "order", "route"); a non-nil return aborts the
+// compilation with that error. Fault-injection harnesses use hooks to
+// simulate pass crashes (panics are recovered at the compile boundary and
+// converted to *PanicError) and latency; nil disables the mechanism.
+type Hook func(stage string) error
+
+// Hook stage names.
+const (
+	StageMap   = "map"
+	StageOrder = "order"
+	StageRoute = "route"
+)
+
 // Options configures a compilation run.
 type Options struct {
 	Mapper   Mapper
@@ -121,6 +135,8 @@ type Options struct {
 	// decomposition — the analogue of a conventional compiler's higher
 	// optimization levels.
 	Optimize bool
+	// Hook, when non-nil, is invoked at every pass boundary (see Hook).
+	Hook Hook
 }
 
 func (o Options) withDefaults() Options {

@@ -17,6 +17,19 @@ import (
 	"repro/internal/graphs"
 )
 
+// NotCoupledError reports a calibration or gate query for a qubit pair that
+// shares no coupling edge. Device.CNOTError panics with a *NotCoupledError
+// value so recover-at-the-boundary code (compile, router) can convert it
+// into a plain error without losing the diagnosis.
+type NotCoupledError struct {
+	Device string
+	A, B   int
+}
+
+func (e *NotCoupledError) Error() string {
+	return fmt.Sprintf("device %s: (%d,%d) is not a coupling edge", e.Device, e.A, e.B)
+}
+
 // Calibration holds device error data. Error rates are probabilities in
 // [0,1); success = 1 − error.
 type Calibration struct {
@@ -33,6 +46,82 @@ type Calibration struct {
 	// unit. nil/zero disables decoherence modelling.
 	T1, T2   []float64
 	GateTime float64
+}
+
+// LookupCNOT returns the calibrated error for canonicalized edge (a,b) and
+// whether an entry exists. A degraded device may have entries deleted; the
+// second return distinguishes "measured as 0" from "never measured".
+func (c *Calibration) LookupCNOT(a, b int) (float64, bool) {
+	if c == nil || c.CNOTError == nil {
+		return 0, false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	e, ok := c.CNOTError[[2]int{a, b}]
+	return e, ok
+}
+
+// WorstCNOTError returns the largest recorded CNOT error rate (0 when no
+// entries exist). Used as the pessimistic stand-in for edges whose
+// calibration entry is missing or stale.
+func (c *Calibration) WorstCNOTError() float64 {
+	worst := 0.0
+	if c != nil {
+		for _, e := range c.CNOTError {
+			if e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// Validate checks the calibration against a device shape: error rates must
+// be probabilities in [0,1), per-qubit arrays must have nq entries, T1/T2
+// must be non-negative, and every CNOT entry must sit on a coupling edge of
+// g (when g is non-nil). It returns a descriptive error for the first
+// violation found.
+func (c *Calibration) Validate(nq int, g *graphs.Graph) error {
+	if c == nil {
+		return nil
+	}
+	badRate := func(e float64) bool { return e < 0 || e >= 1 || math.IsNaN(e) }
+	if badRate(c.SingleQubitError) {
+		return fmt.Errorf("calibration: single-qubit error %v outside [0,1)", c.SingleQubitError)
+	}
+	for edge, e := range c.CNOTError {
+		if badRate(e) {
+			return fmt.Errorf("calibration: CNOT error %v on edge (%d,%d) outside [0,1)", e, edge[0], edge[1])
+		}
+		if g != nil && !g.HasEdge(edge[0], edge[1]) {
+			return fmt.Errorf("calibration: entry for non-edge (%d,%d)", edge[0], edge[1])
+		}
+	}
+	for name, arr := range map[string][]float64{"readout_error": c.ReadoutError, "t1": c.T1, "t2": c.T2} {
+		if arr != nil && len(arr) != nq {
+			return fmt.Errorf("calibration: %s has %d entries, want %d", name, len(arr), nq)
+		}
+	}
+	for q, e := range c.ReadoutError {
+		if badRate(e) {
+			return fmt.Errorf("calibration: readout error %v on qubit %d outside [0,1)", e, q)
+		}
+	}
+	for q, t := range c.T1 {
+		if t < 0 || math.IsNaN(t) {
+			return fmt.Errorf("calibration: negative T1 %v on qubit %d", t, q)
+		}
+	}
+	for q, t := range c.T2 {
+		if t < 0 || math.IsNaN(t) {
+			return fmt.Errorf("calibration: negative T2 %v on qubit %d", t, q)
+		}
+	}
+	if c.GateTime < 0 || math.IsNaN(c.GateTime) {
+		return fmt.Errorf("calibration: negative gate time %v", c.GateTime)
+	}
+	return nil
 }
 
 // Device is a hardware target: a coupling graph plus calibration.
@@ -53,18 +142,24 @@ func (d *Device) NQubits() int { return d.Coupling.N() }
 func (d *Device) Connected(a, b int) bool { return d.Coupling.HasEdge(a, b) }
 
 // CNOTError returns the calibrated CNOT error rate for edge (a,b), or 0 when
-// no calibration is attached. It panics if (a,b) is not a coupling edge.
+// no calibration is attached. It panics with a *NotCoupledError if (a,b) is
+// not a coupling edge; CNOTErrorChecked is the non-panicking form.
 func (d *Device) CNOTError(a, b int) float64 {
+	e, err := d.CNOTErrorChecked(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// CNOTErrorChecked is CNOTError returning a typed error instead of
+// panicking when (a,b) is not a coupling edge.
+func (d *Device) CNOTErrorChecked(a, b int) (float64, error) {
 	if !d.Connected(a, b) {
-		panic(fmt.Sprintf("device %s: (%d,%d) is not a coupling edge", d.Name, a, b))
+		return 0, &NotCoupledError{Device: d.Name, A: a, B: b}
 	}
-	if d.Calib == nil || d.Calib.CNOTError == nil {
-		return 0
-	}
-	if a > b {
-		a, b = b, a
-	}
-	return d.Calib.CNOTError[[2]int{a, b}]
+	e, _ := d.Calib.LookupCNOT(a, b)
+	return e, nil
 }
 
 // CPhaseSuccess returns the success rate of a CPhase (ZZ) operation on edge
@@ -93,6 +188,43 @@ func (d *Device) StrengthProfile(radius int) []int {
 	return p
 }
 
+// UsableQubits returns the physical qubits eligible for logical placement:
+// every qubit when the coupling graph is connected, otherwise the largest
+// connected component (sorted ascending). Dead qubits and severed regions of
+// a degraded device are excluded, so compilation can proceed on the healthy
+// part of the machine.
+func (d *Device) UsableQubits() []int {
+	if d.Coupling.IsConnected() {
+		all := make([]int, d.NQubits())
+		for q := range all {
+			all[q] = q
+		}
+		return all
+	}
+	return d.Coupling.LargestComponent()
+}
+
+// MissingCNOTCalibration lists the coupling edges without a CNOTError entry.
+// Nil calibration (or a nil CNOTError map) counts every edge as missing only
+// when some entries exist — an entirely uncalibrated device is a deliberate
+// ideal model, not a fault, and reports no missing edges.
+func (d *Device) MissingCNOTCalibration() [][2]int {
+	if d.Calib == nil || len(d.Calib.CNOTError) == 0 {
+		return nil
+	}
+	var missing [][2]int
+	for _, e := range d.Coupling.Edges() {
+		if _, ok := d.Calib.LookupCNOT(e.U, e.V); !ok {
+			missing = append(missing, [2]int{e.U, e.V})
+		}
+	}
+	return missing
+}
+
+// CalibrationComplete reports whether every coupling edge has a CNOT
+// calibration entry (vacuously true for uncalibrated devices).
+func (d *Device) CalibrationComplete() bool { return len(d.MissingCNOTCalibration()) == 0 }
+
 // HopDistances returns (and caches) the unweighted all-pairs shortest-path
 // matrix of the coupling graph. Safe for concurrent use.
 func (d *Device) HopDistances() *graphs.DistanceMatrix {
@@ -109,13 +241,23 @@ func (d *Device) HopDistances() *graphs.DistanceMatrix {
 // its CPhase success rate (1/R, Fig. 6(d)). Higher success ⇒ shorter
 // distance, so the variation-aware pass prefers reliable links. Without
 // calibration every edge weighs 1 and this degenerates to HopDistances.
+//
+// Edges whose calibration entry is missing (deleted or stale on a degraded
+// device) are charged the worst recorded CNOT error: an unmeasured link
+// cannot be assumed reliable, so the variation-aware pass deprioritizes it
+// without disconnecting the routing graph.
 func (d *Device) ReliabilityDistances() *graphs.DistanceMatrix {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.relDist == nil {
+		worst := d.Calib.WorstCNOTError()
 		w := d.Coupling.Clone()
 		for _, e := range w.Edges() {
-			r := d.CPhaseSuccess(e.U, e.V)
+			cnotErr, ok := d.Calib.LookupCNOT(e.U, e.V)
+			if !ok {
+				cnotErr = worst
+			}
+			r := (1 - cnotErr) * (1 - cnotErr)
 			weight := math.Inf(1)
 			if r > 0 {
 				weight = 1 / r

@@ -1,0 +1,130 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graphs"
+)
+
+func TestCNOTErrorCheckedOffEdge(t *testing.T) {
+	d := Tokyo20()
+	_, err := d.CNOTErrorChecked(0, 19)
+	var nce *NotCoupledError
+	if !errors.As(err, &nce) {
+		t.Fatalf("want *NotCoupledError, got %v", err)
+	}
+	if nce.Device != d.Name || nce.A != 0 || nce.B != 19 {
+		t.Fatalf("error fields = %+v", nce)
+	}
+	if e, err := d.CNOTErrorChecked(0, 1); err != nil || e != 0 {
+		t.Fatalf("on-edge uncalibrated: e=%v err=%v", e, err)
+	}
+}
+
+func TestCNOTErrorPanicsWithTypedValue(t *testing.T) {
+	d := Tokyo20()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if _, ok := r.(*NotCoupledError); !ok {
+			t.Fatalf("panic value %T, want *NotCoupledError", r)
+		}
+	}()
+	d.CNOTError(0, 19)
+}
+
+func TestUsableQubitsConnected(t *testing.T) {
+	d := Melbourne15()
+	usable := d.UsableQubits()
+	if len(usable) != d.NQubits() {
+		t.Fatalf("healthy device: %d usable of %d", len(usable), d.NQubits())
+	}
+	for i, q := range usable {
+		if q != i {
+			t.Fatalf("usable[%d] = %d", i, q)
+		}
+	}
+}
+
+func TestUsableQubitsDisconnected(t *testing.T) {
+	// Chain 0-1-2 plus chain 3-4: the larger component wins.
+	g := graphs.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	d := &Device{Name: "split", Coupling: g}
+	usable := d.UsableQubits()
+	if len(usable) != 3 || usable[0] != 0 || usable[2] != 2 {
+		t.Fatalf("usable = %v, want [0 1 2]", usable)
+	}
+}
+
+func TestMissingCNOTCalibration(t *testing.T) {
+	d := Tokyo20()
+	if got := d.MissingCNOTCalibration(); got != nil {
+		t.Fatalf("uncalibrated device should report no missing edges, got %v", got)
+	}
+	d.Calib = &Calibration{CNOTError: map[[2]int]float64{{0, 1}: 0.01}}
+	missing := d.MissingCNOTCalibration()
+	if len(missing) != d.Coupling.M()-1 {
+		t.Fatalf("got %d missing, want %d", len(missing), d.Coupling.M()-1)
+	}
+	if d.CalibrationComplete() {
+		t.Fatal("CalibrationComplete with missing entries")
+	}
+}
+
+func TestReliabilityDistancesPessimisticOnMissingEntry(t *testing.T) {
+	// Path 0-1-2 with one calibrated (bad) edge: the uncalibrated edge must
+	// be charged the worst recorded error, not treated as perfect.
+	g := graphs.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	d := &Device{Name: "path", Coupling: g, Calib: &Calibration{
+		CNOTError: map[[2]int]float64{{0, 1}: 0.2},
+	}}
+	dist := d.ReliabilityDistances()
+	wantEdge := 1 / (0.8 * 0.8)
+	if got := dist.D[1][2]; math.Abs(got-wantEdge) > 1e-12 {
+		t.Fatalf("missing-entry edge weight = %v, want worst-case %v", got, wantEdge)
+	}
+	if got := dist.D[0][2]; math.Abs(got-2*wantEdge) > 1e-12 {
+		t.Fatalf("path weight = %v, want %v", got, 2*wantEdge)
+	}
+}
+
+func TestCalibrationValidate(t *testing.T) {
+	g := graphs.New(2)
+	g.MustAddEdge(0, 1)
+	cases := []struct {
+		name string
+		cal  *Calibration
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"good", &Calibration{CNOTError: map[[2]int]float64{{0, 1}: 0.02}, ReadoutError: []float64{0.1, 0.1}}, true},
+		{"cnot ge 1", &Calibration{CNOTError: map[[2]int]float64{{0, 1}: 1.0}}, false},
+		{"cnot negative", &Calibration{CNOTError: map[[2]int]float64{{0, 1}: -0.1}}, false},
+		{"cnot NaN", &Calibration{CNOTError: map[[2]int]float64{{0, 1}: math.NaN()}}, false},
+		{"cnot non-edge", &Calibration{CNOTError: map[[2]int]float64{{0, 2}: 0.01}}, false},
+		{"readout wrong len", &Calibration{ReadoutError: []float64{0.1}}, false},
+		{"readout out of range", &Calibration{ReadoutError: []float64{0.1, 1.5}}, false},
+		{"single-qubit bad", &Calibration{SingleQubitError: -1}, false},
+		{"t1 wrong len", &Calibration{T1: []float64{1}}, false},
+		{"t1 negative", &Calibration{T1: []float64{-1, 2}}, false},
+		{"gate time negative", &Calibration{GateTime: -3}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cal.Validate(2, g)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}

@@ -94,10 +94,8 @@ func (d *Device) UnmarshalJSON(data []byte) error {
 				cal.CNOTError[[2]int{u, v}] = ee.E
 			}
 		}
-		for _, arr := range [][]float64{cal.ReadoutError, cal.T1, cal.T2} {
-			if arr != nil && len(arr) != dj.Qubits {
-				return fmt.Errorf("device: per-qubit calibration array has %d entries, want %d", len(arr), dj.Qubits)
-			}
+		if err := cal.Validate(dj.Qubits, g); err != nil {
+			return fmt.Errorf("device %s: %w", dj.Name, err)
 		}
 		d.Calib = cal
 	}

@@ -63,6 +63,10 @@ func TestDeviceJSONErrors(t *testing.T) {
 		{"self loop", `{"name":"x","qubits":2,"edges":[[1,1]]}`},
 		{"calibrated non-edge", `{"name":"x","qubits":3,"edges":[[0,1]],"calibration":{"cnot_error":[{"u":1,"v":2,"error":0.1}]}}`},
 		{"bad readout length", `{"name":"x","qubits":3,"edges":[[0,1]],"calibration":{"readout_error":[0.1]}}`},
+		{"cnot error ≥ 1", `{"name":"x","qubits":2,"edges":[[0,1]],"calibration":{"cnot_error":[{"u":0,"v":1,"error":1.0}]}}`},
+		{"negative cnot error", `{"name":"x","qubits":2,"edges":[[0,1]],"calibration":{"cnot_error":[{"u":0,"v":1,"error":-0.1}]}}`},
+		{"readout error ≥ 1", `{"name":"x","qubits":2,"edges":[[0,1]],"calibration":{"readout_error":[0.1,1.2]}}`},
+		{"negative t1", `{"name":"x","qubits":2,"edges":[[0,1]],"calibration":{"t1":[-5,10]}}`},
 	}
 	for _, tc := range cases {
 		if _, err := FromJSON([]byte(tc.src)); err == nil {

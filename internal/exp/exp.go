@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -28,6 +29,17 @@ const (
 	Regular
 )
 
+// String names the workload family.
+func (w Workload) String() string {
+	switch w {
+	case ErdosRenyi:
+		return "erdos-renyi"
+	case Regular:
+		return "regular"
+	}
+	return fmt.Sprintf("workload(%d)", int(w))
+}
+
 // instanceRNG derives an independent deterministic stream per (seed, index).
 func instanceRNG(seed int64, index int) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + int64(index)*7919 + 17))
@@ -48,11 +60,11 @@ func sampleGraph(w Workload, n int, param float64, rng *rand.Rand) (*graphs.Grap
 // compileSample compiles one instance with a preset and returns its quality
 // metrics. Success probability is measured on the native circuit when the
 // device is calibrated, 1 otherwise.
-func compileSample(g *graphs.Graph, dev *device.Device, preset compile.Preset, rng *rand.Rand, packing int) (metrics.Sample, *compile.Result, error) {
+func compileSample(ctx context.Context, g *graphs.Graph, dev *device.Device, preset compile.Preset, rng *rand.Rand, packing int) (metrics.Sample, *compile.Result, error) {
 	prob := &qaoa.Problem{G: g, MaxCut: 1} // optimum unused for structural metrics
 	opts := preset.Options(rng)
 	opts.PackingLimit = packing
-	res, err := compile.Compile(prob, structuralParams, dev, opts)
+	res, err := compile.CompileContext(ctx, prob, structuralParams, dev, opts)
 	if err != nil {
 		return metrics.Sample{}, nil, err
 	}
@@ -71,6 +83,10 @@ func compileSample(g *graphs.Graph, dev *device.Device, preset compile.Preset, r
 	return s, res, nil
 }
 
+// instanceRetries is the number of extra compile attempts (each on a fresh
+// derived seed) before an instance×preset pair is recorded as failed.
+const instanceRetries = 2
+
 // runPoint compiles `instances` fresh workload graphs with every preset in
 // `presets` and returns one aggregate per preset. The same graph instance is
 // fed to all presets so ratios compare like with like. Instances run in
@@ -78,11 +94,25 @@ func compileSample(g *graphs.Graph, dev *device.Device, preset compile.Preset, r
 // independent of scheduling); per-preset sample order is by instance index,
 // keeping aggregates deterministic.
 func runPoint(w Workload, n int, param float64, dev *device.Device, presets []compile.Preset, instances int, seed int64, packing int) (map[compile.Preset]metrics.Aggregate, error) {
+	return runPointCtx(context.Background(), w, n, param, dev, presets, instances, seed, packing)
+}
+
+// runPointCtx is runPoint with a deadline, and is resilient against faulty
+// devices and pass bugs: a failing compilation is retried on fresh seeds,
+// persistent failures are dropped from the aggregates and recorded in a
+// PointReport (drained via DrainFaultReports) instead of discarding the
+// whole sweep point, and a panicking instance goroutine is contained the
+// same way. It errors only when the configuration itself is broken (unknown
+// workload, impossible graph family) or no instance compiled at all.
+func runPointCtx(ctx context.Context, w Workload, n int, param float64, dev *device.Device, presets []compile.Preset, instances int, seed int64, packing int) (map[compile.Preset]metrics.Aggregate, error) {
 	collected := make(map[compile.Preset][]metrics.Sample, len(presets))
+	valid := make(map[compile.Preset][]bool, len(presets))
 	for _, p := range presets {
 		collected[p] = make([]metrics.Sample, instances)
+		valid[p] = make([]bool, instances)
 	}
-	errs := make([]error, instances)
+	fatals := make([]error, instances)
+	failures := make([][]InstanceFailure, instances)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := 0; i < instances; i++ {
@@ -91,31 +121,84 @@ func runPoint(w Workload, n int, param float64, dev *device.Device, presets []co
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Contain instance panics: one bad instance must not take down
+			// the sweep (or the process).
+			defer func() {
+				if r := recover(); r != nil {
+					failures[i] = append(failures[i], InstanceFailure{
+						Instance: i, Preset: "-", Attempts: 1,
+						Err: fmt.Sprintf("instance goroutine panicked: %v", r),
+					})
+				}
+			}()
 			rng := instanceRNG(seed, i)
 			g, err := sampleGraph(w, n, param, rng)
 			if err != nil {
-				errs[i] = err
+				fatals[i] = err
 				return
 			}
 			for _, preset := range presets {
-				s, _, err := compileSample(g, dev, preset, instanceRNG(seed, i*100+int(preset)), packing)
-				if err != nil {
-					errs[i] = fmt.Errorf("exp: %v on n=%d param=%v: %w", preset, n, param, err)
-					return
+				attempts := 0
+				var lastErr error
+				for retry := 0; retry <= instanceRetries; retry++ {
+					attempts++
+					// Retry 0 reproduces the historical stream; retries
+					// re-seed so a seed-dependent failure isn't replayed.
+					s, _, err := compileSample(ctx, g, dev, preset,
+						instanceRNG(seed+int64(retry)*999_983, i*100+int(preset)), packing)
+					if err == nil {
+						collected[preset][i] = s
+						valid[preset][i] = true
+						lastErr = nil
+						break
+					}
+					lastErr = err
+					if ctx.Err() != nil {
+						break // deadline spent; retrying cannot help
+					}
 				}
-				collected[preset][i] = s
+				if lastErr != nil {
+					failures[i] = append(failures[i], InstanceFailure{
+						Instance: i, Preset: preset.String(), Attempts: attempts,
+						Err: lastErr.Error(),
+					})
+				}
 			}
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range fatals {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: n=%d param=%v: %w", n, param, err)
 		}
 	}
+
+	var allFailures []InstanceFailure
+	for _, fs := range failures {
+		allFailures = append(allFailures, fs...)
+	}
 	out := make(map[compile.Preset]metrics.Aggregate, len(presets))
+	ok := 0
 	for p, ss := range collected {
-		out[p] = metrics.Collect(ss)
+		kept := make([]metrics.Sample, 0, instances)
+		for i, s := range ss {
+			if valid[p][i] {
+				kept = append(kept, s)
+			}
+		}
+		ok += len(kept)
+		out[p] = metrics.Collect(kept)
+	}
+	if len(allFailures) > 0 {
+		recordReport(&PointReport{
+			Device: dev.Name, Workload: w.String(), N: n, Param: param,
+			Instances: instances, Presets: len(presets),
+			Failed: len(allFailures), Failures: allFailures,
+		})
+	}
+	if ok == 0 && instances > 0 && len(presets) > 0 {
+		return nil, fmt.Errorf("exp: every compilation failed at n=%d param=%v on %s: %s",
+			n, param, dev.Name, allFailures[0].Err)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/compile"
@@ -51,7 +52,7 @@ func Fig11a(cfg Fig11aConfig) (*Table, error) {
 				return err
 			}
 			for _, preset := range presets {
-				s, _, err := compileSample(g, dev, preset, instanceRNG(seed, i*100+int(preset)), 0)
+				s, _, err := compileSample(context.Background(), g, dev, preset, instanceRNG(seed, i*100+int(preset)), 0)
 				if err != nil {
 					return err
 				}

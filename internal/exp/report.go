@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// InstanceFailure records one instance×preset compilation that kept failing
+// after every retry, or an instance whose goroutine panicked (Preset "-").
+type InstanceFailure struct {
+	Instance int
+	Preset   string
+	Attempts int
+	Err      string
+}
+
+// PointReport is the structured fault summary of one sweep point: how many
+// instance×preset compilations were requested, how many failed, and the
+// specific failures. Points that fail partially still contribute their
+// surviving samples to the aggregates; the report is how the loss is
+// surfaced instead of silently shrinking N.
+type PointReport struct {
+	Device    string
+	Workload  string
+	N         int
+	Param     float64
+	Instances int // requested instances
+	Presets   int // presets per instance
+	Failed    int // failed instance×preset pairs
+	Failures  []InstanceFailure
+}
+
+// Summary renders the report as "N-of-M" plus one line per failure.
+func (r *PointReport) Summary() string {
+	total := r.Instances * r.Presets
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s n=%d param=%v: %d/%d compilations ok (%d failed)",
+		r.Device, r.Workload, r.N, r.Param, total-r.Failed, total, r.Failed)
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "\n  instance %d preset %s after %d attempts: %s", f.Instance, f.Preset, f.Attempts, f.Err)
+	}
+	return b.String()
+}
+
+// Package-level fault collector. runPoint runs deep inside the figure
+// generators, whose signatures mirror the paper's tables; rather than
+// threading a report through every one of them, partial failures are
+// recorded here and drained by the caller (cmd/qaoa-exp prints them after
+// each figure). Safe for concurrent use.
+var (
+	reportMu     sync.Mutex
+	faultReports []*PointReport
+)
+
+func recordReport(r *PointReport) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	faultReports = append(faultReports, r)
+}
+
+// DrainFaultReports returns and clears the fault reports accumulated by
+// runPoint since the previous drain.
+func DrainFaultReports() []*PointReport {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	out := faultReports
+	faultReports = nil
+	return out
+}

@@ -1,0 +1,231 @@
+// Package faultinject produces degraded device models and failing compiler
+// passes for robustness testing: real backends lose qubits, drop coupling
+// edges, and serve stale or missing calibration between daily calibration
+// runs, and a production compilation service must survive all of it. Every
+// injection is driven by a seeded Spec so failures reproduce exactly in
+// tests and incident replays.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/graphs"
+)
+
+// Spec describes a reproducible device degradation. The zero value injects
+// nothing; Apply with the same Spec always yields the same degraded device.
+type Spec struct {
+	// Seed drives every random choice below.
+	Seed int64
+	// DeadQubits kills this many randomly chosen qubits: all their coupling
+	// edges are dropped, leaving them isolated (as a bad qubit is on a real
+	// backend — present in the register, unusable for entanglement).
+	DeadQubits int
+	// Qubits lists explicitly dead qubits, in addition to DeadQubits.
+	Qubits []int
+	// DropEdges severs this many randomly chosen surviving coupling edges.
+	DropEdges int
+	// DropEdgeFrac severs this fraction (0..1) of surviving coupling edges,
+	// on top of DropEdges.
+	DropEdgeFrac float64
+	// DeleteCalibFrac deletes this fraction (0..1) of the surviving CNOT
+	// calibration entries — the "stale calibration" fault, where an edge
+	// exists but its error rate is unknown.
+	DeleteCalibFrac float64
+	// DriftSigma multiplies every surviving CNOT error by exp(N(0,σ)),
+	// modelling day-to-day calibration drift (§V of the paper is motivated
+	// by exactly this drift). Results are clamped to [1e-5, 0.5].
+	DriftSigma float64
+}
+
+// Report lists what Apply actually degraded, for logging and assertions.
+type Report struct {
+	Dead         []int
+	DroppedEdges [][2]int
+	DeletedCalib [][2]int
+	DriftedEdges int
+}
+
+// String renders the report compactly.
+func (r *Report) String() string {
+	return fmt.Sprintf("faultinject: dead=%v dropped=%d calib-deleted=%d calib-drifted=%d",
+		r.Dead, len(r.DroppedEdges), len(r.DeletedCalib), r.DriftedEdges)
+}
+
+// Apply returns a degraded copy of dev according to the spec, leaving dev
+// untouched. The copy keeps the original qubit numbering (dead qubits stay
+// in the register, isolated), so layouts and readout extraction remain
+// comparable with the healthy device.
+func (s Spec) Apply(dev *device.Device) (*device.Device, *Report, error) {
+	nq := dev.NQubits()
+	if s.DeadQubits < 0 || s.DeadQubits > nq {
+		return nil, nil, fmt.Errorf("faultinject: dead qubit count %d out of range for %d qubits", s.DeadQubits, nq)
+	}
+	if s.DropEdgeFrac < 0 || s.DropEdgeFrac > 1 || s.DeleteCalibFrac < 0 || s.DeleteCalibFrac > 1 {
+		return nil, nil, fmt.Errorf("faultinject: fractions must be in [0,1]")
+	}
+	for _, q := range s.Qubits {
+		if q < 0 || q >= nq {
+			return nil, nil, fmt.Errorf("faultinject: dead qubit %d out of range for %d qubits", q, nq)
+		}
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	rep := &Report{}
+
+	// Choose dead qubits: explicit ones first, then random extras.
+	dead := make(map[int]bool, s.DeadQubits+len(s.Qubits))
+	for _, q := range s.Qubits {
+		dead[q] = true
+	}
+	for _, q := range rng.Perm(nq) {
+		if len(dead) >= s.DeadQubits+len(s.Qubits) {
+			break
+		}
+		dead[q] = true
+	}
+	for q := 0; q < nq; q++ {
+		if dead[q] {
+			rep.Dead = append(rep.Dead, q)
+		}
+	}
+
+	// Surviving edges after qubit deaths.
+	var alive []graphs.Edge
+	for _, e := range dev.Coupling.Edges() {
+		if dead[e.U] || dead[e.V] {
+			rep.DroppedEdges = append(rep.DroppedEdges, [2]int{e.U, e.V})
+			continue
+		}
+		alive = append(alive, e)
+	}
+
+	// Random edge drops among the survivors.
+	drops := s.DropEdges + int(s.DropEdgeFrac*float64(len(alive)))
+	if drops > len(alive) {
+		drops = len(alive)
+	}
+	if drops > 0 {
+		order := rng.Perm(len(alive))
+		cut := make(map[int]bool, drops)
+		for _, i := range order[:drops] {
+			cut[i] = true
+		}
+		kept := alive[:0]
+		for i, e := range alive {
+			if cut[i] {
+				rep.DroppedEdges = append(rep.DroppedEdges, [2]int{e.U, e.V})
+				continue
+			}
+			kept = append(kept, e)
+		}
+		alive = kept
+	}
+
+	g := graphs.New(nq)
+	for _, e := range alive {
+		if err := g.AddWeightedEdge(e.U, e.V, e.Weight); err != nil {
+			return nil, nil, fmt.Errorf("faultinject: rebuilding coupling graph: %w", err)
+		}
+	}
+
+	out := &device.Device{Name: dev.Name + "/degraded", Coupling: g}
+	if cal := dev.Calib; cal != nil {
+		out.Calib = degradeCalibration(cal, g, s, rng, rep)
+	}
+	return out, rep, nil
+}
+
+// degradeCalibration copies cal restricted to the surviving edges, then
+// deletes and drifts entries per the spec.
+func degradeCalibration(cal *device.Calibration, g *graphs.Graph, s Spec, rng *rand.Rand, rep *Report) *device.Calibration {
+	out := &device.Calibration{
+		SingleQubitError: cal.SingleQubitError,
+		ReadoutError:     append([]float64(nil), cal.ReadoutError...),
+		T1:               append([]float64(nil), cal.T1...),
+		T2:               append([]float64(nil), cal.T2...),
+		GateTime:         cal.GateTime,
+	}
+	if cal.CNOTError == nil {
+		return out
+	}
+	out.CNOTError = make(map[[2]int]float64, len(cal.CNOTError))
+	// Deterministic iteration: walk the graph's edge list, not the map.
+	var surviving [][2]int
+	for _, e := range g.Edges() {
+		if v, ok := cal.LookupCNOT(e.U, e.V); ok {
+			key := [2]int{e.U, e.V}
+			out.CNOTError[key] = v
+			surviving = append(surviving, key)
+		}
+	}
+	deletions := int(s.DeleteCalibFrac * float64(len(surviving)))
+	if deletions > 0 {
+		order := rng.Perm(len(surviving))
+		for _, i := range order[:deletions] {
+			delete(out.CNOTError, surviving[i])
+			rep.DeletedCalib = append(rep.DeletedCalib, surviving[i])
+		}
+	}
+	if s.DriftSigma > 0 {
+		for _, key := range surviving {
+			v, ok := out.CNOTError[key]
+			if !ok {
+				continue // deleted above
+			}
+			v *= math.Exp(s.DriftSigma * rng.NormFloat64())
+			if v < 1e-5 {
+				v = 1e-5
+			}
+			if v > 0.5 {
+				v = 0.5
+			}
+			out.CNOTError[key] = v
+			rep.DriftedEdges++
+		}
+	}
+	return out
+}
+
+// ErrInjected is the sentinel error returned by fault-injecting pass hooks.
+var ErrInjected = errors.New("faultinject: injected pass failure")
+
+// PassFaults builds a compile.Hook that deterministically misbehaves:
+// every ErrorEvery-th call returns ErrInjected, every PanicEvery-th call
+// panics (exercising the compile boundary's recover), and every call adds
+// Latency (exercising deadlines). Counters are shared across goroutines, so
+// one PassFaults value injects a predictable total failure rate into a
+// concurrent sweep.
+type PassFaults struct {
+	ErrorEvery int
+	PanicEvery int
+	Latency    time.Duration
+
+	calls atomic.Int64
+}
+
+// Hook returns the compile pass hook implementing the configured faults.
+func (p *PassFaults) Hook() compile.Hook {
+	return func(stage string) error {
+		n := p.calls.Add(1)
+		if p.Latency > 0 {
+			time.Sleep(p.Latency)
+		}
+		if p.PanicEvery > 0 && n%int64(p.PanicEvery) == 0 {
+			panic(fmt.Sprintf("faultinject: injected panic in %s pass (call %d)", stage, n))
+		}
+		if p.ErrorEvery > 0 && n%int64(p.ErrorEvery) == 0 {
+			return fmt.Errorf("%w (stage %s, call %d)", ErrInjected, stage, n)
+		}
+		return nil
+	}
+}
+
+// Calls reports how many times the hook has fired.
+func (p *PassFaults) Calls() int64 { return p.calls.Load() }

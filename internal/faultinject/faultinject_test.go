@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/qaoa"
+)
+
+func TestApplyDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, DeadQubits: 2, DropEdges: 3, DeleteCalibFrac: 0.2, DriftSigma: 0.1}
+	base := device.Tokyo20().WithRandomCalibration(rand.New(rand.NewSource(1)), 1e-2, 0.5e-2)
+
+	d1, r1, err := spec.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, r2, err := spec.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same spec, different reports:\n%v\n%v", r1, r2)
+	}
+	if !reflect.DeepEqual(d1.Calib.CNOTError, d2.Calib.CNOTError) {
+		t.Fatal("same spec, different degraded calibrations")
+	}
+	if d1.Coupling.M() != d2.Coupling.M() {
+		t.Fatalf("edge counts differ: %d vs %d", d1.Coupling.M(), d2.Coupling.M())
+	}
+}
+
+func TestApplyShape(t *testing.T) {
+	base := device.Tokyo20().WithRandomCalibration(rand.New(rand.NewSource(1)), 1e-2, 0.5e-2)
+	spec := Spec{Seed: 7, DeadQubits: 2, DeleteCalibFrac: 0.2}
+	deg, rep, err := spec.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.NQubits() != base.NQubits() {
+		t.Fatalf("degraded register shrank: %d vs %d", deg.NQubits(), base.NQubits())
+	}
+	if len(rep.Dead) != 2 {
+		t.Fatalf("dead = %v", rep.Dead)
+	}
+	for _, q := range rep.Dead {
+		if deg.Coupling.Degree(q) != 0 {
+			t.Fatalf("dead qubit %d still has %d edges", q, deg.Coupling.Degree(q))
+		}
+	}
+	if len(rep.DeletedCalib) == 0 {
+		t.Fatal("no calibration entries deleted at frac 0.2")
+	}
+	if missing := deg.MissingCNOTCalibration(); len(missing) != len(rep.DeletedCalib) {
+		t.Fatalf("device reports %d missing entries, report says %d", len(missing), len(rep.DeletedCalib))
+	}
+	// The base device must be untouched.
+	if base.Coupling.M() != device.Tokyo20().Coupling.M() {
+		t.Fatal("Apply mutated the base coupling graph")
+	}
+	if !base.CalibrationComplete() {
+		t.Fatal("Apply mutated the base calibration")
+	}
+}
+
+func TestApplyExplicitQubits(t *testing.T) {
+	spec := Spec{Seed: 1, Qubits: []int{3, 8}}
+	deg, rep, err := spec.Apply(device.Tokyo20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Dead, []int{3, 8}) {
+		t.Fatalf("dead = %v, want [3 8]", rep.Dead)
+	}
+	if deg.Coupling.Degree(3) != 0 || deg.Coupling.Degree(8) != 0 {
+		t.Fatal("explicit dead qubits still coupled")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	if _, _, err := (Spec{DeadQubits: 99}).Apply(device.Tokyo20()); err == nil {
+		t.Fatal("absurd dead count accepted")
+	}
+	if _, _, err := (Spec{DeleteCalibFrac: 1.5}).Apply(device.Tokyo20()); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, _, err := (Spec{Qubits: []int{-1}}).Apply(device.Tokyo20()); err == nil {
+		t.Fatal("negative qubit accepted")
+	}
+}
+
+func TestDriftStaysInRange(t *testing.T) {
+	base := device.Tokyo20().WithRandomCalibration(rand.New(rand.NewSource(1)), 1e-2, 0.5e-2)
+	deg, rep, err := Spec{Seed: 5, DriftSigma: 3}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DriftedEdges != base.Coupling.M() {
+		t.Fatalf("drifted %d of %d edges", rep.DriftedEdges, base.Coupling.M())
+	}
+	for k, v := range deg.Calib.CNOTError {
+		if v < 1e-5 || v > 0.5 {
+			t.Fatalf("drifted error %v on %v escaped the clamp", v, k)
+		}
+	}
+}
+
+func testProblem(t *testing.T) *qaoa.Problem {
+	t.Helper()
+	g := device.Linear(6).Coupling // a path graph is a fine tiny workload
+	prob, err := qaoa.NewMaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func params() qaoa.Params {
+	return qaoa.Params{Gamma: []float64{0.5}, Beta: []float64{0.2}}
+}
+
+func TestPassFaultsError(t *testing.T) {
+	pf := &PassFaults{ErrorEvery: 1}
+	opts := compile.PresetIC.Options(rand.New(rand.NewSource(1)))
+	opts.Hook = pf.Hook()
+	_, err := compile.CompileContext(context.Background(), testProblem(t), params(), device.Tokyo20(), opts)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if pf.Calls() == 0 {
+		t.Fatal("hook never fired")
+	}
+}
+
+func TestPassFaultsPanicRecovered(t *testing.T) {
+	pf := &PassFaults{PanicEvery: 1}
+	opts := compile.PresetIC.Options(rand.New(rand.NewSource(1)))
+	opts.Hook = pf.Hook()
+	_, err := compile.CompileContext(context.Background(), testProblem(t), params(), device.Tokyo20(), opts)
+	var pe *compile.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+}
+
+func TestPassFaultsLatencyTripsDeadline(t *testing.T) {
+	pf := &PassFaults{Latency: 50 * time.Millisecond}
+	opts := compile.PresetIC.Options(rand.New(rand.NewSource(1)))
+	opts.Hook = pf.Hook()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := compile.CompileContext(ctx, testProblem(t), params(), device.Tokyo20(), opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestPassFaultsEveryNth(t *testing.T) {
+	pf := &PassFaults{ErrorEvery: 3}
+	hook := pf.Hook()
+	var errs int
+	for i := 0; i < 9; i++ {
+		if hook("map") != nil {
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("got %d errors in 9 calls with ErrorEvery=3", errs)
+	}
+}

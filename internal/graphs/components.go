@@ -1,0 +1,49 @@
+package graphs
+
+import "sort"
+
+// Components returns the connected components of g as sorted vertex lists,
+// ordered largest first (ties by smallest contained vertex). A connected
+// graph yields a single component covering every vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		stack := []int{s}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.SliceStable(comps, func(a, b int) bool {
+		if len(comps[a]) != len(comps[b]) {
+			return len(comps[a]) > len(comps[b])
+		}
+		return comps[a][0] < comps[b][0]
+	})
+	return comps
+}
+
+// LargestComponent returns the vertex list of the largest connected
+// component (sorted ascending). For a connected graph this is every vertex.
+func (g *Graph) LargestComponent() []int {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return nil
+	}
+	return comps[0]
+}

@@ -1,0 +1,59 @@
+package graphs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestComponentsConnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	comps := g.Components()
+	if len(comps) != 1 {
+		t.Fatalf("connected graph: got %d components", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0], []int{0, 1, 2, 3}) {
+		t.Fatalf("component = %v", comps[0])
+	}
+}
+
+func TestComponentsSplit(t *testing.T) {
+	// {0,1} + {2,3,4} + isolated {5}
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	comps := g.Components()
+	want := [][]int{{2, 3, 4}, {0, 1}, {5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v (largest first)", comps, want)
+	}
+	if lc := g.LargestComponent(); !reflect.DeepEqual(lc, []int{2, 3, 4}) {
+		t.Fatalf("LargestComponent = %v", lc)
+	}
+}
+
+func TestComponentsTieBreak(t *testing.T) {
+	// Two components of equal size: the one containing the smallest vertex
+	// sorts first, keeping the order deterministic.
+	g := New(4)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(0, 1)
+	comps := g.Components()
+	want := [][]int{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+}
+
+func TestComponentsEmptyGraph(t *testing.T) {
+	g := New(0)
+	if comps := g.Components(); len(comps) != 0 {
+		t.Fatalf("empty graph: got %v", comps)
+	}
+	if lc := g.LargestComponent(); lc != nil {
+		t.Fatalf("empty graph LargestComponent = %v", lc)
+	}
+}

@@ -7,7 +7,9 @@
 package loop
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -52,22 +54,49 @@ type HardwareEvaluator struct {
 	Shots        int
 	Trajectories int
 	Noise        *sim.NoiseModel // nil: derive from the device calibration
-	Rng          *rand.Rand
+	// Rng drives compilation tie-breaking and noisy sampling. nil is usable:
+	// a deterministic stream is derived from the problem and device, in the
+	// zero-value-friendly style of Shots/Trajectories.
+	Rng *rand.Rand
+	// Ctx, when non-nil, bounds every compilation of the evaluation loop.
+	Ctx context.Context
 }
 
 // Levels returns the configured level count.
 func (e *HardwareEvaluator) Levels() int { return e.P }
 
+// defaultSeed derives a deterministic seed from the problem structure, the
+// device and the level count, so two evaluators over the same instance
+// reproduce each other without explicit seeding.
+func (e *HardwareEvaluator) defaultSeed() int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|p=%d|", e.Dev.Name, e.P)
+	if e.Prob != nil && e.Prob.G != nil {
+		fmt.Fprintf(h, "n=%d;", e.Prob.G.N())
+		for _, edge := range e.Prob.G.Edges() {
+			fmt.Fprintf(h, "%d-%d;", edge.U, edge.V)
+		}
+	}
+	return int64(h.Sum64())
+}
+
 // Expectation compiles, noisily samples, and averages the cost.
 func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
+	if e.Prob == nil || e.Dev == nil {
+		return 0, fmt.Errorf("loop: HardwareEvaluator needs Prob and Dev")
+	}
 	if e.Rng == nil {
-		return 0, fmt.Errorf("loop: HardwareEvaluator needs an Rng")
+		e.Rng = rand.New(rand.NewSource(e.defaultSeed()))
+	}
+	ctx := e.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	nm := e.Noise
 	if nm == nil {
 		nm = sim.NoiseFromDevice(e.Dev)
 	}
-	res, err := compile.Compile(e.Prob, params, e.Dev, e.Preset.Options(e.Rng))
+	res, err := compile.CompileContext(ctx, e.Prob, params, e.Dev, e.Preset.Options(e.Rng))
 	if err != nil {
 		return 0, err
 	}
@@ -109,6 +138,14 @@ type Options struct {
 // multi-start Nelder–Mead (derivative-free, as appropriate for sampled
 // objectives), returning the best parameters found.
 func Run(ev Evaluator, prob *qaoa.Problem, opts Options) (Result, error) {
+	return RunContext(context.Background(), ev, prob, opts)
+}
+
+// RunContext is Run honoring a deadline/cancellation: the context is
+// checked between restarts and between objective evaluations, and the best
+// result found so far is abandoned in favor of a ctx-wrapped error when the
+// context finishes first.
+func RunContext(ctx context.Context, ev Evaluator, prob *qaoa.Problem, opts Options) (Result, error) {
 	p := ev.Levels()
 	if p <= 0 {
 		return Result{}, fmt.Errorf("loop: evaluator reports %d levels", p)
@@ -127,6 +164,9 @@ func Run(ev Evaluator, prob *qaoa.Problem, opts Options) (Result, error) {
 
 	evals := 0
 	objective := func(x []float64) float64 {
+		if ctx.Err() != nil {
+			return math.Inf(1) // poison the descent; the restart loop reports
+		}
 		evals++
 		v, err := ev.Expectation(vecToParams(x, p))
 		if err != nil {
@@ -137,6 +177,9 @@ func Run(ev Evaluator, prob *qaoa.Problem, opts Options) (Result, error) {
 
 	best := Result{Expectation: math.Inf(-1)}
 	for r := 0; r < restarts; r++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("loop: %w", err)
+		}
 		x0 := make([]float64, 2*p)
 		if r == 0 && prob != nil {
 			// Seed level angles from the analytic p=1 optimum.

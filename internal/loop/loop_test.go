@@ -1,6 +1,8 @@
 package loop
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -140,10 +142,54 @@ func TestHardwareEvaluator(t *testing.T) {
 	}
 }
 
-func TestHardwareEvaluatorNeedsRng(t *testing.T) {
+func TestHardwareEvaluatorNeedsProbAndDev(t *testing.T) {
 	hw := &HardwareEvaluator{P: 1}
 	if _, err := hw.Expectation(qaoa.Params{Gamma: []float64{0.1}, Beta: []float64{0.1}}); err == nil {
-		t.Error("missing rng accepted")
+		t.Error("missing problem/device accepted")
+	}
+}
+
+// A nil Rng is usable: the evaluator derives a deterministic stream from the
+// problem and device, so two zero-value evaluators agree exactly.
+func TestHardwareEvaluatorNilRngDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graphs.MustRandomRegular(8, 3, rng)
+	prob, err := qaoa.NewMaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := qaoa.Params{Gamma: []float64{0.6}, Beta: []float64{0.25}}
+	eval := func() float64 {
+		hw := &HardwareEvaluator{
+			Prob:   prob,
+			Dev:    device.Melbourne15(),
+			Preset: compile.PresetIC,
+			P:      1,
+			Shots:  512, Trajectories: 8,
+		}
+		v, err := hw.Expectation(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw.Rng == nil {
+			t.Fatal("default rng not installed")
+		}
+		return v
+	}
+	if a, b := eval(), eval(); a != b {
+		t.Errorf("nil-Rng evaluations differ: %v vs %v", a, b)
+	}
+}
+
+// The context-honoring loop aborts with a wrapped ctx error.
+func TestRunContextCancelled(t *testing.T) {
+	prob := triangleProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, &SimEvaluator{Prob: prob, P: 1}, prob,
+		Options{Rng: rand.New(rand.NewSource(1))})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
 	}
 }
 

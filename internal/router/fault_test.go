@@ -1,0 +1,51 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/graphs"
+)
+
+// disconnectedDevice has two components, so routing a gate across them is
+// impossible.
+func disconnectedDevice() *device.Device {
+	g := graphs.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	return &device.Device{Name: "split4", Coupling: g}
+}
+
+func TestRouteDisconnectedTypedError(t *testing.T) {
+	dev := disconnectedDevice()
+	c := circuit.New(4)
+	c.Append(circuit.NewCPhase(0, 2, 0.3)) // crosses the components
+	_, err := New(dev).Route(c, TrivialLayout(4, 4))
+	if err == nil {
+		t.Fatal("routing across components succeeded")
+	}
+	var de *DisconnectedError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DisconnectedError, got %T: %v", err, err)
+	}
+	if de.Device != "split4" {
+		t.Fatalf("error device = %q", de.Device)
+	}
+}
+
+func TestRouteContextCancelled(t *testing.T) {
+	dev := device.Tokyo20()
+	c := circuit.New(20)
+	for i := 0; i < 19; i++ {
+		c.Append(circuit.NewCPhase(i, (i+7)%20, 0.3))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(dev).RouteContext(ctx, c, TrivialLayout(20, 20))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,18 @@ import (
 	"repro/internal/device"
 	"repro/internal/graphs"
 )
+
+// DisconnectedError reports that routing required moving a qubit between two
+// physical qubits with no coupling path — the signature failure of a
+// degraded device whose coupling graph has been severed.
+type DisconnectedError struct {
+	Device string
+	A, B   int
+}
+
+func (e *DisconnectedError) Error() string {
+	return fmt.Sprintf("router: physical qubits %d and %d disconnected on %s", e.A, e.B, e.Device)
+}
 
 // Router inserts SWAPs to make a logical circuit comply with a device's
 // coupling constraints. It is the layer-partitioning heuristic backend the
@@ -61,14 +74,21 @@ type Result struct {
 // respected up to concurrency: gates are processed in ASAP layers. With
 // Trials > 1 the best of several randomized-tie-break attempts is returned.
 func (r *Router) Route(c *circuit.Circuit, initial *Layout) (*Result, error) {
+	return r.RouteContext(context.Background(), c, initial)
+}
+
+// RouteContext is Route honoring a deadline/cancellation: the routing loop
+// checks ctx between layers and between SWAP insertions and returns a
+// ctx-wrapped error as soon as the context is done.
+func (r *Router) RouteContext(ctx context.Context, c *circuit.Circuit, initial *Layout) (*Result, error) {
 	if r.Trials > 1 {
-		return r.routeTrials(c, initial)
+		return r.routeTrials(ctx, c, initial)
 	}
-	return r.routeOnce(c, initial)
+	return r.routeOnce(ctx, c, initial)
 }
 
 // routeTrials runs Trials randomized attempts and keeps the fewest-SWAP one.
-func (r *Router) routeTrials(c *circuit.Circuit, initial *Layout) (*Result, error) {
+func (r *Router) routeTrials(ctx context.Context, c *circuit.Circuit, initial *Layout) (*Result, error) {
 	if r.Rng == nil {
 		return nil, fmt.Errorf("router: Trials > 1 requires Rng")
 	}
@@ -82,7 +102,7 @@ func (r *Router) routeTrials(c *circuit.Circuit, initial *Layout) (*Result, erro
 			r.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 			attempt.edgeOrder = order
 		}
-		res, err := attempt.routeOnce(c, initial)
+		res, err := attempt.routeOnce(ctx, c, initial)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +114,7 @@ func (r *Router) routeTrials(c *circuit.Circuit, initial *Layout) (*Result, erro
 }
 
 // routeOnce performs one deterministic routing pass.
-func (r *Router) routeOnce(c *circuit.Circuit, initial *Layout) (*Result, error) {
+func (r *Router) routeOnce(ctx context.Context, c *circuit.Circuit, initial *Layout) (*Result, error) {
 	dev := r.Dev
 	if c.NQubits > dev.NQubits() {
 		return nil, fmt.Errorf("router: circuit needs %d qubits, device %s has %d", c.NQubits, dev.Name, dev.NQubits())
@@ -117,6 +137,9 @@ func (r *Router) routeOnce(c *circuit.Circuit, initial *Layout) (*Result, error)
 	layers := c.Layers()
 
 	for li, layer := range layers {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("router: %w", err)
+		}
 		// Pass through one-qubit gates immediately; collect two-qubit work.
 		var pending []circuit.Gate
 		for _, gi := range layer {
@@ -139,7 +162,11 @@ func (r *Router) routeOnce(c *circuit.Circuit, initial *Layout) (*Result, error)
 				}
 			}
 		}
-		swaps += r.routeLayer(pending, next, layout, out)
+		layerSwaps, err := r.routeLayer(ctx, pending, next, layout, out)
+		if err != nil {
+			return nil, err
+		}
+		swaps += layerSwaps
 	}
 
 	return &Result{Circuit: out, Initial: initial, Final: layout, SwapCount: swaps}, nil
@@ -147,9 +174,12 @@ func (r *Router) routeOnce(c *circuit.Circuit, initial *Layout) (*Result, error)
 
 // routeLayer emits the pending two-qubit gates, inserting SWAPs as needed,
 // and returns the number of SWAPs added. The layout is updated in place.
-func (r *Router) routeLayer(pending, next []circuit.Gate, layout *Layout, out *circuit.Circuit) int {
+func (r *Router) routeLayer(ctx context.Context, pending, next []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
 	swaps := 0
 	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return swaps, fmt.Errorf("router: %w", err)
+		}
 		// Emit every gate that is currently executable.
 		rest := pending[:0]
 		for _, g := range pending {
@@ -176,9 +206,13 @@ func (r *Router) routeLayer(pending, next []circuit.Gate, layout *Layout, out *c
 
 		// No strictly improving swap exists: walk the closest pending gate's
 		// control along its (distance-matrix) shortest path until adjacent.
-		swaps += r.forcePath(pending, layout, out)
+		forced, err := r.forcePath(pending, layout, out)
+		swaps += forced
+		if err != nil {
+			return swaps, err
+		}
 	}
-	return swaps
+	return swaps, nil
 }
 
 // bestSwap searches coupling edges adjacent to pending gates' qubits for
@@ -287,8 +321,9 @@ func swapped(p, a, b int) int {
 
 // forcePath routes the closest pending gate directly: the occupant of the
 // control's physical qubit is swapped along the shortest path toward the
-// target until the pair is coupled. Returns the number of swaps emitted.
-func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.Circuit) int {
+// target until the pair is coupled. Returns the number of swaps emitted, or
+// a *DisconnectedError when no path exists (severed coupling graph).
+func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
 	best := 0
 	bestD := r.Dist.Dist(layout.Phys(pending[0].Q0), layout.Phys(pending[0].Q1))
 	for i := 1; i < len(pending); i++ {
@@ -301,7 +336,7 @@ func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.
 	src, dst := layout.Phys(g.Q0), layout.Phys(g.Q1)
 	path := r.Dist.Path(src, dst)
 	if path == nil {
-		panic(fmt.Sprintf("router: physical qubits %d and %d disconnected on %s", src, dst, r.Dev.Name))
+		return 0, &DisconnectedError{Device: r.Dev.Name, A: src, B: dst}
 	}
 	swaps := 0
 	for i := 0; i+2 < len(path); i++ {
@@ -309,5 +344,5 @@ func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.
 		layout.SwapPhysical(path[i], path[i+1])
 		swaps++
 	}
-	return swaps
+	return swaps, nil
 }

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -300,17 +301,17 @@ func TestRouteTrialsRequireRng(t *testing.T) {
 	}
 }
 
-// Routing across a disconnected device must panic with a clear message when
-// a gate spans components (no silent wrong answer).
-func TestRouteDisconnectedDevicePanics(t *testing.T) {
+// Routing across a disconnected device must fail with a typed error when a
+// gate spans components (no silent wrong answer, and no panic crossing the
+// API boundary).
+func TestRouteDisconnectedDeviceErrors(t *testing.T) {
 	dev := &device.Device{Name: "split", Coupling: splitGraph()}
 	c := circuit.New(4).Append(circuit.NewCNOT(0, 3))
-	defer func() {
-		if recover() == nil {
-			t.Error("routing across components did not panic")
-		}
-	}()
-	_, _ = New(dev).Route(c, nil)
+	_, err := New(dev).Route(c, nil)
+	var de *DisconnectedError
+	if !errors.As(err, &de) {
+		t.Errorf("want *DisconnectedError, got %v", err)
+	}
 }
 
 func splitGraph() *graphs.Graph {
