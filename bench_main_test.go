@@ -1,0 +1,40 @@
+// TestMain wires the observability layer into `go test` / `go test -bench`
+// runs: -metrics-out installs a process-wide collector before the run and
+// writes the BENCH_*.json counter/span dump afterwards, so the figure
+// benchmarks double as a metrics producer without a separate harness.
+//
+//	go test -run xxx -bench 'Fig(7|8|9)' -metrics-out BENCH_dev.json .
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/qaoac"
+)
+
+var (
+	metricsOut = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the run to this path")
+	metricsRev = flag.String("metrics-rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
+)
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	var col *qaoac.Collector
+	if *metricsOut != "" {
+		col = qaoac.NewCollector()
+		qaoac.SetObservability(col)
+		defer qaoac.SetObservability(nil)
+	}
+	code := m.Run()
+	if *metricsOut != "" && code == 0 {
+		rep := qaoac.NewBenchReport("go-test", qaoac.RevisionFromEnv(*metricsRev), col)
+		if err := rep.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -20,15 +20,31 @@ import (
 
 func main() {
 	var (
-		format = flag.String("format", "text", "output format: text | md | csv")
-		fig    = flag.String("fig", "all", "which figure to regenerate: 7 | 8 | 9 | 10 | 11a | 11b | 12 | disc | ext-levels | ext-mappers | ext-crosstalk | ext-optimize | all")
-		scale  = flag.Float64("scale", 1.0, "multiply instance counts by this factor (min 1 instance)")
+		format  = flag.String("format", "text", "output format: text | md | csv")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 7 | 8 | 9 | 10 | 11a | 11b | 12 | disc | ext-levels | ext-mappers | ext-crosstalk | ext-optimize | all")
+		scale   = flag.Float64("scale", 1.0, "multiply instance counts by this factor (min 1 instance)")
+		metrics = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the run to this path")
+		rev     = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
 	)
 	flag.Parse()
 
+	var col *qaoac.Collector
+	if *metrics != "" {
+		col = qaoac.NewCollector()
+		qaoac.SetObservability(col)
+		defer qaoac.SetObservability(nil)
+	}
 	if err := run(*fig, *scale, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		rep := qaoac.NewBenchReport("qaoa-exp", qaoac.RevisionFromEnv(*rev), col)
+		if err := rep.WriteFile(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s (%d counters, %d spans)\n", *metrics, len(rep.Counters), len(rep.Spans))
 	}
 }
 

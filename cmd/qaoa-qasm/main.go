@@ -32,15 +32,17 @@ func main() {
 		out        = flag.String("o", "", "output file (default stdout)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		timeout    = flag.Duration("timeout", 0, "abort compilation after this long (0 = no deadline)")
+		metrics    = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the compilation to this path")
+		rev        = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
 	)
 	flag.Parse()
-	if err := run(*deviceName, *nodes, *degree, *method, *native, *check, *out, *seed, *timeout); err != nil {
+	if err := run(*deviceName, *nodes, *degree, *method, *native, *check, *out, *seed, *timeout, *metrics, *rev); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-qasm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deviceName string, nodes, degree int, method string, native, check bool, out string, seed int64, timeout time.Duration) error {
+func run(deviceName string, nodes, degree int, method string, native, check bool, out string, seed int64, timeout time.Duration, metricsOut, rev string) error {
 	var dev *qaoac.Device
 	switch deviceName {
 	case "tokyo":
@@ -71,6 +73,12 @@ func run(deviceName string, nodes, degree int, method string, native, check bool
 	}
 	opts := preset.Options(rng)
 	opts.Measure = true
+	var col *qaoac.Collector
+	if metricsOut != "" {
+		col = qaoac.NewCollector()
+		opts.Obs = col
+		dev.Obs = col
+	}
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -97,6 +105,25 @@ func run(deviceName string, nodes, degree int, method string, native, check bool
 				back.Len(), c.Len(), back.NQubits, c.NQubits)
 		}
 		fmt.Fprintf(os.Stderr, "round-trip OK: %d gates on %d qubits\n", c.Len(), c.NQubits)
+	}
+
+	if metricsOut != "" {
+		rep := qaoac.NewBenchReport("qaoa-qasm", qaoac.RevisionFromEnv(rev), col)
+		rep.AddBenchmark(qaoac.BenchRecord{
+			Name:       "qaoa-qasm/" + preset.String(),
+			Instances:  1,
+			CompileSec: res.CompileTime.Seconds(),
+			MapSec:     res.MapTime.Seconds(),
+			OrderSec:   res.OrderTime.Seconds(),
+			RouteSec:   res.RouteTime.Seconds(),
+			Swaps:      float64(res.SwapCount),
+			Depth:      float64(res.Depth),
+			Gates:      float64(res.GateCount),
+		})
+		if err := rep.WriteFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsOut)
 	}
 
 	if out == "" {

@@ -30,15 +30,23 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		mit     = flag.Bool("mitigate", false, "also report ARG after readout-error mitigation")
 		timeout = flag.Duration("timeout", 0, "abort compilation after this long (0 = no deadline)")
+		metrics = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the run to this path")
+		rev     = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
 	)
 	flag.Parse()
-	if err := run(*nodes, *degree, *method, *shots, *traj, *seed, *mit, *timeout); err != nil {
+	if err := run(*nodes, *degree, *method, *shots, *traj, *seed, *mit, *timeout, *metrics, *rev); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate bool, timeout time.Duration) error {
+func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate bool, timeout time.Duration, metricsOut, rev string) error {
+	var col *qaoac.Collector
+	if metricsOut != "" {
+		col = qaoac.NewCollector()
+		qaoac.SetObservability(col)
+		defer qaoac.SetObservability(nil)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	g, err := qaoac.RandomRegular(nodes, degree, rng)
 	if err != nil {
@@ -76,7 +84,10 @@ func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res, err := qaoac.CompileContext(ctx, prob, qaoac.P1Params(gamma, beta), dev, preset.Options(rng))
+	copts := preset.Options(rng)
+	copts.Obs = col
+	dev.Obs = col
+	res, err := qaoac.CompileContext(ctx, prob, qaoac.P1Params(gamma, beta), dev, copts)
 	if err != nil {
 		return err
 	}
@@ -107,9 +118,10 @@ func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate
 			best = c
 		}
 	}
+	argPct := qaoac.ARG(r0, rh)
 	fmt.Printf("ideal approximation ratio:  r0 = %.4f (best sampled cut %d/%d)\n", r0, int(best), prob.MaxCut)
 	fmt.Printf("noisy approximation ratio:  rh = %.4f\n", rh)
-	fmt.Printf("approximation ratio gap:    ARG = %.2f%%\n", qaoac.ARG(r0, rh))
+	fmt.Printf("approximation ratio gap:    ARG = %.2f%%\n", argPct)
 
 	if mitigate {
 		// Mitigate the same noisy sample set so the comparison is paired.
@@ -123,6 +135,26 @@ func run(nodes, degree int, method string, shots, traj int, seed int64, mitigate
 		})
 		rm := meanCut / float64(prob.MaxCut)
 		fmt.Printf("mitigated ratio:            rm = %.4f  (ARG %.2f%%)\n", rm, qaoac.ARG(r0, rm))
+	}
+	if metricsOut != "" {
+		rep := qaoac.NewBenchReport("qaoa-sim", qaoac.RevisionFromEnv(rev), col)
+		rep.AddBenchmark(qaoac.BenchRecord{
+			Name:        "qaoa-sim/" + preset.String(),
+			Instances:   1,
+			CompileSec:  res.CompileTime.Seconds(),
+			MapSec:      res.MapTime.Seconds(),
+			OrderSec:    res.OrderTime.Seconds(),
+			RouteSec:    res.RouteTime.Seconds(),
+			Swaps:       float64(res.SwapCount),
+			Depth:       float64(res.Depth),
+			Gates:       float64(res.GateCount),
+			ARGPct:      argPct,
+			SuccessProb: dev.SuccessProbability(res.Native),
+		})
+		if err := rep.WriteFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
 	}
 	return nil
 }

@@ -42,18 +42,20 @@ func main() {
 		deadQubits = flag.Int("fault-dead", 0, "fault injection: kill this many random qubits")
 		dropCalib  = flag.Float64("fault-calib", 0, "fault injection: delete this fraction of CNOT calibration entries")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault injection: seed for the degradation")
+		metricsOut = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the compilation to this path")
+		rev        = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
 	)
 	flag.Parse()
 
 	if err := run(*deviceName, *deviceFile, *graphKind, *graphFile, *nodes, *degree, *prob, *method, *levels, *packing, *seed, *print, *native, *draw,
-		*timeout, *resilient, *deadQubits, *dropCalib, *faultSeed); err != nil {
+		*timeout, *resilient, *deadQubits, *dropCalib, *faultSeed, *metricsOut, *rev); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoac:", err)
 		os.Exit(1)
 	}
 }
 
 func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int, prob float64, method string, levels, packing int, seed int64, print, native, draw bool,
-	timeout time.Duration, resilient bool, deadQubits int, dropCalib float64, faultSeed int64) error {
+	timeout time.Duration, resilient bool, deadQubits int, dropCalib float64, faultSeed int64, metricsOut, rev string) error {
 	var dev *qaoac.Device
 	var err error
 	if deviceFile != "" {
@@ -78,6 +80,14 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 		dev = degraded
 	}
 	rng := rand.New(rand.NewSource(seed))
+
+	var col *qaoac.Collector
+	if metricsOut != "" {
+		col = qaoac.NewCollector()
+		qaoac.SetObservability(col)
+		defer qaoac.SetObservability(nil)
+		dev.Obs = col
+	}
 
 	var g *qaoac.Graph
 	switch {
@@ -122,10 +132,11 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 	var res *qaoac.CompileResult
 	if resilient {
 		res, err = qaoac.CompileResilient(ctx, problem, params, dev, preset,
-			qaoac.FallbackOptions{Seed: seed, PackingLimit: packing})
+			qaoac.FallbackOptions{Seed: seed, PackingLimit: packing, Obs: col})
 	} else {
 		opts := preset.Options(rng)
 		opts.PackingLimit = packing
+		opts.Obs = col
 		res, err = qaoac.CompileContext(ctx, problem, params, dev, opts)
 	}
 	if err != nil {
@@ -163,6 +174,28 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 	if draw {
 		fmt.Println()
 		fmt.Print(qaoac.DrawCircuit(res.Circuit))
+	}
+	if metricsOut != "" {
+		rep := qaoac.NewBenchReport("qaoac", qaoac.RevisionFromEnv(rev), col)
+		rec := qaoac.BenchRecord{
+			Name:       "qaoac/" + preset.String(),
+			Instances:  1,
+			CompileSec: res.CompileTime.Seconds(),
+			MapSec:     res.MapTime.Seconds(),
+			OrderSec:   res.OrderTime.Seconds(),
+			RouteSec:   res.RouteTime.Seconds(),
+			Swaps:      float64(res.SwapCount),
+			Depth:      float64(res.Depth),
+			Gates:      float64(res.GateCount),
+		}
+		if dev.Calib != nil {
+			rec.SuccessProb = dev.SuccessProbability(res.Native)
+		}
+		rep.AddBenchmark(rec)
+		if err := rep.WriteFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics:       %s\n", metricsOut)
 	}
 	return nil
 }

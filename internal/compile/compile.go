@@ -119,6 +119,8 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 		}
 	}()
 	o := opts.withDefaults()
+	total := o.Obs.StartSpan("compile/total")
+	defer total.End()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,6 +145,7 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 		return nil, err
 	}
 	mapTime := time.Since(start)
+	o.Obs.RecordSpan("compile/map", mapTime)
 
 	switch o.Strategy {
 	case WholeRandom, WholeIP, WholeColor:
@@ -169,6 +172,14 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 	res.GateCount = res.Native.GateCount()
 	res.CompileTime = time.Since(start)
 	res.MapTime = mapTime
+	if o.Obs.Enabled() {
+		o.Obs.RecordSpan("compile/order", res.OrderTime)
+		o.Obs.RecordSpan("compile/route", res.RouteTime)
+		o.Obs.Inc("compile/compilations")
+		o.Obs.Add("compile/swaps", int64(res.SwapCount))
+		o.Obs.Add("compile/gates", int64(res.GateCount))
+		o.Obs.Add("compile/depth_total", int64(res.Depth))
+	}
 	return res, nil
 }
 
@@ -247,6 +258,7 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 	r := router.New(dev)
 	r.LookaheadWeight = o.LookaheadWeight
 	r.Trials, r.Rng = o.RouterTrials, o.Rng
+	r.Obs = o.Obs
 	routeStart := time.Now()
 	routed, err := r.RouteContext(ctx, logical, initial)
 	if err != nil {
@@ -274,7 +286,7 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 	}
 	r := &router.Router{
 		Dev: dev, Dist: dist, LookaheadWeight: o.LookaheadWeight,
-		Trials: o.RouterTrials, Rng: o.Rng,
+		Trials: o.RouterTrials, Rng: o.Rng, Obs: o.Obs,
 	}
 
 	n := spec.N
@@ -309,7 +321,10 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 				return nil, err
 			}
 			routeTime += time.Since(routeStart)
+			stitch := o.Obs.StartSpan("compile/stitch")
 			out.AppendCircuit(routed.Circuit)
+			stitch.End()
+			o.Obs.Inc("compile/layers")
 			layout = routed.Final
 			swaps += routed.SwapCount
 			remaining = rest

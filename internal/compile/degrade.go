@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/obsv"
 	"repro/internal/qaoa"
 )
 
@@ -51,12 +52,16 @@ type FallbackOptions struct {
 	// Seed derives the per-attempt rngs, keeping the whole ladder
 	// reproducible (default 1).
 	Seed int64
-	// PackingLimit, Measure, Optimize and Hook carry through to the
-	// underlying Options of every attempt.
+	// PackingLimit, Measure, Optimize, Hook and Obs carry through to the
+	// underlying Options of every attempt. Obs additionally receives the
+	// ladder's own counters: compile/fallback_attempts (failed tries before
+	// the success), compile/fallback_degraded (ladders that stepped down)
+	// and compile/fallback_depth_total (rungs descended).
 	PackingLimit int
 	Measure      bool
 	Optimize     bool
 	Hook         Hook
+	Obs          *obsv.Collector
 }
 
 func (fo FallbackOptions) withDefaults() FallbackOptions {
@@ -159,6 +164,14 @@ func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, pr
 					Reason:    firstFailure,
 					Attempts:  attempts,
 				}
+				if fo.Obs.Enabled() {
+					fo.Obs.Inc("compile/resilient")
+					fo.Obs.Add("compile/fallback_attempts", int64(len(attempts)))
+					fo.Obs.Add("compile/fallback_depth_total", int64(rung))
+					if res.Fallback.Degraded {
+						fo.Obs.Inc("compile/fallback_degraded")
+					}
+				}
 				return res, nil
 			}
 			attempts = append(attempts, Attempt{Preset: p, Retry: retry, Err: err.Error()})
@@ -194,6 +207,7 @@ func attemptOnce(ctx context.Context, spec Spec, dev *device.Device, p Preset, r
 	opts.Measure = fo.Measure
 	opts.Optimize = fo.Optimize
 	opts.Hook = fo.Hook
+	opts.Obs = fo.Obs
 	return CompileSpecContext(ctx, spec, dev, opts)
 }
 

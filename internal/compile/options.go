@@ -16,6 +16,8 @@ package compile
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obsv"
 )
 
 // Mapper selects the initial logical-to-physical mapping policy.
@@ -137,6 +139,11 @@ type Options struct {
 	Optimize bool
 	// Hook, when non-nil, is invoked at every pass boundary (see Hook).
 	Hook Hook
+	// Obs, when non-nil, receives per-pass spans (compile/map, compile/order,
+	// compile/route, compile/stitch, compile/total) and counters (swaps,
+	// gates, layers stitched) for this compilation, and is forwarded to the
+	// routing backend. A nil collector costs nothing (see internal/obsv).
+	Obs *obsv.Collector
 }
 
 func (o Options) withDefaults() Options {

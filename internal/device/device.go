@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/graphs"
+	"repro/internal/obsv"
 )
 
 // NotCoupledError reports a calibration or gate query for a qubit pair that
@@ -129,6 +130,11 @@ type Device struct {
 	Name     string
 	Coupling *graphs.Graph
 	Calib    *Calibration
+	// Obs, when non-nil, receives distance-matrix cache counters
+	// (device/hopdist_hits, device/hopdist_builds, device/reldist_hits,
+	// device/reldist_builds, device/cache_invalidations). Set it before the
+	// device is shared across goroutines.
+	Obs *obsv.Collector
 
 	mu      sync.Mutex // guards the lazily computed caches
 	hopDist *graphs.DistanceMatrix
@@ -231,7 +237,10 @@ func (d *Device) HopDistances() *graphs.DistanceMatrix {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.hopDist == nil {
+		d.Obs.Inc("device/hopdist_builds")
 		d.hopDist = graphs.FloydWarshall(d.Coupling, false)
+	} else {
+		d.Obs.Inc("device/hopdist_hits")
 	}
 	return d.hopDist
 }
@@ -249,34 +258,56 @@ func (d *Device) HopDistances() *graphs.DistanceMatrix {
 func (d *Device) ReliabilityDistances() *graphs.DistanceMatrix {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.relDist == nil {
-		worst := d.Calib.WorstCNOTError()
-		w := d.Coupling.Clone()
-		for _, e := range w.Edges() {
-			cnotErr, ok := d.Calib.LookupCNOT(e.U, e.V)
-			if !ok {
-				cnotErr = worst
-			}
-			r := (1 - cnotErr) * (1 - cnotErr)
-			weight := math.Inf(1)
-			if r > 0 {
-				weight = 1 / r
-			}
-			if err := w.SetEdgeWeight(e.U, e.V, weight); err != nil {
-				panic(err)
-			}
-		}
-		d.relDist = graphs.FloydWarshall(w, true)
+	if d.relDist != nil {
+		d.Obs.Inc("device/reldist_hits")
+		return d.relDist
 	}
+	d.Obs.Inc("device/reldist_builds")
+	worst := d.Calib.WorstCNOTError()
+	w := d.Coupling.Clone()
+	for _, e := range w.Edges() {
+		cnotErr, ok := d.Calib.LookupCNOT(e.U, e.V)
+		if !ok {
+			cnotErr = worst
+		}
+		r := (1 - cnotErr) * (1 - cnotErr)
+		weight := math.Inf(1)
+		if r > 0 {
+			weight = 1 / r
+		}
+		if err := w.SetEdgeWeight(e.U, e.V, weight); err != nil {
+			panic(err)
+		}
+	}
+	d.relDist = graphs.FloydWarshall(w, true)
 	return d.relDist
 }
 
 // InvalidateCaches clears the lazily computed distance matrices; call after
-// mutating Coupling or Calib.
+// mutating Coupling or Calib. Every in-place mutation path must end here —
+// SetCalibration does it for calibration reloads, faultinject builds fresh
+// devices (whose caches start empty), and WithRandomCalibration calls it
+// directly — otherwise routing would keep scoring SWAPs against the
+// pre-mutation reliability distances.
 func (d *Device) InvalidateCaches() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.Obs.Inc("device/cache_invalidations")
 	d.hopDist, d.relDist = nil, nil
+}
+
+// SetCalibration validates cal against the device shape, attaches it, and
+// invalidates the distance caches — the safe calibration-reload path. Use
+// this instead of assigning Calib directly: a direct assignment after
+// ReliabilityDistances has been called leaves the cached reliability
+// distances describing the old calibration.
+func (d *Device) SetCalibration(cal *Calibration) error {
+	if err := cal.Validate(d.NQubits(), d.Coupling); err != nil {
+		return fmt.Errorf("device %s: %w", d.Name, err)
+	}
+	d.Calib = cal
+	d.InvalidateCaches()
+	return nil
 }
 
 // SuccessProbability estimates the probability that the circuit executes

@@ -1,0 +1,98 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// A device whose calibration is swapped must never serve reliability
+// distances computed from the old error rates — VIC routing decisions would
+// silently optimize for a machine that no longer exists.
+func TestSetCalibrationInvalidatesReliabilityCache(t *testing.T) {
+	d := Melbourne15()
+	before := d.ReliabilityDistances() // primes the cache
+
+	// Uniform near-perfect CNOTs: every reliability distance collapses
+	// toward the hop count.
+	cal := &Calibration{
+		CNOTError:        make(map[[2]int]float64, d.Coupling.M()),
+		SingleQubitError: 1e-4,
+	}
+	for _, e := range d.Coupling.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		cal.CNOTError[[2]int{u, v}] = 1e-4
+	}
+	if err := d.SetCalibration(cal); err != nil {
+		t.Fatal(err)
+	}
+	after := d.ReliabilityDistances()
+	changed := false
+	for u := 0; u < d.NQubits() && !changed; u++ {
+		for v := 0; v < d.NQubits(); v++ {
+			if math.Abs(before.Dist(u, v)-after.Dist(u, v)) > 1e-12 {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("reliability distances unchanged after SetCalibration: stale cache served")
+	}
+}
+
+func TestSetCalibrationRejectsInvalid(t *testing.T) {
+	d := Melbourne15()
+	orig := d.Calib
+	d.ReliabilityDistances() // prime the cache
+
+	bad := &Calibration{ReadoutError: []float64{0.1}} // wrong length
+	if err := d.SetCalibration(bad); err == nil {
+		t.Fatal("invalid calibration accepted")
+	}
+	if d.Calib != orig {
+		t.Fatal("failed SetCalibration replaced the calibration anyway")
+	}
+}
+
+// Cache hit/build counters let the report prove the caches behave: one
+// build then hits, and an invalidation forces a rebuild.
+func TestDistanceCacheCounters(t *testing.T) {
+	d := Melbourne15()
+	c := obsv.New()
+	d.Obs = c
+
+	d.HopDistances()
+	d.HopDistances()
+	d.ReliabilityDistances()
+	d.ReliabilityDistances()
+	if got := c.Counter("device/hopdist_builds"); got != 1 {
+		t.Errorf("hopdist_builds = %d, want 1", got)
+	}
+	if got := c.Counter("device/hopdist_hits"); got != 1 {
+		t.Errorf("hopdist_hits = %d, want 1", got)
+	}
+	if got := c.Counter("device/reldist_builds"); got != 1 {
+		t.Errorf("reldist_builds = %d, want 1", got)
+	}
+	if got := c.Counter("device/reldist_hits"); got != 1 {
+		t.Errorf("reldist_hits = %d, want 1", got)
+	}
+
+	d.InvalidateCaches()
+	d.HopDistances()
+	d.ReliabilityDistances()
+	if got := c.Counter("device/cache_invalidations"); got != 1 {
+		t.Errorf("cache_invalidations = %d, want 1", got)
+	}
+	if got := c.Counter("device/hopdist_builds"); got != 2 {
+		t.Errorf("hopdist_builds after invalidation = %d, want 2", got)
+	}
+	if got := c.Counter("device/reldist_builds"); got != 2 {
+		t.Errorf("reldist_builds after invalidation = %d, want 2", got)
+	}
+}

@@ -64,6 +64,7 @@ func compileSample(ctx context.Context, g *graphs.Graph, dev *device.Device, pre
 	prob := &qaoa.Problem{G: g, MaxCut: 1} // optimum unused for structural metrics
 	opts := preset.Options(rng)
 	opts.PackingLimit = packing
+	opts.Obs = Collector()
 	res, err := compile.CompileContext(ctx, prob, structuralParams, dev, opts)
 	if err != nil {
 		return metrics.Sample{}, nil, err
@@ -121,6 +122,10 @@ func runPointCtx(ctx context.Context, w Workload, n int, param float64, dev *dev
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			obs := Collector()
+			span := obs.StartSpan("exp/instance")
+			defer span.End()
+			obs.Inc("exp/instances")
 			// Contain instance panics: one bad instance must not take down
 			// the sweep (or the process).
 			defer func() {
@@ -157,7 +162,9 @@ func runPointCtx(ctx context.Context, w Workload, n int, param float64, dev *dev
 						break // deadline spent; retrying cannot help
 					}
 				}
+				obs.Add("exp/retries", int64(attempts-1))
 				if lastErr != nil {
+					obs.Inc("exp/failures")
 					failures[i] = append(failures[i], InstanceFailure{
 						Instance: i, Preset: preset.String(), Attempts: attempts,
 						Err: lastErr.Error(),

@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+// Package-level observability collector. Sweep entry points (Fig7, Fig8,
+// tables, …) keep the paper's experiment signatures, so the collector is
+// installed here rather than threaded through every call — the same shape
+// as the fault-report collector in report.go. Atomic, so the exp semaphore
+// fan-out may run while it is swapped.
+var expObs atomic.Pointer[obsv.Collector]
+
+// SetCollector installs (or, with nil, removes) the collector that receives
+// the sweep instrumentation: the exp/instance span (one per workload
+// instance, covering graph sampling and every preset's compilation) and the
+// counters exp/instances, exp/retries (compile attempts beyond the first)
+// and exp/failures (instance×preset pairs dropped after all retries). The
+// collector is also forwarded into every compilation's Options.Obs.
+func SetCollector(c *obsv.Collector) { expObs.Store(c) }
+
+// Collector returns the installed collector (nil when observability is
+// disabled).
+func Collector() *obsv.Collector { return expObs.Load() }

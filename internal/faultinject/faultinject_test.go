@@ -3,6 +3,7 @@ package faultinject
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -172,5 +173,38 @@ func TestPassFaultsEveryNth(t *testing.T) {
 	}
 	if errs != 3 {
 		t.Fatalf("got %d errors in 9 calls with ErrorEvery=3", errs)
+	}
+}
+
+// A degraded device must serve distances computed from its own degraded
+// topology and calibration, never ones cached on the base device before the
+// fault — and injecting the fault must not corrupt the base's caches.
+func TestApplyNeverServesStaleDistances(t *testing.T) {
+	base := device.Melbourne15()
+	baseHop := base.HopDistances()
+	baseRel := base.ReliabilityDistances() // primes the base caches
+
+	spec := Spec{Seed: 5, Qubits: []int{0}}
+	degraded, _, err := spec.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every route into the dead qubit is gone on the degraded device.
+	hop := degraded.HopDistances()
+	for v := 1; v < degraded.NQubits(); v++ {
+		if !math.IsInf(hop.Dist(0, v), 1) {
+			t.Fatalf("degraded hop distance 0->%d = %v, want +Inf (stale cache?)", v, hop.Dist(0, v))
+		}
+	}
+	rel := degraded.ReliabilityDistances()
+	if !math.IsInf(rel.Dist(0, 1), 1) {
+		t.Fatalf("degraded reliability distance 0->1 = %v, want +Inf", rel.Dist(0, 1))
+	}
+	// The base device's cached matrices survive untouched.
+	if math.IsInf(base.HopDistances().Dist(0, 1), 1) || base.HopDistances() != baseHop {
+		t.Fatal("fault injection disturbed the base device's hop cache")
+	}
+	if base.ReliabilityDistances() != baseRel {
+		t.Fatal("fault injection disturbed the base device's reliability cache")
 	}
 }

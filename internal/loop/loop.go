@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/device"
+	"repro/internal/obsv"
 	"repro/internal/optimize"
 	"repro/internal/qaoa"
 	"repro/internal/sim"
@@ -60,6 +61,9 @@ type HardwareEvaluator struct {
 	Rng *rand.Rand
 	// Ctx, when non-nil, bounds every compilation of the evaluation loop.
 	Ctx context.Context
+	// Obs, when non-nil, times each evaluation (span loop/expectation),
+	// counts them (loop/evaluations) and is forwarded to every compilation.
+	Obs *obsv.Collector
 }
 
 // Levels returns the configured level count.
@@ -85,6 +89,9 @@ func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
 	if e.Prob == nil || e.Dev == nil {
 		return 0, fmt.Errorf("loop: HardwareEvaluator needs Prob and Dev")
 	}
+	span := e.Obs.StartSpan("loop/expectation")
+	defer span.End()
+	e.Obs.Inc("loop/evaluations")
 	if e.Rng == nil {
 		e.Rng = rand.New(rand.NewSource(e.defaultSeed()))
 	}
@@ -96,7 +103,9 @@ func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
 	if nm == nil {
 		nm = sim.NoiseFromDevice(e.Dev)
 	}
-	res, err := compile.CompileContext(ctx, e.Prob, params, e.Dev, e.Preset.Options(e.Rng))
+	copts := e.Preset.Options(e.Rng)
+	copts.Obs = e.Obs
+	res, err := compile.CompileContext(ctx, e.Prob, params, e.Dev, copts)
 	if err != nil {
 		return 0, err
 	}

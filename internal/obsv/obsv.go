@@ -1,0 +1,205 @@
+// Package obsv is the compiler's observability layer: a lightweight,
+// allocation-conscious collector of span timings, monotonic counters and
+// gauges that the compilation pipeline (compile, router, device, exp, loop,
+// sim) reports into, plus a stable machine-readable JSON Report emitted as
+// BENCH_<rev>.json by the benchmark harness and the -metrics-out flag of
+// the command-line tools.
+//
+// The collector is nil-safe: every method on a nil *Collector is a no-op
+// that performs no allocation and reads no clock, so instrumented code
+// costs nothing when observability is disabled. A non-nil Collector is safe
+// for concurrent use by the sweep harness's instance fan-out.
+package obsv
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector accumulates counters, gauges and span statistics. The zero
+// value is not usable; construct with New. A nil *Collector is a valid
+// disabled collector: all methods no-op.
+type Collector struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	spans    map[string]*spanAccum
+}
+
+type spanAccum struct {
+	count           int64
+	total, min, max time.Duration
+}
+
+// New returns an empty enabled collector.
+func New() *Collector {
+	return &Collector{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		spans:    make(map[string]*spanAccum),
+	}
+}
+
+// Enabled reports whether the collector records anything (i.e. is non-nil).
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Add increments the named monotonic counter by delta. No-op on nil.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the named counter by one. No-op on nil.
+func (c *Collector) Inc(name string) { c.Add(name, 1) }
+
+// Set records the named gauge's current value, overwriting any previous
+// one. By convention gauges never carry wall-clock readings (those belong
+// in spans), so reports stay byte-comparable after StripTimings. No-op on
+// nil.
+func (c *Collector) Set(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// RecordSpan folds a pre-measured duration into the named span's
+// statistics. No-op on nil.
+func (c *Collector) RecordSpan(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	s := c.spans[name]
+	if s == nil {
+		s = &spanAccum{min: d, max: d}
+		c.spans[name] = s
+	}
+	s.count++
+	s.total += d
+	if d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	c.mu.Unlock()
+}
+
+// Span is an in-flight timed region started by StartSpan. The zero Span
+// (from a nil collector) is inert.
+type Span struct {
+	c     *Collector
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing a named region; call End on the returned Span to
+// record it. On a nil collector no clock is read and End is a no-op.
+func (c *Collector) StartSpan(name string) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{c: c, name: name, start: time.Now()}
+}
+
+// End records the span's elapsed time and returns it (0 for an inert span).
+func (s Span) End() time.Duration {
+	if s.c == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.c.RecordSpan(s.name, d)
+	return d
+}
+
+// Counter returns the named counter's current value (0 when absent or nil).
+func (c *Collector) Counter(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Gauge returns the named gauge and whether it has been set.
+func (c *Collector) Gauge(name string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.gauges[name]
+	return v, ok
+}
+
+// Reset clears every counter, gauge and span. No-op on nil.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters = make(map[string]int64)
+	c.gauges = make(map[string]float64)
+	c.spans = make(map[string]*spanAccum)
+	c.mu.Unlock()
+}
+
+// SpanStat is the aggregated statistics of one named span, in seconds.
+type SpanStat struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	TotalSec float64 `json:"total_sec"`
+	MeanSec  float64 `json:"mean_sec"`
+	MinSec   float64 `json:"min_sec"`
+	MaxSec   float64 `json:"max_sec"`
+}
+
+// Snapshot is a point-in-time copy of the collector's state with
+// deterministic ordering (span list sorted by name).
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Spans    []SpanStat
+}
+
+// Snapshot copies the collector's current state. A nil collector yields a
+// zero Snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{
+		Counters: make(map[string]int64, len(c.counters)),
+		Gauges:   make(map[string]float64, len(c.gauges)),
+		Spans:    make([]SpanStat, 0, len(c.spans)),
+	}
+	for k, v := range c.counters {
+		snap.Counters[k] = v
+	}
+	for k, v := range c.gauges {
+		snap.Gauges[k] = v
+	}
+	for name, s := range c.spans {
+		snap.Spans = append(snap.Spans, SpanStat{
+			Name:     name,
+			Count:    s.count,
+			TotalSec: s.total.Seconds(),
+			MeanSec:  s.total.Seconds() / float64(s.count),
+			MinSec:   s.min.Seconds(),
+			MaxSec:   s.max.Seconds(),
+		})
+	}
+	sort.Slice(snap.Spans, func(i, j int) bool { return snap.Spans[i].Name < snap.Spans[j].Name })
+	return snap
+}

@@ -1,0 +1,280 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	c.Add("x", 3)
+	c.Inc("x")
+	c.Set("g", 1.5)
+	c.RecordSpan("s", time.Second)
+	sp := c.StartSpan("s")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("inert span measured %v", d)
+	}
+	c.Reset()
+	if got := c.Counter("x"); got != 0 {
+		t.Fatalf("nil counter = %d", got)
+	}
+	if _, ok := c.Gauge("g"); ok {
+		t.Fatal("nil gauge exists")
+	}
+	snap := c.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Spans != nil {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCountersGaugesSpans(t *testing.T) {
+	c := New()
+	c.Add("swaps", 5)
+	c.Inc("swaps")
+	c.Set("depth", 40)
+	c.Set("depth", 41) // overwrite
+	c.RecordSpan("route", 2*time.Millisecond)
+	c.RecordSpan("route", 4*time.Millisecond)
+	if got := c.Counter("swaps"); got != 6 {
+		t.Fatalf("swaps = %d, want 6", got)
+	}
+	if v, ok := c.Gauge("depth"); !ok || v != 41 {
+		t.Fatalf("depth = %v,%v", v, ok)
+	}
+	snap := c.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("spans = %d", len(snap.Spans))
+	}
+	s := snap.Spans[0]
+	if s.Name != "route" || s.Count != 2 {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.MinSec != 0.002 || s.MaxSec != 0.004 || s.TotalSec != 0.006 {
+		t.Fatalf("span stats = %+v", s)
+	}
+	if s.MeanSec != 0.003 {
+		t.Fatalf("mean = %v", s.MeanSec)
+	}
+
+	c.Reset()
+	if got := c.Counter("swaps"); got != 0 {
+		t.Fatalf("after reset swaps = %d", got)
+	}
+}
+
+func TestStartSpanRecords(t *testing.T) {
+	c := New()
+	sp := c.StartSpan("map")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("elapsed = %v", d)
+	}
+	snap := c.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Count != 1 || snap.Spans[0].TotalSec <= 0 {
+		t.Fatalf("snapshot = %+v", snap.Spans)
+	}
+}
+
+func TestCollectorConcurrency(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	const workers, per = 16, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add("n", 1)
+				c.Set("g", float64(w))
+				c.RecordSpan("s", time.Microsecond)
+				sp := c.StartSpan("t")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Counter("n"); got != workers*per {
+		t.Fatalf("n = %d, want %d", got, workers*per)
+	}
+	snap := c.Snapshot()
+	for _, s := range snap.Spans {
+		if s.Count != workers*per {
+			t.Fatalf("span %s count = %d, want %d", s.Name, s.Count, workers*per)
+		}
+	}
+}
+
+func TestReportRoundTripAndStability(t *testing.T) {
+	c := New()
+	c.Add("router/swaps", 12)
+	c.Set("fig7/ratio", 0.8)
+	c.RecordSpan("compile/map", 3*time.Millisecond)
+	r := NewReport("test", "abc123", c)
+	r.AddBenchmark(Benchmark{Name: "fig7/QAIM", Instances: 4, CompileSec: 0.1, Swaps: 9, Depth: 40, Gates: 200})
+	r.AddBenchmark(Benchmark{Name: "fig7/NAIVE", Instances: 4, CompileSec: 0.2, Swaps: 20, Depth: 60, Gates: 300})
+
+	data, err := r.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatal("no trailing newline")
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "test" || back.Revision != "abc123" || len(back.Benchmarks) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	// Benchmarks sorted by name in the serialized form.
+	if back.Benchmarks[0].Name != "fig7/NAIVE" {
+		t.Fatalf("not sorted: %s first", back.Benchmarks[0].Name)
+	}
+	if b, ok := back.Benchmark("fig7/QAIM"); !ok || b.Swaps != 9 {
+		t.Fatalf("lookup = %+v,%v", b, ok)
+	}
+	if got := back.Counters["router/swaps"]; got != 12 {
+		t.Fatalf("counter = %d", got)
+	}
+
+	// Marshaling the parsed report again is byte-identical (stable artifact).
+	again, err := back.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("marshal not stable:\n%s\n---\n%s", data, again)
+	}
+}
+
+func TestParseReportRejectsWrongSchema(t *testing.T) {
+	data, _ := json.Marshal(map[string]any{"schema": SchemaVersion + 1, "tool": "x"})
+	if _, err := ParseReport(data); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ParseReport([]byte("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestStripTimingsMakesReportsComparable(t *testing.T) {
+	build := func(compileSec float64) *Report {
+		c := New()
+		c.Add("compile/swaps", 7)
+		c.RecordSpan("compile/route", time.Duration(compileSec*float64(time.Second)))
+		r := NewReport("t", "r1", c)
+		r.TimeUnitSec = compileSec / 10
+		r.AddBenchmark(Benchmark{Name: "b", CompileSec: compileSec, MapSec: 0.01, OrderSec: 0.01, RouteSec: 0.01, CompileUnits: 10, Swaps: 3, Depth: 12, Gates: 50})
+		return r
+	}
+	a, b := build(0.5), build(0.9)
+	a.StripTimings()
+	b.StripTimings()
+	da, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("stripped reports differ:\n%s\n---\n%s", da, db)
+	}
+	if strings.Contains(string(da), "created_at") {
+		t.Fatal("created_at survived StripTimings")
+	}
+}
+
+func TestDefaultFilename(t *testing.T) {
+	if got := DefaultFilename(""); got != "BENCH_dev.json" {
+		t.Fatalf("empty rev = %q", got)
+	}
+	if got := DefaultFilename("v1.2/dirty branch"); got != "BENCH_v1.2-dirty-branch.json" {
+		t.Fatalf("sanitized = %q", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	base.AddBenchmark(Benchmark{Name: "fig7/QAIM", CompileSec: 1, CompileUnits: 1, Swaps: 10, Depth: 40})
+	base.AddBenchmark(Benchmark{Name: "fig9/IC", CompileSec: 2, CompileUnits: 2, Swaps: 8, Depth: 30})
+
+	cur := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	cur.AddBenchmark(Benchmark{Name: "fig7/QAIM", CompileSec: 1.05, CompileUnits: 1.05, Swaps: 10, Depth: 40})
+	cur.AddBenchmark(Benchmark{Name: "fig9/IC", CompileSec: 2, CompileUnits: 2, Swaps: 8, Depth: 30})
+	if regs := Compare(base, cur, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("clean compare regressed: %v", regs)
+	}
+
+	// Swap-count regression beyond 15%.
+	cur2 := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	cur2.AddBenchmark(Benchmark{Name: "fig7/QAIM", CompileSec: 1, CompileUnits: 1, Swaps: 12, Depth: 40})
+	cur2.AddBenchmark(Benchmark{Name: "fig9/IC", CompileSec: 2, CompileUnits: 2, Swaps: 8, Depth: 30})
+	regs := Compare(base, cur2, CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != "swaps" || regs[0].Benchmark != "fig7/QAIM" {
+		t.Fatalf("swap regression = %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "swaps regressed") {
+		t.Fatalf("message = %q", regs[0].String())
+	}
+
+	// Normalized time shields a slower machine: raw seconds doubled but the
+	// time unit doubled too, so compile units are unchanged.
+	slow := &Report{Schema: SchemaVersion, TimeUnitSec: 2}
+	slow.AddBenchmark(Benchmark{Name: "fig7/QAIM", CompileSec: 2, CompileUnits: 1, Swaps: 10, Depth: 40})
+	slow.AddBenchmark(Benchmark{Name: "fig9/IC", CompileSec: 4, CompileUnits: 2, Swaps: 8, Depth: 30})
+	if regs := Compare(base, slow, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("normalized compare regressed: %v", regs)
+	}
+
+	// Missing benchmark is reported.
+	missing := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	missing.AddBenchmark(Benchmark{Name: "fig7/QAIM", CompileSec: 1, CompileUnits: 1, Swaps: 10, Depth: 40})
+	regs = Compare(base, missing, CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("missing = %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("message = %q", regs[0].String())
+	}
+
+	// Custom thresholds loosen the gate.
+	if regs := Compare(base, cur2, CompareOptions{CountThreshold: 0.5}); len(regs) != 0 {
+		t.Fatalf("loose threshold still regressed: %v", regs)
+	}
+
+	// The absolute time slack keeps microsecond-scale records quiet: 3x
+	// slower, but within 0.05 units of the baseline.
+	tiny := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	tiny.AddBenchmark(Benchmark{Name: "fig7/QAIM", CompileSec: 1, CompileUnits: 0.01, Swaps: 10, Depth: 40})
+	tinyCur := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	tinyCur.AddBenchmark(Benchmark{Name: "fig7/QAIM", CompileSec: 1, CompileUnits: 0.03, Swaps: 10, Depth: 40})
+	if regs := Compare(tiny, tinyCur, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("slack did not absorb tiny-record jitter: %v", regs)
+	}
+	// ... but a regression past the slack still fails.
+	tinyCur.Benchmarks[0].CompileUnits = 0.1
+	if regs := Compare(tiny, tinyCur, CompareOptions{}); len(regs) != 1 || regs[0].Metric != "compile_time" {
+		t.Fatalf("slack swallowed a real regression: %v", regs)
+	}
+
+	// Zero baseline gates absolutely against the threshold.
+	zb := &Report{Schema: SchemaVersion}
+	zb.AddBenchmark(Benchmark{Name: "z", Swaps: 0, Depth: 0})
+	zc := &Report{Schema: SchemaVersion}
+	zc.AddBenchmark(Benchmark{Name: "z", Swaps: 5, Depth: 0})
+	regs = Compare(zb, zc, CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != "swaps" {
+		t.Fatalf("zero-baseline = %v", regs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/graphs"
+	"repro/internal/obsv"
 )
 
 // DisconnectedError reports that routing required moving a qubit between two
@@ -47,6 +48,11 @@ type Router struct {
 	Trials int
 	// Rng seeds the trial shuffles; required when Trials > 1.
 	Rng *rand.Rand
+	// Obs, when non-nil, receives routing counters: router/routes,
+	// router/layers, router/swaps, router/forced_paths and router/trials.
+	// Counters are batched per routing call, so the per-gate hot loop never
+	// touches the collector.
+	Obs *obsv.Collector
 
 	// edgeOrder overrides the coupling-edge scan order for tie-breaking
 	// (nil: the device's canonical order).
@@ -92,6 +98,7 @@ func (r *Router) routeTrials(ctx context.Context, c *circuit.Circuit, initial *L
 	if r.Rng == nil {
 		return nil, fmt.Errorf("router: Trials > 1 requires Rng")
 	}
+	r.Obs.Add("router/trials", int64(r.Trials))
 	canonical := r.Dev.Coupling.Edges()
 	var best *Result
 	for trial := 0; trial < r.Trials; trial++ {
@@ -169,6 +176,14 @@ func (r *Router) routeOnce(ctx context.Context, c *circuit.Circuit, initial *Lay
 		swaps += layerSwaps
 	}
 
+	// Batched per call: the counters measure routing work performed (every
+	// stochastic trial counts), while compile/swaps counts only the SWAPs of
+	// the kept result.
+	if r.Obs.Enabled() {
+		r.Obs.Inc("router/routes")
+		r.Obs.Add("router/layers", int64(len(layers)))
+		r.Obs.Add("router/swaps", int64(swaps))
+	}
 	return &Result{Circuit: out, Initial: initial, Final: layout, SwapCount: swaps}, nil
 }
 
@@ -324,6 +339,7 @@ func swapped(p, a, b int) int {
 // target until the pair is coupled. Returns the number of swaps emitted, or
 // a *DisconnectedError when no path exists (severed coupling graph).
 func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
+	r.Obs.Inc("router/forced_paths")
 	best := 0
 	bestD := r.Dist.Dist(layout.Phys(pending[0].Q0), layout.Phys(pending[0].Q1))
 	for i := 1; i < len(pending); i++ {

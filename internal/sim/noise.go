@@ -140,6 +140,10 @@ func SampleNoisy(c *circuit.Circuit, nm *NoiseModel, shots, trajectories int, rn
 		}
 		out = append(out, samples...)
 	}
+	if col := Collector(); col.Enabled() {
+		col.Add("sim/noisy_shots", int64(len(out)))
+		col.Add("sim/trajectories", int64(trajectories))
+	}
 	return out
 }
 

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+// Package-level observability collector. The simulator is called from deep
+// inside the sweep harness and the optimization loop, whose call chains
+// mirror the paper's experiment signatures; rather than threading a
+// collector through every one of them, it is installed here (mirroring the
+// exp fault-report collector). Atomic, so concurrent trajectory fan-outs
+// may run while it is swapped.
+var simObs atomic.Pointer[obsv.Collector]
+
+// SetCollector installs (or, with nil, removes) the collector that receives
+// the simulator counters: sim/runs, sim/gates, sim/amp_ops (gate count ×
+// state-vector length — the work measure of a run), sim/noisy_shots and
+// sim/trajectories. Counters are batched once per run/sampling call, so the
+// per-amplitude hot loops never touch the collector.
+func SetCollector(c *obsv.Collector) { simObs.Store(c) }
+
+// Collector returns the installed collector (nil when observability is
+// disabled).
+func Collector() *obsv.Collector { return simObs.Load() }

@@ -193,6 +193,11 @@ func (s *State) Run(c *circuit.Circuit) *State {
 	for _, g := range c.Gates {
 		s.ApplyGate(g)
 	}
+	if col := Collector(); col.Enabled() {
+		col.Inc("sim/runs")
+		col.Add("sim/gates", int64(len(c.Gates)))
+		col.Add("sim/amp_ops", int64(len(c.Gates))*int64(len(s.Amp)))
+	}
 	return s
 }
 
