@@ -34,16 +34,17 @@ func main() {
 		nodes     = flag.Int("nodes", 0, "problem graph size of the tokyo records (default 16)")
 		seed      = flag.Int64("seed", 0, "suite random seed (default 11)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "abort the suite after this long (0 = no deadline)")
+		listen    = flag.String("listen", "", "serve live Prometheus metrics, /healthz and pprof on this address (e.g. :8080) while the suite runs")
 	)
 	flag.Parse()
 
-	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *timeSlack, *instances, *nodes, *seed, *timeout); err != nil {
+	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *timeSlack, *instances, *nodes, *seed, *timeout, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, rev, baseline string, timeThr, countThr, timeSlack float64, instances, nodes int, seed int64, timeout time.Duration) error {
+func run(out, rev, baseline string, timeThr, countThr, timeSlack float64, instances, nodes int, seed int64, timeout time.Duration, listen string) error {
 	rev = qaoac.RevisionFromEnv(rev)
 	if out == "" {
 		out = qaoac.DefaultBenchFilename(rev)
@@ -69,6 +70,20 @@ func run(out, rev, baseline string, timeThr, countThr, timeSlack float64, instan
 	c := qaoac.NewCollector()
 	qaoac.SetObservability(c)
 	defer qaoac.SetObservability(nil)
+
+	if listen != "" {
+		// Progress: compilations finished so far (the suite size is not known
+		// up front, so Total stays 0).
+		progress := func() qaoac.ObsProgress {
+			return qaoac.ObsProgress{Phase: "bench", Done: int(c.Counter("compile/compilations"))}
+		}
+		ln, lerr := qaoac.ServeObservability(listen, c, progress)
+		if lerr != nil {
+			return lerr
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "qaoa-bench: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	rep := qaoac.NewBenchReport("qaoa-bench", rev, nil)
 	rep.TimeUnitSec = qaoac.CalibrateTimeUnit()

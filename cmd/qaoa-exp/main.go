@@ -13,10 +13,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"repro/qaoac"
 )
+
+// sweepProgress tracks which figure is running and how many jobs finished,
+// for the -listen /healthz endpoint. Written by the job loop, read by the
+// HTTP handler.
+var sweepProgress struct {
+	mu    sync.Mutex
+	phase string
+	done  int
+	total int
+}
+
+func setProgress(phase string, done, total int) {
+	sweepProgress.mu.Lock()
+	sweepProgress.phase, sweepProgress.done, sweepProgress.total = phase, done, total
+	sweepProgress.mu.Unlock()
+}
+
+func readProgress() qaoac.ObsProgress {
+	sweepProgress.mu.Lock()
+	defer sweepProgress.mu.Unlock()
+	return qaoac.ObsProgress{Phase: sweepProgress.phase, Done: sweepProgress.done, Total: sweepProgress.total}
+}
 
 func main() {
 	var (
@@ -25,14 +48,24 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "multiply instance counts by this factor (min 1 instance)")
 		metrics = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the run to this path")
 		rev     = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
+		listen  = flag.String("listen", "", "serve live Prometheus metrics, /healthz sweep progress and pprof on this address (e.g. :8080) while the sweep runs")
 	)
 	flag.Parse()
 
 	var col *qaoac.Collector
-	if *metrics != "" {
+	if *metrics != "" || *listen != "" {
 		col = qaoac.NewCollector()
 		qaoac.SetObservability(col)
 		defer qaoac.SetObservability(nil)
+	}
+	if *listen != "" {
+		ln, err := qaoac.ServeObservability(*listen, col, readProgress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "qaoa-exp: serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 	if err := run(*fig, *scale, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
@@ -160,12 +193,20 @@ func run(fig string, scale float64, format string) error {
 		}},
 	}
 
+	selected := 0
+	for _, j := range jobs {
+		if fig == "all" || fig == j.name {
+			selected++
+		}
+	}
 	matched := false
+	done := 0
 	for _, j := range jobs {
 		if fig != "all" && fig != j.name {
 			continue
 		}
 		matched = true
+		setProgress("fig "+j.name, done, selected)
 		start := time.Now()
 		tables, err := j.run()
 		printFaults(j.name)
@@ -183,6 +224,8 @@ func run(fig string, scale float64, format string) error {
 			}
 		}
 		fmt.Printf("(fig %s regenerated in %s)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		done++
+		setProgress("fig "+j.name, done, selected)
 	}
 	if !matched {
 		return fmt.Errorf("unknown figure %q", fig)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -44,18 +45,93 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 1, "fault injection: seed for the degradation")
 		metricsOut = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the compilation to this path")
 		rev        = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the compilation to this path (open in ui.perfetto.dev)")
+		traceJSONL = flag.String("trace-jsonl", "", "write the raw decision-event stream as JSON Lines to this path")
+		traceStrip = flag.Bool("trace-strip", false, "zero timestamps in the JSONL trace (byte-identical across fixed-seed runs)")
+		explain    = flag.Bool("explain", false, "print the compilation's decision report: placements, SWAP heatmap, layer timeline")
+		explainDOT = flag.String("explain-dot", "", "write the SWAP-heat coupling graph as Graphviz DOT to this path")
 	)
 	flag.Parse()
 
+	tf := traceFlags{Chrome: *traceOut, JSONL: *traceJSONL, Strip: *traceStrip, Explain: *explain, DOT: *explainDOT}
 	if err := run(*deviceName, *deviceFile, *graphKind, *graphFile, *nodes, *degree, *prob, *method, *levels, *packing, *seed, *print, *native, *draw,
-		*timeout, *resilient, *deadQubits, *dropCalib, *faultSeed, *metricsOut, *rev); err != nil {
+		*timeout, *resilient, *deadQubits, *dropCalib, *faultSeed, *metricsOut, *rev, tf); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoac:", err)
 		os.Exit(1)
 	}
 }
 
+// traceFlags bundles the tracing/explainability outputs of one run.
+type traceFlags struct {
+	Chrome  string
+	JSONL   string
+	Strip   bool
+	Explain bool
+	DOT     string
+}
+
+func (tf traceFlags) enabled() bool {
+	return tf.Chrome != "" || tf.JSONL != "" || tf.Explain || tf.DOT != ""
+}
+
+// write exports the recorded events to every requested sink.
+func (tf traceFlags) write(events []qaoac.TraceEvent) error {
+	if tf.Chrome != "" {
+		if err := writeTo(tf.Chrome, func(w *os.File) error {
+			return qaoac.WriteChromeTrace(w, events)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("trace:         %s (chrome trace-event JSON)\n", tf.Chrome)
+	}
+	if tf.JSONL != "" {
+		if err := writeTo(tf.JSONL, func(w *os.File) error {
+			return qaoac.WriteTraceJSONL(w, events, tf.Strip)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("trace:         %s (JSONL, %d events)\n", tf.JSONL, len(events))
+	}
+	if tf.DOT != "" {
+		if err := writeTo(tf.DOT, func(w *os.File) error {
+			qaoac.WriteTraceDOT(w, events)
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("trace:         %s (Graphviz DOT)\n", tf.DOT)
+	}
+	if tf.Explain {
+		fmt.Println()
+		qaoac.WriteTraceExplain(os.Stdout, events)
+	}
+	return nil
+}
+
+// writeTo creates path (and missing parent directories) and runs fn on it,
+// wrapping every failure with the path.
+func writeTo(path string, fn func(*os.File) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
 func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int, prob float64, method string, levels, packing int, seed int64, print, native, draw bool,
-	timeout time.Duration, resilient bool, deadQubits int, dropCalib float64, faultSeed int64, metricsOut, rev string) error {
+	timeout time.Duration, resilient bool, deadQubits int, dropCalib float64, faultSeed int64, metricsOut, rev string, tf traceFlags) error {
 	var dev *qaoac.Device
 	var err error
 	if deviceFile != "" {
@@ -129,14 +205,19 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	var tr *qaoac.Tracer
+	if tf.enabled() {
+		tr = qaoac.NewTracer()
+	}
 	var res *qaoac.CompileResult
 	if resilient {
 		res, err = qaoac.CompileResilient(ctx, problem, params, dev, preset,
-			qaoac.FallbackOptions{Seed: seed, PackingLimit: packing, Obs: col})
+			qaoac.FallbackOptions{Seed: seed, PackingLimit: packing, Obs: col, Trace: tr})
 	} else {
 		opts := preset.Options(rng)
 		opts.PackingLimit = packing
 		opts.Obs = col
+		opts.Trace = tr
 		res, err = qaoac.CompileContext(ctx, problem, params, dev, opts)
 	}
 	if err != nil {
@@ -196,6 +277,11 @@ func run(deviceName, deviceFile, graphKind, graphFile string, nodes, degree int,
 			return err
 		}
 		fmt.Printf("metrics:       %s\n", metricsOut)
+	}
+	if tf.enabled() {
+		if err := tf.write(tr.Events()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -9,8 +9,10 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/graphs"
+	"repro/internal/obsv"
 	"repro/internal/qaoa"
 	"repro/internal/router"
+	"repro/internal/trace"
 )
 
 // PanicError wraps a panic recovered at the compile boundary. Pass bugs and
@@ -119,7 +121,7 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 		}
 	}()
 	o := opts.withDefaults()
-	total := o.Obs.StartSpan("compile/total")
+	total := o.Obs.StartSpan(obsv.SpanCompileTotal)
 	defer total.End()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -133,19 +135,25 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 	if err := checkpoint(ctx, StageMap, o.Hook); err != nil {
 		return nil, err
 	}
+	traceStart := o.Trace.Len()
+	if o.Trace.Enabled() {
+		o.Trace.Meta(traceMeta(spec, dev, o))
+	}
 	start := time.Now()
 
+	o.Trace.BeginPass(StageMap)
 	var initial *router.Layout
 	if o.Mapper == MapReverse {
 		initial, err = ReverseTraversalMapping(spec, dev, o.ReverseIterations, o)
 	} else {
 		initial, err = buildMapping(spec.InteractionGraph(), dev, o)
 	}
+	o.Trace.EndPass(StageMap)
 	if err != nil {
 		return nil, err
 	}
 	mapTime := time.Since(start)
-	o.Obs.RecordSpan("compile/map", mapTime)
+	o.Obs.RecordSpan(obsv.SpanCompileMap, mapTime)
 
 	switch o.Strategy {
 	case WholeRandom, WholeIP, WholeColor:
@@ -173,14 +181,35 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 	res.CompileTime = time.Since(start)
 	res.MapTime = mapTime
 	if o.Obs.Enabled() {
-		o.Obs.RecordSpan("compile/order", res.OrderTime)
-		o.Obs.RecordSpan("compile/route", res.RouteTime)
-		o.Obs.Inc("compile/compilations")
-		o.Obs.Add("compile/swaps", int64(res.SwapCount))
-		o.Obs.Add("compile/gates", int64(res.GateCount))
-		o.Obs.Add("compile/depth_total", int64(res.Depth))
+		o.Obs.RecordSpan(obsv.SpanCompileOrder, res.OrderTime)
+		o.Obs.RecordSpan(obsv.SpanCompileRoute, res.RouteTime)
+		o.Obs.Inc(obsv.CntCompilations)
+		o.Obs.Add(obsv.CntCompileSwaps, int64(res.SwapCount))
+		o.Obs.Add(obsv.CntCompileGates, int64(res.GateCount))
+		o.Obs.Add(obsv.CntCompileDepthTotal, int64(res.Depth))
+		if o.Trace.Enabled() {
+			o.Obs.Add(obsv.CntTraceEvents, int64(o.Trace.Len()-traceStart))
+		}
 	}
 	return res, nil
+}
+
+// traceMeta describes the compilation for the trace stream, including the
+// coupling graph so the exporters are self-contained.
+func traceMeta(spec Spec, dev *device.Device, o Options) trace.MetaInfo {
+	edges := dev.Coupling.Edges()
+	coupling := make([][2]int, len(edges))
+	for i, e := range edges {
+		coupling[i] = [2]int{e.U, e.V}
+	}
+	return trace.MetaInfo{
+		Device:   dev.Name,
+		NQubits:  dev.NQubits(),
+		Coupling: coupling,
+		NLogical: spec.N,
+		Mapper:   o.Mapper.String(),
+		Strategy: o.Strategy.String(),
+	}
 }
 
 // checkpoint enforces ctx and fires the pass hook at a stage boundary.
@@ -219,6 +248,7 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 	if err := checkpoint(ctx, StageOrder, o.Hook); err != nil {
 		return nil, err
 	}
+	o.Trace.BeginPass(StageOrder)
 	orderStart := time.Now()
 	logical := circuit.New(spec.N)
 	for q := 0; q < spec.N; q++ {
@@ -250,6 +280,7 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 		logical.MeasureAll()
 	}
 	orderTime := time.Since(orderStart)
+	o.Trace.EndPass(StageOrder)
 
 	*stage = StageRoute
 	if err := checkpoint(ctx, StageRoute, o.Hook); err != nil {
@@ -259,8 +290,11 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 	r.LookaheadWeight = o.LookaheadWeight
 	r.Trials, r.Rng = o.RouterTrials, o.Rng
 	r.Obs = o.Obs
+	r.Trace = o.Trace
+	o.Trace.BeginPass(StageRoute)
 	routeStart := time.Now()
 	routed, err := r.RouteContext(ctx, logical, initial)
+	o.Trace.EndPass(StageRoute)
 	if err != nil {
 		return nil, err
 	}
@@ -286,13 +320,14 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 	}
 	r := &router.Router{
 		Dev: dev, Dist: dist, LookaheadWeight: o.LookaheadWeight,
-		Trials: o.RouterTrials, Rng: o.Rng, Obs: o.Obs,
+		Trials: o.RouterTrials, Rng: o.Rng, Obs: o.Obs, Trace: o.Trace,
 	}
 
 	n := spec.N
 	out := circuit.New(dev.NQubits())
 	layout := initial.Clone()
 	swaps := 0
+	layerIdx := 0
 	var orderTime, routeTime time.Duration
 
 	// Initial H layer, mapped through the initial layout.
@@ -300,13 +335,14 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 		out.Append(circuit.NewH(layout.Phys(q)))
 	}
 
-	for _, level := range spec.Levels {
+	for li, level := range spec.Levels {
 		emitLocals(out, level, layout.Phys)
 		remaining := append([]ZZTerm(nil), level.ZZ...)
 		for len(remaining) > 0 {
 			if err := checkpoint(ctx, StageRoute, o.Hook); err != nil {
 				return nil, err
 			}
+			o.Trace.BeginPass(StageOrder)
 			orderStart := time.Now()
 			layer, rest := nextIncrementalLayer(remaining, layout, dist, o)
 			// Route the single-layer partial circuit from the live layout.
@@ -315,16 +351,31 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 				partial.Append(circuit.NewCPhase(t.U, t.V, t.Theta))
 			}
 			orderTime += time.Since(orderStart)
+			o.Trace.EndPass(StageOrder)
+			if o.Trace.Enabled() {
+				o.Trace.Layer(traceLayer(layerIdx, li, layer, rest, layout, dist))
+			}
+			o.Trace.BeginPass(StageRoute)
 			routeStart := time.Now()
 			routed, err := r.RouteContext(ctx, partial, layout)
 			if err != nil {
+				o.Trace.EndPass(StageRoute)
 				return nil, err
 			}
 			routeTime += time.Since(routeStart)
-			stitch := o.Obs.StartSpan("compile/stitch")
+			o.Trace.EndPass(StageRoute)
+			stitch := o.Obs.StartSpan(obsv.SpanCompileStitch)
 			out.AppendCircuit(routed.Circuit)
 			stitch.End()
-			o.Obs.Inc("compile/layers")
+			o.Obs.Inc(obsv.CntCompileLayers)
+			if o.Trace.Enabled() {
+				o.Trace.Stitch(trace.StitchInfo{
+					Layer: layerIdx,
+					Gates: len(routed.Circuit.Gates),
+					Swaps: routed.SwapCount,
+				})
+			}
+			layerIdx++
 			layout = routed.Final
 			swaps += routed.SwapCount
 			remaining = rest
@@ -347,6 +398,18 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 		OrderTime: orderTime,
 		RouteTime: routeTime,
 	}, nil
+}
+
+// traceLayer snapshots one incremental layer-formation decision: the
+// selected terms with the live distances that ranked them, and how much
+// work was deferred.
+func traceLayer(index, level int, layer, rest []ZZTerm, layout *router.Layout, dist *graphs.DistanceMatrix) trace.LayerInfo {
+	terms := make([]trace.TermInfo, len(layer))
+	for i, t := range layer {
+		pu, pv := layout.Phys(t.U), layout.Phys(t.V)
+		terms[i] = trace.TermInfo{U: t.U, V: t.V, PU: pu, PV: pv, Dist: dist.Dist(pu, pv)}
+	}
+	return trace.LayerInfo{Index: index, Level: level, Terms: terms, Deferred: len(rest)}
 }
 
 // nextIncrementalLayer sorts the remaining ZZ terms by the current physical

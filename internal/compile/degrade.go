@@ -11,6 +11,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/obsv"
 	"repro/internal/qaoa"
+	"repro/internal/trace"
 )
 
 // Attempt records one try of the degradation ladder: which preset ran, the
@@ -62,6 +63,11 @@ type FallbackOptions struct {
 	Optimize     bool
 	Hook         Hook
 	Obs          *obsv.Collector
+	// Trace carries through to every attempt's Options and additionally
+	// receives one fallback event per failed attempt plus a final event for
+	// the attempt that produced the returned circuit, so the ladder's path
+	// is readable straight off the stream.
+	Trace *trace.Tracer
 }
 
 func (fo FallbackOptions) withDefaults() FallbackOptions {
@@ -147,6 +153,9 @@ func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, pr
 			if firstFailure == "" {
 				firstFailure = attempts[len(attempts)-1].Err
 			}
+			if fo.Trace.Enabled() {
+				fo.Trace.Fallback(trace.FallbackInfo{Preset: p.String(), Err: attempts[len(attempts)-1].Err})
+			}
 			continue
 		}
 		for retry := 0; retry <= fo.Retries; retry++ {
@@ -165,18 +174,24 @@ func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, pr
 					Attempts:  attempts,
 				}
 				if fo.Obs.Enabled() {
-					fo.Obs.Inc("compile/resilient")
-					fo.Obs.Add("compile/fallback_attempts", int64(len(attempts)))
-					fo.Obs.Add("compile/fallback_depth_total", int64(rung))
+					fo.Obs.Inc(obsv.CntCompileResilient)
+					fo.Obs.Add(obsv.CntFallbackAttempts, int64(len(attempts)))
+					fo.Obs.Add(obsv.CntFallbackDepthTotal, int64(rung))
 					if res.Fallback.Degraded {
-						fo.Obs.Inc("compile/fallback_degraded")
+						fo.Obs.Inc(obsv.CntFallbackDegraded)
 					}
+				}
+				if fo.Trace.Enabled() {
+					fo.Trace.Fallback(trace.FallbackInfo{Preset: p.String(), Retry: retry, Final: true})
 				}
 				return res, nil
 			}
 			attempts = append(attempts, Attempt{Preset: p, Retry: retry, Err: err.Error()})
 			if firstFailure == "" {
 				firstFailure = err.Error()
+			}
+			if fo.Trace.Enabled() {
+				fo.Trace.Fallback(trace.FallbackInfo{Preset: p.String(), Retry: retry, Err: err.Error()})
 			}
 			if ctx.Err() != nil {
 				// The caller's deadline is spent; degrading further would
@@ -208,6 +223,7 @@ func attemptOnce(ctx context.Context, spec Spec, dev *device.Device, p Preset, r
 	opts.Optimize = fo.Optimize
 	opts.Hook = fo.Hook
 	opts.Obs = fo.Obs
+	opts.Trace = fo.Trace
 	return CompileSpecContext(ctx, spec, dev, opts)
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/graphs"
 	"repro/internal/router"
+	"repro/internal/trace"
 )
 
 // InsufficientQubitsError reports a problem too large for the usable
@@ -93,6 +94,12 @@ func GreedyVMapping(g *graphs.Graph, dev *device.Device) (*router.Layout, error)
 // Ties are broken uniformly at random via rng (pass a fixed seed for
 // reproducibility), matching the paper's "picked randomly" tie rule.
 func QAIMMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *rand.Rand) (*router.Layout, error) {
+	return qaimMapping(g, dev, strengthRadius, rng, nil)
+}
+
+// qaimMapping is QAIMMapping emitting one trace placement event per
+// decision when tr is enabled.
+func qaimMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *rand.Rand, tr *trace.Tracer) (*router.Layout, error) {
 	n := g.N()
 	usable, err := usablePhysical(n, dev)
 	if err != nil {
@@ -153,8 +160,15 @@ func QAIMMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *r
 			}
 		}
 		var chosen int
+		var score float64
+		candidates := 0
 		if len(placed) == 0 {
 			chosen = pickStrongestFree()
+			for p := 0; p < dev.NQubits(); p++ {
+				if !used[p] && eligible[p] {
+					candidates++
+				}
+			}
 		} else {
 			// Candidates: free physical neighbours of the placed positions.
 			candSet := make(map[int]bool)
@@ -199,9 +213,20 @@ func QAIMMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *r
 					}
 				}
 			}
+			score, candidates = bestScore, len(cands)
 		}
 		l2p[q] = chosen
 		used[chosen] = true
+		if tr.Enabled() {
+			tr.Placement(trace.PlacementInfo{
+				Logical:         q,
+				Phys:            chosen,
+				Strength:        strength[chosen],
+				Score:           score,
+				Candidates:      candidates,
+				PlacedNeighbors: placed,
+			})
+		}
 	}
 	return router.NewLayout(n, dev.NQubits(), l2p)
 }
@@ -214,7 +239,7 @@ func buildMapping(g *graphs.Graph, dev *device.Device, o Options) (*router.Layou
 	case MapGreedyV:
 		return GreedyVMapping(g, dev)
 	case MapQAIM:
-		return QAIMMapping(g, dev, o.StrengthRadius, o.Rng)
+		return qaimMapping(g, dev, o.StrengthRadius, o.Rng, o.Trace)
 	default:
 		return nil, fmt.Errorf("compile: unknown mapper %v", o.Mapper)
 	}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"repro/internal/obsv"
+	"repro/internal/trace"
 )
 
 // Mapper selects the initial logical-to-physical mapping policy.
@@ -144,6 +145,12 @@ type Options struct {
 	// gates, layers stitched) for this compilation, and is forwarded to the
 	// routing backend. A nil collector costs nothing (see internal/obsv).
 	Obs *obsv.Collector
+	// Trace, when non-nil, receives the per-decision event stream of this
+	// compilation — initial-placement choices, incremental layer formation,
+	// every SWAP with its before/after layout, stitch boundaries — and is
+	// forwarded to the routing backend. A nil tracer costs nothing (see
+	// internal/trace).
+	Trace *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {

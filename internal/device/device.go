@@ -237,10 +237,10 @@ func (d *Device) HopDistances() *graphs.DistanceMatrix {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.hopDist == nil {
-		d.Obs.Inc("device/hopdist_builds")
+		d.Obs.Inc(obsv.CntDeviceHopDistBuilds)
 		d.hopDist = graphs.FloydWarshall(d.Coupling, false)
 	} else {
-		d.Obs.Inc("device/hopdist_hits")
+		d.Obs.Inc(obsv.CntDeviceHopDistHits)
 	}
 	return d.hopDist
 }
@@ -259,10 +259,10 @@ func (d *Device) ReliabilityDistances() *graphs.DistanceMatrix {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.relDist != nil {
-		d.Obs.Inc("device/reldist_hits")
+		d.Obs.Inc(obsv.CntDeviceRelDistHits)
 		return d.relDist
 	}
-	d.Obs.Inc("device/reldist_builds")
+	d.Obs.Inc(obsv.CntDeviceRelDistBuilds)
 	worst := d.Calib.WorstCNOTError()
 	w := d.Coupling.Clone()
 	for _, e := range w.Edges() {
@@ -292,7 +292,7 @@ func (d *Device) ReliabilityDistances() *graphs.DistanceMatrix {
 func (d *Device) InvalidateCaches() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.Obs.Inc("device/cache_invalidations")
+	d.Obs.Inc(obsv.CntDeviceInvalidations)
 	d.hopDist, d.relDist = nil, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/graphs"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/qaoa"
 )
 
@@ -123,9 +124,9 @@ func runPointCtx(ctx context.Context, w Workload, n int, param float64, dev *dev
 			defer wg.Done()
 			defer func() { <-sem }()
 			obs := Collector()
-			span := obs.StartSpan("exp/instance")
+			span := obs.StartSpan(obsv.SpanExpInstance)
 			defer span.End()
-			obs.Inc("exp/instances")
+			obs.Inc(obsv.CntExpInstances)
 			// Contain instance panics: one bad instance must not take down
 			// the sweep (or the process).
 			defer func() {
@@ -162,9 +163,9 @@ func runPointCtx(ctx context.Context, w Workload, n int, param float64, dev *dev
 						break // deadline spent; retrying cannot help
 					}
 				}
-				obs.Add("exp/retries", int64(attempts-1))
+				obs.Add(obsv.CntExpRetries, int64(attempts-1))
 				if lastErr != nil {
-					obs.Inc("exp/failures")
+					obs.Inc(obsv.CntExpFailures)
 					failures[i] = append(failures[i], InstanceFailure{
 						Instance: i, Preset: preset.String(), Attempts: attempts,
 						Err: lastErr.Error(),

@@ -89,9 +89,9 @@ func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
 	if e.Prob == nil || e.Dev == nil {
 		return 0, fmt.Errorf("loop: HardwareEvaluator needs Prob and Dev")
 	}
-	span := e.Obs.StartSpan("loop/expectation")
+	span := e.Obs.StartSpan(obsv.SpanLoopExpectation)
 	defer span.End()
-	e.Obs.Inc("loop/evaluations")
+	e.Obs.Inc(obsv.CntLoopEvaluations)
 	if e.Rng == nil {
 		e.Rng = rand.New(rand.NewSource(e.defaultSeed()))
 	}

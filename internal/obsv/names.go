@@ -1,0 +1,165 @@
+package obsv
+
+import "sort"
+
+// Every counter, gauge and span name the pipeline records is declared here
+// and listed in the registry below. Producers must reference these
+// constants instead of string literals: the registry is what the bench
+// Compare gate, the Prometheus endpoint and the dashboards key on, so a
+// typo in a producer would silently fork a metric. The pipeline test
+// (obsv_names_test.go at the module root) runs the instrumented paths and
+// fails on any recorded name the registry does not know.
+
+// Span names (timed regions).
+const (
+	SpanCompileTotal    = "compile/total"
+	SpanCompileMap      = "compile/map"
+	SpanCompileOrder    = "compile/order"
+	SpanCompileRoute    = "compile/route"
+	SpanCompileStitch   = "compile/stitch"
+	SpanExpInstance     = "exp/instance"
+	SpanLoopExpectation = "loop/expectation"
+)
+
+// Counter names (monotonic).
+const (
+	CntCompilations         = "compile/compilations"
+	CntCompileSwaps         = "compile/swaps"
+	CntCompileGates         = "compile/gates"
+	CntCompileDepthTotal    = "compile/depth_total"
+	CntCompileLayers        = "compile/layers"
+	CntCompileResilient     = "compile/resilient"
+	CntFallbackAttempts     = "compile/fallback_attempts"
+	CntFallbackDepthTotal   = "compile/fallback_depth_total"
+	CntFallbackDegraded     = "compile/fallback_degraded"
+	CntRouterTrials         = "router/trials"
+	CntRouterRoutes         = "router/routes"
+	CntRouterLayers         = "router/layers"
+	CntRouterSwaps          = "router/swaps"
+	CntRouterForcedPaths    = "router/forced_paths"
+	CntDeviceHopDistBuilds  = "device/hopdist_builds"
+	CntDeviceHopDistHits    = "device/hopdist_hits"
+	CntDeviceRelDistBuilds  = "device/reldist_builds"
+	CntDeviceRelDistHits    = "device/reldist_hits"
+	CntDeviceInvalidations  = "device/cache_invalidations"
+	CntExpInstances         = "exp/instances"
+	CntExpRetries           = "exp/retries"
+	CntExpFailures          = "exp/failures"
+	CntLoopEvaluations      = "loop/evaluations"
+	CntSimRuns              = "sim/runs"
+	CntSimGates             = "sim/gates"
+	CntSimAmpOps            = "sim/amp_ops"
+	CntSimNoisyShots        = "sim/noisy_shots"
+	CntSimTrajectories      = "sim/trajectories"
+	CntTraceEvents          = "trace/events"
+)
+
+// NameKind classifies a registered metric name.
+type NameKind int
+
+// Registered metric kinds.
+const (
+	KindCounter NameKind = iota
+	KindGauge
+	KindSpan
+)
+
+// String names the kind.
+func (k NameKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindSpan:
+		return "span"
+	}
+	return "unknown"
+}
+
+// registry is the complete set of names the pipeline may record.
+var registry = map[string]NameKind{
+	SpanCompileTotal:    KindSpan,
+	SpanCompileMap:      KindSpan,
+	SpanCompileOrder:    KindSpan,
+	SpanCompileRoute:    KindSpan,
+	SpanCompileStitch:   KindSpan,
+	SpanExpInstance:     KindSpan,
+	SpanLoopExpectation: KindSpan,
+
+	CntCompilations:        KindCounter,
+	CntCompileSwaps:        KindCounter,
+	CntCompileGates:        KindCounter,
+	CntCompileDepthTotal:   KindCounter,
+	CntCompileLayers:       KindCounter,
+	CntCompileResilient:    KindCounter,
+	CntFallbackAttempts:    KindCounter,
+	CntFallbackDepthTotal:  KindCounter,
+	CntFallbackDegraded:    KindCounter,
+	CntRouterTrials:        KindCounter,
+	CntRouterRoutes:        KindCounter,
+	CntRouterLayers:        KindCounter,
+	CntRouterSwaps:         KindCounter,
+	CntRouterForcedPaths:   KindCounter,
+	CntDeviceHopDistBuilds: KindCounter,
+	CntDeviceHopDistHits:   KindCounter,
+	CntDeviceRelDistBuilds: KindCounter,
+	CntDeviceRelDistHits:   KindCounter,
+	CntDeviceInvalidations: KindCounter,
+	CntExpInstances:        KindCounter,
+	CntExpRetries:          KindCounter,
+	CntExpFailures:         KindCounter,
+	CntLoopEvaluations:     KindCounter,
+	CntSimRuns:             KindCounter,
+	CntSimGates:            KindCounter,
+	CntSimAmpOps:           KindCounter,
+	CntSimNoisyShots:       KindCounter,
+	CntSimTrajectories:     KindCounter,
+	CntTraceEvents:         KindCounter,
+}
+
+// NameRegistered reports whether name is a known metric name.
+func NameRegistered(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// NameKindOf returns the registered kind of name (and false when unknown).
+func NameKindOf(name string) (NameKind, bool) {
+	k, ok := registry[name]
+	return k, ok
+}
+
+// RegisteredNames returns every registered name, sorted.
+func RegisteredNames() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unregistered returns every name recorded in the snapshot that the
+// registry does not know, sorted — the drift detector the pipeline test
+// asserts empty.
+func (s Snapshot) Unregistered() []string {
+	var out []string
+	for n := range s.Counters {
+		if k, ok := registry[n]; !ok || k != KindCounter {
+			out = append(out, n)
+		}
+	}
+	for n := range s.Gauges {
+		if k, ok := registry[n]; !ok || k != KindGauge {
+			out = append(out, n)
+		}
+	}
+	for _, sp := range s.Spans {
+		if k, ok := registry[sp.Name]; !ok || k != KindSpan {
+			out = append(out, sp.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,67 @@
+package obsv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryKnowsEveryExportedName(t *testing.T) {
+	names := RegisteredNames()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("name %q listed twice", n)
+		}
+		seen[n] = true
+		if !NameRegistered(n) {
+			t.Errorf("RegisteredNames lists %q but NameRegistered denies it", n)
+		}
+		if _, ok := NameKindOf(n); !ok {
+			t.Errorf("no kind for registered name %q", n)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestUnregisteredDetectsDrift(t *testing.T) {
+	c := New()
+	c.Inc(CntCompilations)
+	c.RecordSpan(SpanCompileMap, time.Millisecond)
+	if got := c.Snapshot().Unregistered(); len(got) != 0 {
+		t.Errorf("registered names flagged: %v", got)
+	}
+
+	c.Inc("compile/typo_counter")
+	c.RecordSpan("typo/span", time.Millisecond)
+	got := c.Snapshot().Unregistered()
+	if len(got) != 2 {
+		t.Fatalf("Unregistered = %v, want the two typos", got)
+	}
+	if got[0] != "compile/typo_counter" || got[1] != "typo/span" {
+		t.Errorf("Unregistered = %v (want sorted typo names)", got)
+	}
+}
+
+func TestUnregisteredCatchesKindMismatch(t *testing.T) {
+	c := New()
+	// Recording a registered span name as a counter is drift too: the
+	// Prometheus endpoint would expose it under the wrong type.
+	c.Inc(SpanCompileMap)
+	got := c.Snapshot().Unregistered()
+	if len(got) != 1 || got[0] != SpanCompileMap {
+		t.Errorf("Unregistered = %v, want the miskinded span name", got)
+	}
+}
+
+func TestNameKindString(t *testing.T) {
+	if KindCounter.String() != "counter" || KindGauge.String() != "gauge" || KindSpan.String() != "span" {
+		t.Error("NameKind strings wrong")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -118,13 +119,23 @@ func (r *Report) MarshalIndent() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// WriteFile writes the report to path (0644).
+// WriteFile writes the report to path (0644), creating missing parent
+// directories. Every failure is wrapped with the target path so a CLI can
+// print it and exit non-zero without further decoration.
 func (r *Report) WriteFile(path string) error {
 	data, err := r.MarshalIndent()
 	if err != nil {
-		return err
+		return fmt.Errorf("obsv: encoding report for %s: %w", path, err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obsv: writing report %s: %w", path, err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obsv: writing report %s: %w", path, err)
+	}
+	return nil
 }
 
 // ParseReport decodes a report and checks its schema version.

@@ -1,0 +1,127 @@
+package obsv
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A report produced by a newer minor revision may carry fields this build
+// does not know. Parsing must ignore them and preserve everything it does
+// know — forward compatibility within a schema version.
+func TestParseReportIgnoresUnknownFields(t *testing.T) {
+	in := `{
+		"schema": 1,
+		"tool": "qaoa-bench",
+		"revision": "abc",
+		"future_top_level": {"nested": true},
+		"benchmarks": [
+			{"name": "fig7/IC", "compile_sec": 0.5, "swaps": 12, "depth": 40, "gates": 100,
+			 "future_metric": 3.14}
+		],
+		"counters": {"compile/swaps": 12}
+	}`
+	r, err := ParseReport([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tool != "qaoa-bench" || r.Revision != "abc" {
+		t.Errorf("known fields lost: %+v", r)
+	}
+	b, ok := r.Benchmark("fig7/IC")
+	if !ok {
+		t.Fatal("benchmark lost")
+	}
+	if b.Swaps != 12 || b.Depth != 40 || b.Gates != 100 {
+		t.Errorf("benchmark fields lost: %+v", b)
+	}
+	if r.Counters["compile/swaps"] != 12 {
+		t.Errorf("counters lost: %v", r.Counters)
+	}
+	// Round-trip through this build keeps the known content intact.
+	out, err := r.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ParseReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2, ok := r2.Benchmark("fig7/IC"); !ok || b2 != b {
+		t.Errorf("round-trip changed the benchmark: %+v vs %+v", b2, b)
+	}
+}
+
+// A baseline written by a newer schema must fail with a clear error naming
+// both versions — never a panic, never a silent misread.
+func TestParseReportNewerSchemaClearError(t *testing.T) {
+	in := `{"schema": 99, "tool": "qaoa-bench", "benchmarks": [{"name": "x"}]}`
+	r, err := ParseReport([]byte(in))
+	if err == nil {
+		t.Fatalf("newer schema accepted: %+v", r)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "99") || !strings.Contains(msg, "1") {
+		t.Errorf("schema error does not name both versions: %v", err)
+	}
+}
+
+// Compare must not panic when handed reports decoded from foreign JSON with
+// missing or unknown sections (e.g. a newer-schema baseline force-decoded by
+// an operator bypassing ParseReport).
+func TestCompareNoPanicOnForeignReports(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Compare panicked: %v", r)
+		}
+	}()
+	var base, cur Report
+	if err := json.Unmarshal([]byte(`{"schema": 99, "benchmarks": [{"name": "a", "swaps": 5}], "future": 1}`), &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"schema": 1}`), &cur); err != nil {
+		t.Fatal(err)
+	}
+	regs := Compare(&base, &cur, CompareOptions{})
+	// "a" is missing from cur: that is a reported regression, not a crash.
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Errorf("Compare = %v, want one missing-benchmark regression", regs)
+	}
+	// Nil-benchmark shapes must not crash either.
+	_ = Compare(&Report{}, &Report{}, CompareOptions{})
+}
+
+func TestWriteFileCreatesParentDirs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deep", "BENCH_test.json")
+	r := NewReport("test", "dev", nil)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseReport(data); err != nil {
+		t.Errorf("written report does not parse: %v", err)
+	}
+}
+
+func TestWriteFileWrapsFailureWithPath(t *testing.T) {
+	dir := t.TempDir()
+	// A file where a parent directory is needed makes MkdirAll fail.
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(blocker, "sub", "BENCH.json")
+	err := NewReport("test", "dev", nil).WriteFile(target)
+	if err == nil {
+		t.Fatal("write through a file succeeded")
+	}
+	if !strings.Contains(err.Error(), target) {
+		t.Errorf("error does not name the target path: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/graphs"
 	"repro/internal/obsv"
+	"repro/internal/trace"
 )
 
 // DisconnectedError reports that routing required moving a qubit between two
@@ -53,6 +54,12 @@ type Router struct {
 	// Counters are batched per routing call, so the per-gate hot loop never
 	// touches the collector.
 	Obs *obsv.Collector
+	// Trace, when non-nil, receives one event per inserted SWAP carrying
+	// the (before, after) layout and the distance the SWAP paid. With
+	// Trials > 1 the stochastic attempts run untraced and the winning
+	// attempt is re-routed once with tracing, so the stream tells the story
+	// of the kept circuit only.
+	Trace *trace.Tracer
 
 	// edgeOrder overrides the coupling-edge scan order for tie-breaking
 	// (nil: the device's canonical order).
@@ -98,12 +105,14 @@ func (r *Router) routeTrials(ctx context.Context, c *circuit.Circuit, initial *L
 	if r.Rng == nil {
 		return nil, fmt.Errorf("router: Trials > 1 requires Rng")
 	}
-	r.Obs.Add("router/trials", int64(r.Trials))
+	r.Obs.Add(obsv.CntRouterTrials, int64(r.Trials))
 	canonical := r.Dev.Coupling.Edges()
 	var best *Result
+	var bestOrder []graphs.Edge
 	for trial := 0; trial < r.Trials; trial++ {
 		attempt := *r
 		attempt.Trials = 0
+		attempt.Trace = nil // only the kept attempt is traced, below
 		if trial > 0 {
 			order := append([]graphs.Edge(nil), canonical...)
 			r.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -114,8 +123,17 @@ func (r *Router) routeTrials(ctx context.Context, c *circuit.Circuit, initial *L
 			return nil, err
 		}
 		if best == nil || res.SwapCount < best.SwapCount {
-			best = res
+			best, bestOrder = res, attempt.edgeOrder
 		}
+	}
+	if r.Trace.Enabled() {
+		// Replay the winning attempt with tracing: routeOnce is
+		// deterministic given the edge scan order, so the replayed result
+		// is the one returned and the trace describes exactly it.
+		attempt := *r
+		attempt.Trials = 0
+		attempt.edgeOrder = bestOrder
+		return attempt.routeOnce(ctx, c, initial)
 	}
 	return best, nil
 }
@@ -169,7 +187,7 @@ func (r *Router) routeOnce(ctx context.Context, c *circuit.Circuit, initial *Lay
 				}
 			}
 		}
-		layerSwaps, err := r.routeLayer(ctx, pending, next, layout, out)
+		layerSwaps, err := r.routeLayer(ctx, li, pending, next, layout, out)
 		if err != nil {
 			return nil, err
 		}
@@ -180,16 +198,17 @@ func (r *Router) routeOnce(ctx context.Context, c *circuit.Circuit, initial *Lay
 	// stochastic trial counts), while compile/swaps counts only the SWAPs of
 	// the kept result.
 	if r.Obs.Enabled() {
-		r.Obs.Inc("router/routes")
-		r.Obs.Add("router/layers", int64(len(layers)))
-		r.Obs.Add("router/swaps", int64(swaps))
+		r.Obs.Inc(obsv.CntRouterRoutes)
+		r.Obs.Add(obsv.CntRouterLayers, int64(len(layers)))
+		r.Obs.Add(obsv.CntRouterSwaps, int64(swaps))
 	}
 	return &Result{Circuit: out, Initial: initial, Final: layout, SwapCount: swaps}, nil
 }
 
 // routeLayer emits the pending two-qubit gates, inserting SWAPs as needed,
 // and returns the number of SWAPs added. The layout is updated in place.
-func (r *Router) routeLayer(ctx context.Context, pending, next []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
+// li is the ASAP layer index, stamped into trace events.
+func (r *Router) routeLayer(ctx context.Context, li int, pending, next []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
 	swaps := 0
 	for len(pending) > 0 {
 		if err := ctx.Err(); err != nil {
@@ -212,16 +231,30 @@ func (r *Router) routeLayer(ctx context.Context, pending, next []circuit.Gate, l
 			break
 		}
 
-		if p1, p2, ok := r.bestSwap(pending, next, layout); ok {
+		if p1, p2, gain, ok := r.bestSwap(pending, next, layout); ok {
+			var before []int
+			if r.Trace.Enabled() {
+				before = append([]int(nil), layout.L2P...)
+			}
 			out.Append(circuit.NewSwap(p1, p2))
 			layout.SwapPhysical(p1, p2)
 			swaps++
+			if r.Trace.Enabled() {
+				r.Trace.Swap(trace.SwapInfo{
+					P1: p1, P2: p2,
+					Cost:         r.Dist.Dist(p1, p2),
+					Gain:         gain,
+					RoutingLayer: li,
+					Before:       before,
+					After:        append([]int(nil), layout.L2P...),
+				})
+			}
 			continue
 		}
 
 		// No strictly improving swap exists: walk the closest pending gate's
 		// control along its (distance-matrix) shortest path until adjacent.
-		forced, err := r.forcePath(pending, layout, out)
+		forced, err := r.forcePath(li, pending, layout, out)
 		swaps += forced
 		if err != nil {
 			return swaps, err
@@ -241,7 +274,10 @@ func (r *Router) routeLayer(ctx context.Context, pending, next []circuit.Gate, l
 // Candidates are scored by delta-evaluation: only gates with an endpoint on
 // one of the swapped physical qubits change distance, so each candidate
 // costs O(gates touching the edge) instead of O(all pending gates).
-func (r *Router) bestSwap(pending, next []circuit.Gate, layout *Layout) (int, int, bool) {
+//
+// The third return is the winning swap's pending-distance improvement
+// (positive; the trace's "gain").
+func (r *Router) bestSwap(pending, next []circuit.Gate, layout *Layout) (int, int, float64, bool) {
 	// Combined entry list: pending gates first, then lookahead gates;
 	// indexed by physical endpoint for delta evaluation.
 	type entry struct {
@@ -270,6 +306,7 @@ func (r *Router) bestSwap(pending, next []circuit.Gate, layout *Layout) (int, in
 	}
 
 	bestTotal := 0.0
+	bestGain := 0.0
 	var bp1, bp2 int
 	found := false
 	mark := make([]int, len(entries)) // visit stamp per entry
@@ -316,11 +353,12 @@ func (r *Router) bestSwap(pending, next []circuit.Gate, layout *Layout) (int, in
 		}
 		if !found || total < bestTotal {
 			bestTotal = total
+			bestGain = -pendingDelta
 			bp1, bp2 = e.U, e.V
 			found = true
 		}
 	}
-	return bp1, bp2, found
+	return bp1, bp2, bestGain, found
 }
 
 // swapped maps physical position p through the transposition (a b).
@@ -338,8 +376,8 @@ func swapped(p, a, b int) int {
 // control's physical qubit is swapped along the shortest path toward the
 // target until the pair is coupled. Returns the number of swaps emitted, or
 // a *DisconnectedError when no path exists (severed coupling graph).
-func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
-	r.Obs.Inc("router/forced_paths")
+func (r *Router) forcePath(li int, pending []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
+	r.Obs.Inc(obsv.CntRouterForcedPaths)
 	best := 0
 	bestD := r.Dist.Dist(layout.Phys(pending[0].Q0), layout.Phys(pending[0].Q1))
 	for i := 1; i < len(pending); i++ {
@@ -356,9 +394,23 @@ func (r *Router) forcePath(pending []circuit.Gate, layout *Layout, out *circuit.
 	}
 	swaps := 0
 	for i := 0; i+2 < len(path); i++ {
+		var before []int
+		if r.Trace.Enabled() {
+			before = append([]int(nil), layout.L2P...)
+		}
 		out.Append(circuit.NewSwap(path[i], path[i+1]))
 		layout.SwapPhysical(path[i], path[i+1])
 		swaps++
+		if r.Trace.Enabled() {
+			r.Trace.Swap(trace.SwapInfo{
+				P1: path[i], P2: path[i+1],
+				Cost:         r.Dist.Dist(path[i], path[i+1]),
+				Forced:       true,
+				RoutingLayer: li,
+				Before:       before,
+				After:        append([]int(nil), layout.L2P...),
+			})
+		}
 	}
 	return swaps, nil
 }

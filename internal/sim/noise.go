@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/device"
+	"repro/internal/obsv"
 )
 
 // NoiseModel is a stochastic Pauli error model: after each gate a random
@@ -141,8 +142,8 @@ func SampleNoisy(c *circuit.Circuit, nm *NoiseModel, shots, trajectories int, rn
 		out = append(out, samples...)
 	}
 	if col := Collector(); col.Enabled() {
-		col.Add("sim/noisy_shots", int64(len(out)))
-		col.Add("sim/trajectories", int64(trajectories))
+		col.Add(obsv.CntSimNoisyShots, int64(len(out)))
+		col.Add(obsv.CntSimTrajectories, int64(trajectories))
 	}
 	return out
 }

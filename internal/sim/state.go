@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
+	"repro/internal/obsv"
 )
 
 // State is an n-qubit state vector of 2^n complex amplitudes.
@@ -194,9 +195,9 @@ func (s *State) Run(c *circuit.Circuit) *State {
 		s.ApplyGate(g)
 	}
 	if col := Collector(); col.Enabled() {
-		col.Inc("sim/runs")
-		col.Add("sim/gates", int64(len(c.Gates)))
-		col.Add("sim/amp_ops", int64(len(c.Gates))*int64(len(s.Amp)))
+		col.Inc(obsv.CntSimRuns)
+		col.Add(obsv.CntSimGates, int64(len(c.Gates)))
+		col.Add(obsv.CntSimAmpOps, int64(len(c.Gates))*int64(len(s.Amp)))
 	}
 	return s
 }

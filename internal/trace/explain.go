@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// edgeKey normalizes an undirected physical edge.
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// swapHeat tallies SWAPs (and the distance they paid) per physical edge.
+func swapHeat(events []Event) (heat map[[2]int]int, cost map[[2]int]float64) {
+	heat = make(map[[2]int]int)
+	cost = make(map[[2]int]float64)
+	for _, e := range events {
+		if e.Kind != KindSwap {
+			continue
+		}
+		k := edgeKey(e.Swap.P1, e.Swap.P2)
+		heat[k]++
+		cost[k] += e.Swap.Cost
+	}
+	return heat, cost
+}
+
+// findMeta returns the stream's meta event, if any.
+func findMeta(events []Event) *MetaInfo {
+	for _, e := range events {
+		if e.Kind == KindMeta {
+			return e.Meta
+		}
+	}
+	return nil
+}
+
+// WriteExplain renders the stream for terminal debugging: the compilation
+// header, a per-edge SWAP heatmap (which couplers paid for the routing,
+// the Fig. 5/6 view), the incremental layer timeline with per-layer SWAP
+// and stitch accounting, and the fallback ladder when it fired.
+func WriteExplain(w io.Writer, events []Event) {
+	meta := findMeta(events)
+	if meta != nil {
+		fmt.Fprintf(w, "compilation: %s/%s on %s (%d qubits), %d logical\n",
+			meta.Mapper, meta.Strategy, meta.Device, meta.NQubits, meta.NLogical)
+	}
+
+	// Placement summary.
+	var placements []*PlacementInfo
+	for _, e := range events {
+		if e.Kind == KindPlacement {
+			placements = append(placements, e.Placement)
+		}
+	}
+	if len(placements) > 0 {
+		fmt.Fprintf(w, "\ninitial placement (%d decisions):\n", len(placements))
+		for _, p := range placements {
+			anchor := ""
+			if len(p.PlacedNeighbors) > 0 {
+				anchor = fmt.Sprintf(" near %v (score %.3f)", p.PlacedNeighbors, p.Score)
+			}
+			fmt.Fprintf(w, "  q%-3d → %-3d strength %-3d of %d candidates%s\n",
+				p.Logical, p.Phys, p.Strength, p.Candidates, anchor)
+		}
+	}
+
+	// SWAP heatmap, hottest edge first.
+	heat, cost := swapHeat(events)
+	if len(heat) > 0 {
+		type row struct {
+			k [2]int
+			n int
+		}
+		rows := make([]row, 0, len(heat))
+		max := 0
+		total := 0
+		for k, n := range heat {
+			rows = append(rows, row{k, n})
+			if n > max {
+				max = n
+			}
+			total += n
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].k[0] < rows[j].k[0] || (rows[i].k[0] == rows[j].k[0] && rows[i].k[1] < rows[j].k[1])
+		})
+		fmt.Fprintf(w, "\nSWAP heatmap (%d swaps over %d edges):\n", total, len(rows))
+		for _, r := range rows {
+			bar := strings.Repeat("█", r.n*24/max)
+			if bar == "" {
+				bar = "▏"
+			}
+			fmt.Fprintf(w, "  %3d–%-3d %4d  dist %-7.3g %s\n", r.k[0], r.k[1], r.n, cost[r.k], bar)
+		}
+	} else {
+		fmt.Fprintf(w, "\nno SWAPs inserted\n")
+	}
+
+	// Layer timeline: pair layer events with the swap/stitch activity that
+	// followed them.
+	var timeline []string
+	var cur *LayerInfo
+	curSwaps := 0
+	flush := func(st *StitchInfo) {
+		if cur == nil {
+			return
+		}
+		maxD := 0.0
+		for _, t := range cur.Terms {
+			if t.Dist > maxD {
+				maxD = t.Dist
+			}
+		}
+		line := fmt.Sprintf("  layer %3d (level %d): %2d terms (max dist %.3g), %d deferred, %d swaps",
+			cur.Index, cur.Level, len(cur.Terms), maxD, cur.Deferred, curSwaps)
+		if st != nil {
+			line += fmt.Sprintf(", stitched %d gates", st.Gates)
+		}
+		timeline = append(timeline, line)
+		cur, curSwaps = nil, 0
+	}
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindLayer:
+			flush(nil)
+			cur = e.Layer
+		case KindSwap:
+			if cur != nil {
+				curSwaps++
+			}
+		case KindStitch:
+			flush(e.Stitch)
+		}
+	}
+	flush(nil)
+	if len(timeline) > 0 {
+		fmt.Fprintf(w, "\nlayer timeline:\n")
+		for _, l := range timeline {
+			fmt.Fprintln(w, l)
+		}
+	}
+
+	// Fallback ladder.
+	var fallbacks []*FallbackInfo
+	for _, e := range events {
+		if e.Kind == KindFallback {
+			fallbacks = append(fallbacks, e.Fallback)
+		}
+	}
+	if len(fallbacks) > 0 {
+		fmt.Fprintf(w, "\nfallback ladder:\n")
+		for _, f := range fallbacks {
+			if f.Final {
+				fmt.Fprintf(w, "  %s selected (retry %d)\n", f.Preset, f.Retry)
+			} else {
+				fmt.Fprintf(w, "  %s attempt %d failed: %s\n", f.Preset, f.Retry, f.Err)
+			}
+		}
+	}
+}
+
+// WriteDOT renders the device coupling graph as Graphviz DOT with edges
+// colored and weighted by how many SWAPs routing paid on them — the
+// per-edge heatmap in a form layout tools can draw. The coupling graph
+// comes from the stream's meta event; without one, only swapped edges are
+// drawn.
+func WriteDOT(w io.Writer, events []Event) {
+	heat, _ := swapHeat(events)
+	meta := findMeta(events)
+
+	max := 0
+	for _, n := range heat {
+		if n > max {
+			max = n
+		}
+	}
+
+	fmt.Fprintln(w, "graph swap_heat {")
+	fmt.Fprintln(w, "  node [shape=circle fontsize=10];")
+	if meta != nil {
+		fmt.Fprintf(w, "  label=\"SWAP heatmap: %s/%s on %s\";\n", meta.Mapper, meta.Strategy, meta.Device)
+		for q := 0; q < meta.NQubits; q++ {
+			fmt.Fprintf(w, "  %d;\n", q)
+		}
+		for _, e := range meta.Coupling {
+			k := edgeKey(e[0], e[1])
+			n := heat[k]
+			if n == 0 {
+				fmt.Fprintf(w, "  %d -- %d [color=gray80];\n", k[0], k[1])
+			} else {
+				// Shade 0..9 on the Graphviz reds9 scheme, hottest darkest.
+				shade := 1
+				if max > 0 {
+					shade = 1 + n*8/max
+				}
+				fmt.Fprintf(w, "  %d -- %d [label=%d color=\"/reds9/%d\" penwidth=%d];\n",
+					k[0], k[1], n, shade, 1+n*4/maxInt(max, 1))
+			}
+		}
+	} else {
+		keys := make([][2]int, 0, len(heat))
+		for k := range heat {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+		})
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %d -- %d [label=%d];\n", k[0], k[1], heat[k])
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

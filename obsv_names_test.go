@@ -1,0 +1,102 @@
+// The metric-name registry gate: every counter, gauge and span the pipeline
+// records must be declared in internal/obsv/names.go. This test exercises
+// the instrumented paths end to end — the bench suite (compile, router,
+// device, exp), the resilient fallback ladder with tracing, and the
+// hardware-in-the-loop evaluator (loop, sim) — then asserts the collector
+// saw no name the registry does not know. A producer recording a string
+// literal instead of a registry constant fails here.
+package repro
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obsv"
+	"repro/qaoac"
+)
+
+func TestPipelineRecordsOnlyRegisteredNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced bench suite")
+	}
+	c := qaoac.NewCollector()
+	qaoac.SetObservability(c)
+	defer qaoac.SetObservability(nil)
+
+	// 1. The reduced bench suite: compile/router/device/exp/sim counters.
+	cfg := qaoac.DefaultBenchSuiteConfig()
+	cfg.Instances = 2
+	cfg.Nodes = 10
+	cfg.ARGNodes = 8
+	cfg.ARGShots = 128
+	cfg.ARGTrajectories = 2
+	rep := qaoac.NewBenchReport("registry-test", "dev", nil)
+	if err := qaoac.RunBenchSuite(context.Background(), cfg, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. A reduced figure sweep: the exp/instance span and counters live on
+	// the sweep path, not the bench suite.
+	figCfg := qaoac.DefaultFig7()
+	figCfg.Instances = 2
+	if _, err := qaoac.Fig7(figCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. The fallback ladder with tracing: fallback and trace counters.
+	rng := rand.New(rand.NewSource(3))
+	g := qaoac.MustRandomRegular(8, 3, rng)
+	prob := &qaoac.Problem{G: g, MaxCut: 1}
+	tr := qaoac.NewTracer()
+	res, err := qaoac.CompileResilient(context.Background(), prob, qaoac.P1Params(0.5, 0.2),
+		qaoac.Tokyo20(), qaoac.PresetVIC, qaoac.FallbackOptions{Obs: c, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback == nil || !res.Fallback.Degraded {
+		t.Fatal("VIC on uncalibrated tokyo should degrade through the ladder")
+	}
+
+	// 4. Hardware-in-the-loop evaluation: loop and sim counters.
+	hw := &qaoac.HardwareEvaluator{
+		Prob: prob, Dev: qaoac.Melbourne15(), Preset: qaoac.PresetIC,
+		P: 1, Shots: 64, Trajectories: 1, Obs: c,
+	}
+	if _, err := hw.Expectation(qaoac.P1Params(0.4, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.Snapshot()
+	if len(snap.Counters) == 0 || len(snap.Spans) == 0 {
+		t.Fatal("pipeline recorded nothing; the gate would be vacuous")
+	}
+	if got := snap.Unregistered(); len(got) != 0 {
+		t.Errorf("pipeline recorded names missing from the obsv registry: %v\n"+
+			"declare them in internal/obsv/names.go or fix the producer", got)
+	}
+	// Spot-check the load-bearing ones actually fired, so a renamed constant
+	// cannot silently hollow out this gate.
+	for _, name := range []string{
+		obsv.CntCompilations, obsv.CntCompileSwaps, obsv.CntRouterSwaps,
+		obsv.CntDeviceHopDistBuilds, obsv.CntExpInstances,
+		obsv.CntFallbackAttempts, obsv.CntTraceEvents,
+		obsv.CntLoopEvaluations, obsv.CntSimRuns,
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("expected counter %q was never recorded", name)
+		}
+	}
+	for _, name := range []string{obsv.SpanCompileTotal, obsv.SpanExpInstance, obsv.SpanLoopExpectation} {
+		found := false
+		for _, sp := range snap.Spans {
+			if sp.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected span %q was never recorded", name)
+		}
+	}
+}
