@@ -28,23 +28,26 @@ func main() {
 		rev       = flag.String("rev", "", "revision stamped into the report (default $GITHUB_SHA, then \"dev\")")
 		baseline  = flag.String("baseline", "", "compare against this committed BENCH_*.json and exit 1 on regression")
 		timeThr   = flag.Float64("time-threshold", 0, "allowed fractional compile-time regression (default 0.15)")
-		countThr  = flag.Float64("count-threshold", 0, "allowed fractional swap/depth regression (default 0.15)")
+		countThr  = flag.Float64("count-threshold", 0, "allowed fractional swap/depth/sim-work-counter regression (default 0.15)")
+		simThr    = flag.Float64("sim-threshold", 0, "allowed fractional sim wall-time regression (default 0.75; the tight gate is the deterministic sim work counters)")
 		timeSlack = flag.Float64("time-slack", 0, "absolute compile-time grace in gated units (default 0.05, negative disables)")
 		instances = flag.Int("instances", 0, "workload instances per record (default 4)")
 		nodes     = flag.Int("nodes", 0, "problem graph size of the tokyo records (default 16)")
 		seed      = flag.Int64("seed", 0, "suite random seed (default 11)")
+		argShots  = flag.Int("arg-shots", 0, "measurement shots per ARG record (default 4096)")
+		argTraj   = flag.Int("arg-trajectories", 0, "noisy trajectories per ARG record (default 256)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "abort the suite after this long (0 = no deadline)")
 		listen    = flag.String("listen", "", "serve live Prometheus metrics, /healthz and pprof on this address (e.g. :8080) while the suite runs")
 	)
 	flag.Parse()
 
-	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *timeSlack, *instances, *nodes, *seed, *timeout, *listen); err != nil {
+	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *simThr, *timeSlack, *instances, *nodes, *argShots, *argTraj, *seed, *timeout, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, rev, baseline string, timeThr, countThr, timeSlack float64, instances, nodes int, seed int64, timeout time.Duration, listen string) error {
+func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64, instances, nodes, argShots, argTraj int, seed int64, timeout time.Duration, listen string) error {
 	rev = qaoac.RevisionFromEnv(rev)
 	if out == "" {
 		out = qaoac.DefaultBenchFilename(rev)
@@ -65,6 +68,12 @@ func run(out, rev, baseline string, timeThr, countThr, timeSlack float64, instan
 	}
 	if seed != 0 {
 		cfg.Seed = seed
+	}
+	if argShots > 0 {
+		cfg.ARGShots = argShots
+	}
+	if argTraj > 0 {
+		cfg.ARGTrajectories = argTraj
 	}
 
 	c := qaoac.NewCollector()
@@ -97,8 +106,8 @@ func run(out, rev, baseline string, timeThr, countThr, timeSlack float64, instan
 	fmt.Printf("wrote %s: %d benchmarks, %d counters, time unit %.4fs\n",
 		out, len(rep.Benchmarks), len(rep.Counters), rep.TimeUnitSec)
 	for _, b := range rep.Benchmarks {
-		fmt.Printf("  %-16s swaps=%6.1f depth=%6.1f gates=%7.1f compile=%.4fs arg=%5.2f%%\n",
-			b.Name, b.Swaps, b.Depth, b.Gates, b.CompileSec, b.ARGPct)
+		fmt.Printf("  %-16s swaps=%6.1f depth=%6.1f gates=%7.1f compile=%.4fs sim=%.4fs arg=%5.2f%%\n",
+			b.Name, b.Swaps, b.Depth, b.Gates, b.CompileSec, b.SimSec, b.ARGPct)
 	}
 
 	if baseline == "" {
@@ -111,6 +120,7 @@ func run(out, rev, baseline string, timeThr, countThr, timeSlack float64, instan
 	regs := qaoac.CompareBenchReports(base, rep, qaoac.BenchCompareOptions{
 		TimeThreshold:  timeThr,
 		CountThreshold: countThr,
+		SimThreshold:   simThr,
 		TimeSlack:      timeSlack,
 	})
 	if len(regs) == 0 {

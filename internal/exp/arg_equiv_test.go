@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/qaoa"
+	"repro/internal/sim"
+)
+
+// oldStyleSampleNoisy reimplements the pre-executor noisy sampling
+// semantics: one shared RNG threaded sequentially through every trajectory
+// (interleaved fault draws, full re-simulation, per-sample readout flips).
+// The executor intentionally switched to per-trajectory substreams, so the
+// two are statistically — not byte — equivalent.
+func oldStyleSampleNoisy(c *circuit.Circuit, nm *sim.NoiseModel, shots, traj int, rng *rand.Rand) []uint64 {
+	out := make([]uint64, 0, shots)
+	nb, extra := shots/traj, shots%traj
+	for t := 0; t < traj; t++ {
+		k := nb
+		if t < extra {
+			k++
+		}
+		s := sim.RunNoisy(c, nm, rng)
+		for _, x := range s.Sample(rng, k) {
+			out = append(out, flipReadoutBits(x, nm.Readout, rng))
+		}
+	}
+	return out
+}
+
+func flipReadoutBits(x uint64, ro []float64, rng *rand.Rand) uint64 {
+	for q, p := range ro {
+		if p > 0 && rng.Float64() < p {
+			x ^= 1 << uint(q)
+		}
+	}
+	return x
+}
+
+// TestMeasureARGStatisticallyMatchesOldStyle pins the intentional RNG-stream
+// change of the fault-sparse executor: on the Fig. 7 ER ARG workload, the
+// mean ARG over a batch of seeds must agree between the executor path
+// (MeasureARG) and the old sequential shared-RNG semantics within sampling
+// noise. The seeds are fixed, so the test is deterministic.
+func TestMeasureARGStatisticallyMatchesOldStyle(t *testing.T) {
+	prob, res, nm := argWorkload(t)
+	const shots, traj = 2048, 16
+	seeds := []int64{101, 202, 303, 404, 505}
+
+	var newSum, oldSum float64
+	for _, seed := range seeds {
+		arg, err := MeasureARG(prob, res, nm, shots, traj, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSum += arg
+
+		rng := rand.New(rand.NewSource(seed))
+		r0, err := approxRatioPhysical(prob, res, sim.NewState(res.Circuit.NQubits).Run(res.Circuit).Sample(rng, shots))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := approxRatioPhysical(prob, res, oldStyleSampleNoisy(res.Circuit, nm, shots, traj, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldSum += qaoa.ARG(r0, rh)
+	}
+	newMean := newSum / float64(len(seeds))
+	oldMean := oldSum / float64(len(seeds))
+	if d := math.Abs(newMean - oldMean); d > 1.5 {
+		t.Fatalf("mean ARG %.3f%% (executor) vs %.3f%% (old-style) differ by %.3f points", newMean, oldMean, d)
+	}
+	// Both must see real noise on this calibrated workload.
+	if newMean <= 0 || oldMean <= 0 {
+		t.Fatalf("degenerate ARGs: executor %.3f%%, old-style %.3f%%", newMean, oldMean)
+	}
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/compile"
@@ -27,8 +28,10 @@ type BenchConfig struct {
 	Seed int64
 	// ARGNodes, ARGShots and ARGTrajectories size the reduced noisy
 	// melbourne workload on which each record's ARG and success probability
-	// are measured (defaults 10, 512, 4). ARGNodes must stay small enough
-	// for the exact MaxCut optimum (≤ ~20).
+	// are measured (defaults 10, 4096, 256 — enough trajectory averaging
+	// that the recorded ARG is stable to well under a percentage point, so
+	// the baseline gate sees signal, not sampling noise). ARGNodes must
+	// stay small enough for the exact MaxCut optimum (≤ ~20).
 	ARGNodes        int
 	ARGShots        int
 	ARGTrajectories int
@@ -41,8 +44,8 @@ func DefaultBenchConfig() BenchConfig {
 		Nodes:           16,
 		Seed:            11,
 		ARGNodes:        10,
-		ARGShots:        512,
-		ARGTrajectories: 4,
+		ARGShots:        4096,
+		ARGTrajectories: 256,
 	}
 }
 
@@ -118,6 +121,7 @@ func RunBenchSuite(ctx context.Context, cfg BenchConfig, rep *obsv.Report) error
 			}
 			if rep.TimeUnitSec > 0 {
 				rec.CompileUnits = rec.CompileSec / rep.TimeUnitSec
+				rec.SimUnits = rec.SimSec / rep.TimeUnitSec
 			}
 			rep.AddBenchmark(rec)
 		}
@@ -157,20 +161,23 @@ func runBenchRecord(ctx context.Context, bc benchCase, preset compile.Preset, gs
 	rec.Depth /= n
 	rec.Gates /= n
 
-	arg, succ, err := benchARG(ctx, bc, preset, cfg)
+	arg, succ, simSec, err := benchARG(ctx, bc, preset, cfg)
 	if err != nil {
 		return rec, err
 	}
 	rec.ARGPct = arg
 	rec.SuccessProb = succ
+	rec.SimSec = simSec
 	return rec, nil
 }
 
 // benchARG measures the record's ARG and success probability on a reduced
 // instance of the same workload family, compiled for the calibrated
 // ibmq_16_melbourne (the tokyo benchmarks carry no calibration, so noisy
-// execution is measured on the smaller device instead).
-func benchARG(ctx context.Context, bc benchCase, preset compile.Preset, cfg BenchConfig) (arg, succ float64, err error) {
+// execution is measured on the smaller device instead). simSec is the
+// wall-clock time of the simulation portion (ideal run + sampling + noisy
+// trajectories) — the record's sim_sec field.
+func benchARG(ctx context.Context, bc benchCase, preset compile.Preset, cfg BenchConfig) (arg, succ, simSec float64, err error) {
 	rng := instanceRNG(cfg.Seed+7777, int(preset))
 	param := bc.param
 	if bc.w == Regular && param >= float64(cfg.ARGNodes) {
@@ -178,11 +185,11 @@ func benchARG(ctx context.Context, bc benchCase, preset compile.Preset, cfg Benc
 	}
 	g, err := sampleGraph(bc.w, cfg.ARGNodes, param, rng)
 	if err != nil {
-		return 0, 0, fmt.Errorf("exp: bench %s arg graph: %w", bc.id, err)
+		return 0, 0, 0, fmt.Errorf("exp: bench %s arg graph: %w", bc.id, err)
 	}
 	prob, err := qaoa.NewMaxCut(g)
 	if err != nil {
-		return 0, 0, fmt.Errorf("exp: bench %s arg optimum: %w", bc.id, err)
+		return 0, 0, 0, fmt.Errorf("exp: bench %s arg optimum: %w", bc.id, err)
 	}
 	mel := device.Melbourne15()
 	mel.Obs = Collector()
@@ -190,20 +197,25 @@ func benchARG(ctx context.Context, bc benchCase, preset compile.Preset, cfg Benc
 	opts.Obs = Collector()
 	res, err := compile.CompileContext(ctx, prob, structuralParams, mel, opts)
 	if err != nil {
-		return 0, 0, fmt.Errorf("exp: bench %s arg compile: %w", bc.id, err)
+		return 0, 0, 0, fmt.Errorf("exp: bench %s arg compile: %w", bc.id, err)
 	}
+	simStart := time.Now()
 	arg, err = MeasureARG(prob, res, sim.NoiseFromDevice(mel), cfg.ARGShots, cfg.ARGTrajectories, rng)
+	simSec = time.Since(simStart).Seconds()
 	if err != nil {
-		return 0, 0, fmt.Errorf("exp: bench %s arg measure: %w", bc.id, err)
+		return 0, 0, 0, fmt.Errorf("exp: bench %s arg measure: %w", bc.id, err)
 	}
-	return arg, mel.SuccessProbability(res.Native), nil
+	return arg, mel.SuccessProbability(res.Native), simSec, nil
 }
 
-// CalibrateTimeUnit times a fixed CPU-bound workload (repeated
-// Floyd–Warshall over a deterministic 160-node graph) and returns its
-// duration in seconds. Stored as Report.TimeUnitSec, it converts wall-clock
-// compile times into machine-normalized units so regression gates stay
-// meaningful between hosts of different speeds.
+// CalibrateTimeUnit times a fixed CPU-bound workload (Floyd–Warshall over
+// a deterministic 160-node graph) and returns its duration in seconds.
+// Stored as Report.TimeUnitSec, it converts wall-clock compile and sim
+// times into machine-normalized units so regression gates stay meaningful
+// between hosts of different speeds. The unit is three times the minimum
+// of five repetitions: the minimum is robust against scheduling noise,
+// which would otherwise inflate the unit and silently loosen every
+// normalized gate on that run.
 func CalibrateTimeUnit() float64 {
 	const n = 160
 	g := graphs.New(n)
@@ -215,9 +227,13 @@ func CalibrateTimeUnit() float64 {
 			g.MustAddEdge(i, j)
 		}
 	}
-	start := time.Now()
-	for rep := 0; rep < 3; rep++ {
+	best := math.Inf(1)
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
 		graphs.FloydWarshall(g, false)
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
 	}
-	return time.Since(start).Seconds()
+	return 3 * best
 }

@@ -427,12 +427,12 @@ func ExtMitigation(cfg ExtMitigationConfig) (*Table, error) {
 			return nil, err
 		}
 		srng := instanceRNG(cfg.Seed, i*10+5)
-		ideal := sim.NewState(res.Circuit.NQubits).Run(res.Circuit)
-		r0, err := approxRatioPhysical(prob, res, ideal.Sample(srng, cfg.Shots))
+		ex := sim.NewExecutor(res.Circuit)
+		r0, err := approxRatioPhysical(prob, res, ex.SampleIdeal(srng, cfg.Shots))
 		if err != nil {
 			return nil, err
 		}
-		noisySamples := sim.SampleNoisy(res.Circuit, nm, cfg.Shots, cfg.Trajectories, srng)
+		noisySamples := ex.SampleNoisy(nm, cfg.Shots, cfg.Trajectories, srng)
 		rhRaw, err := approxRatioPhysical(prob, res, noisySamples)
 		if err != nil {
 			return nil, err

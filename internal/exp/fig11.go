@@ -202,15 +202,17 @@ func Fig11b(cfg Fig11bConfig) (*Table, error) {
 // MeasureARG computes the paper's ARG metric for one compiled circuit:
 // the approximation ratio r0 from noiseless sampling of the compiled
 // circuit and rh from noisy sampling under nm, both with the same shot
-// budget, combined as 100·(r0−rh)/r0.
+// budget, combined as 100·(r0−rh)/r0. One Executor serves both
+// measurements, so the noiseless run is executed once and its final state
+// is shared with every fault-free noisy trajectory.
 func MeasureARG(prob *qaoa.Problem, res *compile.Result, nm *sim.NoiseModel, shots, trajectories int, rng *rand.Rand) (float64, error) {
-	ideal := sim.NewState(res.Circuit.NQubits).Run(res.Circuit)
-	idealSamples := ideal.Sample(rng, shots)
+	ex := sim.NewExecutor(res.Circuit)
+	idealSamples := ex.SampleIdeal(rng, shots)
 	r0, err := approxRatioPhysical(prob, res, idealSamples)
 	if err != nil {
 		return 0, err
 	}
-	noisySamples := sim.SampleNoisy(res.Circuit, nm, shots, trajectories, rng)
+	noisySamples := ex.SampleNoisy(nm, shots, trajectories, rng)
 	rh, err := approxRatioPhysical(prob, res, noisySamples)
 	if err != nil {
 		return 0, err

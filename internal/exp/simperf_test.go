@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/qaoa"
+	"repro/internal/sim"
+)
+
+// argWorkload compiles the reduced Fig. 7 ER ARG workload exactly as
+// benchARG does: a 10-node erdos-renyi instance on calibrated melbourne.
+// This is the sim-dominated inner loop of every BENCH record, so the
+// benchmarks below are the before/after evidence for simulator work.
+func argWorkload(b testing.TB) (*qaoa.Problem, *compile.Result, *sim.NoiseModel) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7788))
+	g, err := sampleGraph(ErdosRenyi, 10, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob, err := qaoa.NewMaxCut(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mel := device.Melbourne15()
+	res, err := compile.Compile(prob, structuralParams, mel, compile.PresetIC.Options(rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob, res, sim.NoiseFromDevice(mel)
+}
+
+// BenchmarkMeasureARG times one full ARG measurement (ideal run + sampling
+// plus noisy trajectories) at the BENCH suite's reduced scale.
+func BenchmarkMeasureARG(b *testing.B) {
+	prob, res, nm := argWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureARG(prob, res, nm, 512, 4, rand.New(rand.NewSource(9))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleNoisyARG times the noisy-trajectory sampling alone at the
+// Fig. 11(b)-style trajectory count.
+func BenchmarkSampleNoisyARG(b *testing.B) {
+	_, res, nm := argWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.SampleNoisy(res.Circuit, nm, 1024, 16, rand.New(rand.NewSource(13)))
+	}
+}

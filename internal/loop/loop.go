@@ -118,9 +118,18 @@ func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
 		traj = 16
 	}
 	samples := sim.SampleNoisy(res.Circuit, nm, shots, traj, e.Rng)
+	// The evaluator is called once per optimizer step over the same problem,
+	// so the dense cut table (cached on Prob) amortizes immediately and each
+	// sample costs one lookup instead of an edge scan.
+	tbl := e.Prob.CostTable()
 	var sum float64
 	for _, y := range samples {
-		sum += e.Prob.Cost(res.ExtractLogical(y))
+		x := res.ExtractLogical(y)
+		if tbl != nil && x < uint64(len(tbl)) {
+			sum += tbl[x]
+		} else {
+			sum += e.Prob.Cost(x)
+		}
 	}
 	return sum / float64(len(samples)), nil
 }

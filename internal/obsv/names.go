@@ -19,39 +19,47 @@ const (
 	SpanCompileStitch   = "compile/stitch"
 	SpanExpInstance     = "exp/instance"
 	SpanLoopExpectation = "loop/expectation"
+	SpanSimIdealRun     = "sim/ideal_run"
+	SpanSimSampleNoisy  = "sim/sample_noisy"
 )
 
 // Counter names (monotonic).
 const (
-	CntCompilations         = "compile/compilations"
-	CntCompileSwaps         = "compile/swaps"
-	CntCompileGates         = "compile/gates"
-	CntCompileDepthTotal    = "compile/depth_total"
-	CntCompileLayers        = "compile/layers"
-	CntCompileResilient     = "compile/resilient"
-	CntFallbackAttempts     = "compile/fallback_attempts"
-	CntFallbackDepthTotal   = "compile/fallback_depth_total"
-	CntFallbackDegraded     = "compile/fallback_degraded"
-	CntRouterTrials         = "router/trials"
-	CntRouterRoutes         = "router/routes"
-	CntRouterLayers         = "router/layers"
-	CntRouterSwaps          = "router/swaps"
-	CntRouterForcedPaths    = "router/forced_paths"
-	CntDeviceHopDistBuilds  = "device/hopdist_builds"
-	CntDeviceHopDistHits    = "device/hopdist_hits"
-	CntDeviceRelDistBuilds  = "device/reldist_builds"
-	CntDeviceRelDistHits    = "device/reldist_hits"
-	CntDeviceInvalidations  = "device/cache_invalidations"
-	CntExpInstances         = "exp/instances"
-	CntExpRetries           = "exp/retries"
-	CntExpFailures          = "exp/failures"
-	CntLoopEvaluations      = "loop/evaluations"
-	CntSimRuns              = "sim/runs"
-	CntSimGates             = "sim/gates"
-	CntSimAmpOps            = "sim/amp_ops"
-	CntSimNoisyShots        = "sim/noisy_shots"
-	CntSimTrajectories      = "sim/trajectories"
-	CntTraceEvents          = "trace/events"
+	CntCompilations        = "compile/compilations"
+	CntCompileSwaps        = "compile/swaps"
+	CntCompileGates        = "compile/gates"
+	CntCompileDepthTotal   = "compile/depth_total"
+	CntCompileLayers       = "compile/layers"
+	CntCompileResilient    = "compile/resilient"
+	CntFallbackAttempts    = "compile/fallback_attempts"
+	CntFallbackDepthTotal  = "compile/fallback_depth_total"
+	CntFallbackDegraded    = "compile/fallback_degraded"
+	CntRouterTrials        = "router/trials"
+	CntRouterRoutes        = "router/routes"
+	CntRouterLayers        = "router/layers"
+	CntRouterSwaps         = "router/swaps"
+	CntRouterForcedPaths   = "router/forced_paths"
+	CntDeviceHopDistBuilds = "device/hopdist_builds"
+	CntDeviceHopDistHits   = "device/hopdist_hits"
+	CntDeviceRelDistBuilds = "device/reldist_builds"
+	CntDeviceRelDistHits   = "device/reldist_hits"
+	CntDeviceInvalidations = "device/cache_invalidations"
+	CntExpInstances        = "exp/instances"
+	CntExpRetries          = "exp/retries"
+	CntExpFailures         = "exp/failures"
+	CntLoopEvaluations     = "loop/evaluations"
+	CntSimRuns             = "sim/runs"
+	CntSimGates            = "sim/gates"
+	CntSimAmpOps           = "sim/amp_ops"
+	CntSimNoisyShots       = "sim/noisy_shots"
+	CntSimTrajectories     = "sim/trajectories"
+	CntSimFusedOps         = "sim/fused_ops"
+	CntSimIdealReuses      = "sim/ideal_reuses"
+	CntSimReplays          = "sim/replays"
+	CntSimReplayGates      = "sim/replay_gates"
+	CntSimCheckpoints      = "sim/checkpoints"
+	CntSimCutTableBuilds   = "sim/cut_table_builds"
+	CntTraceEvents         = "trace/events"
 )
 
 // NameKind classifies a registered metric name.
@@ -86,6 +94,8 @@ var registry = map[string]NameKind{
 	SpanCompileStitch:   KindSpan,
 	SpanExpInstance:     KindSpan,
 	SpanLoopExpectation: KindSpan,
+	SpanSimIdealRun:     KindSpan,
+	SpanSimSampleNoisy:  KindSpan,
 
 	CntCompilations:        KindCounter,
 	CntCompileSwaps:        KindCounter,
@@ -115,6 +125,12 @@ var registry = map[string]NameKind{
 	CntSimAmpOps:           KindCounter,
 	CntSimNoisyShots:       KindCounter,
 	CntSimTrajectories:     KindCounter,
+	CntSimFusedOps:         KindCounter,
+	CntSimIdealReuses:      KindCounter,
+	CntSimReplays:          KindCounter,
+	CntSimReplayGates:      KindCounter,
+	CntSimCheckpoints:      KindCounter,
+	CntSimCutTableBuilds:   KindCounter,
 	CntTraceEvents:         KindCounter,
 }
 

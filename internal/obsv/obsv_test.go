@@ -278,3 +278,40 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("zero-baseline = %v", regs)
 	}
 }
+
+func TestCompareSimGates(t *testing.T) {
+	base := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	base.AddBenchmark(Benchmark{Name: "fig7/QAIM", SimSec: 10, SimUnits: 10, Swaps: 1, Depth: 1})
+	base.Counters = map[string]int64{CntSimAmpOps: 1000, CntSimReplayGates: 200}
+
+	// Wall-clock sim jitter below the wide default threshold passes...
+	cur := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	cur.AddBenchmark(Benchmark{Name: "fig7/QAIM", SimSec: 16, SimUnits: 16, Swaps: 1, Depth: 1})
+	cur.Counters = map[string]int64{CntSimAmpOps: 1000, CntSimReplayGates: 200}
+	if regs := Compare(base, cur, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("sim jitter within threshold regressed: %v", regs)
+	}
+	// ... but a catastrophic slowdown fails.
+	cur.Benchmarks[0].SimUnits = 20
+	regs := Compare(base, cur, CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != "sim_time" {
+		t.Fatalf("sim_time regression = %v", regs)
+	}
+
+	// The deterministic work counters gate tightly: +16% amp ops fails at
+	// the default 15% count threshold even with wall time unchanged.
+	cur2 := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	cur2.AddBenchmark(Benchmark{Name: "fig7/QAIM", SimSec: 10, SimUnits: 10, Swaps: 1, Depth: 1})
+	cur2.Counters = map[string]int64{CntSimAmpOps: 1160, CntSimReplayGates: 200}
+	regs = Compare(base, cur2, CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != CntSimAmpOps || regs[0].Benchmark != "counters" {
+		t.Fatalf("counter regression = %v", regs)
+	}
+
+	// A baseline without the counters (schema-1 vintage) gates nothing.
+	old := &Report{Schema: SchemaVersion, TimeUnitSec: 1}
+	old.AddBenchmark(Benchmark{Name: "fig7/QAIM", Swaps: 1, Depth: 1})
+	if regs := Compare(old, cur2, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("counter-less baseline regressed: %v", regs)
+	}
+}

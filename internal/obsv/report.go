@@ -12,7 +12,14 @@ import (
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump on any
 // backwards-incompatible change to Report or Benchmark.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — compile-time/structural records only.
+//	2 — adds per-record simulation time (sim_sec, sim_units) and the
+//	    sim_time Compare gate; the simulator's noisy-trajectory RNG
+//	    streams also changed, shifting sampled ARG values.
+const SchemaVersion = 2
 
 // Benchmark is one named measurement of the report: typically one
 // figure×preset point of the benchmark suite, aggregated over Instances
@@ -32,9 +39,15 @@ type Benchmark struct {
 	// machine-speed-normalized compile time that stays comparable across
 	// hosts (see Report.TimeUnitSec). 0 when no calibration ran.
 	CompileUnits float64 `json:"compile_units,omitempty"`
-	Swaps        float64 `json:"swaps"`
-	Depth        float64 `json:"depth"`
-	Gates        float64 `json:"gates"`
+	// SimSec is the wall-clock time of the record's simulation workload
+	// (the ideal + noisy ARG measurement); SimUnits is the
+	// machine-normalized form (SimSec / TimeUnitSec, like CompileUnits).
+	// 0 when not measured.
+	SimSec   float64 `json:"sim_sec,omitempty"`
+	SimUnits float64 `json:"sim_units,omitempty"`
+	Swaps    float64 `json:"swaps"`
+	Depth    float64 `json:"depth"`
+	Gates    float64 `json:"gates"`
 	// ARGPct is the approximation-ratio gap (percent) measured on the
 	// record's reduced noisy-simulation workload; 0 when not measured.
 	ARGPct float64 `json:"arg_pct,omitempty"`
@@ -189,6 +202,7 @@ func (r *Report) StripTimings() {
 	for i := range r.Benchmarks {
 		b := &r.Benchmarks[i]
 		b.CompileSec, b.MapSec, b.OrderSec, b.RouteSec, b.CompileUnits = 0, 0, 0, 0, 0
+		b.SimSec, b.SimUnits = 0, 0
 	}
 	for i := range r.Spans {
 		s := &r.Spans[i]
@@ -199,7 +213,7 @@ func (r *Report) StripTimings() {
 // Regression is one benchmark metric that worsened beyond its threshold.
 type Regression struct {
 	Benchmark string  // record name
-	Metric    string  // "compile_time", "swaps", "depth", or "missing"
+	Metric    string  // "compile_time", "sim_time", "swaps", "depth", "missing", or a gated counter name
 	Base, New float64 // baseline and current values
 	Limit     float64 // allowed maximum (base scaled by the threshold)
 }
@@ -229,6 +243,26 @@ type CompareOptions struct {
 	// keeps tiny records quiet while leaving slow records fully gated.
 	// Default 0.05; negative disables.
 	TimeSlack float64
+	// SimThreshold gates sim_time the way TimeThreshold gates
+	// compile_time. Wall-clock simulation time jitters far more than the
+	// deterministic compile metrics (sub-second records, CPU-quota bursts
+	// on shared runners), so it is only a catastrophic backstop with a
+	// wide default (0.75); the precise simulation gate is the
+	// deterministic work-counter comparison (see simWorkCounters), which
+	// is exact under the suite's fixed seeds and immune to machine noise.
+	SimThreshold float64
+}
+
+// simWorkCounters are the simulator cost counters gated by Compare. They
+// are deterministic under fixed suite seeds — fused-op and amplitude-pass
+// counts, trajectory replays and replayed gates — so any increase is a
+// real algorithmic regression (e.g. lost fusion or checkpoint reuse), not
+// scheduling noise.
+var simWorkCounters = []string{
+	CntSimFusedOps,
+	CntSimAmpOps,
+	CntSimReplays,
+	CntSimReplayGates,
 }
 
 func (o CompareOptions) withDefaults() CompareOptions {
@@ -241,6 +275,9 @@ func (o CompareOptions) withDefaults() CompareOptions {
 	if o.TimeSlack == 0 {
 		o.TimeSlack = 0.05
 	}
+	if o.SimThreshold == 0 {
+		o.SimThreshold = 0.75
+	}
 	if o.TimeSlack < 0 {
 		o.TimeSlack = 0
 	}
@@ -248,8 +285,10 @@ func (o CompareOptions) withDefaults() CompareOptions {
 }
 
 // Compare gates cur against base: every benchmark present in the baseline
-// must still exist and must not regress compile time, SWAP count or depth
-// beyond the thresholds. Records only in cur (new benchmarks) pass freely.
+// must still exist and must not regress compile time, simulation time,
+// SWAP count or depth beyond the thresholds; the deterministic simulator
+// work counters (simWorkCounters) are gated run-wide at CountThreshold.
+// Records only in cur (new benchmarks) pass freely.
 // An empty result means the gate passes.
 func Compare(base, cur *Report, opts CompareOptions) []Regression {
 	opts = opts.withDefaults()
@@ -266,8 +305,23 @@ func Compare(base, cur *Report, opts CompareOptions) []Regression {
 			baseTime, curTime = b.CompileUnits, c.CompileUnits
 		}
 		out = appendRegression(out, b.Name, "compile_time", baseTime, curTime, opts.TimeThreshold, opts.TimeSlack)
+		baseSim, curSim := b.SimSec, c.SimSec
+		if useUnits {
+			baseSim, curSim = b.SimUnits, c.SimUnits
+		}
+		if baseSim > 0 { // 0 means the baseline never measured simulation
+			out = appendRegression(out, b.Name, "sim_time", baseSim, curSim, opts.SimThreshold, opts.TimeSlack)
+		}
 		out = appendRegression(out, b.Name, "swaps", b.Swaps, c.Swaps, opts.CountThreshold, 0)
 		out = appendRegression(out, b.Name, "depth", b.Depth, c.Depth, opts.CountThreshold, 0)
+	}
+	for _, name := range simWorkCounters {
+		bv, ok := base.Counters[name]
+		if !ok || bv == 0 {
+			continue // baseline predates the counter; nothing to gate against
+		}
+		out = appendRegression(out, "counters", name, float64(bv),
+			float64(cur.Counters[name]), opts.CountThreshold, 0)
 	}
 	return out
 }

@@ -2,8 +2,10 @@ package obsv
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -12,8 +14,8 @@ import (
 // does not know. Parsing must ignore them and preserve everything it does
 // know — forward compatibility within a schema version.
 func TestParseReportIgnoresUnknownFields(t *testing.T) {
-	in := `{
-		"schema": 1,
+	in := fmt.Sprintf(`{
+		"schema": %d,
 		"tool": "qaoa-bench",
 		"revision": "abc",
 		"future_top_level": {"nested": true},
@@ -22,7 +24,7 @@ func TestParseReportIgnoresUnknownFields(t *testing.T) {
 			 "future_metric": 3.14}
 		],
 		"counters": {"compile/swaps": 12}
-	}`
+	}`, SchemaVersion)
 	r, err := ParseReport([]byte(in))
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +65,7 @@ func TestParseReportNewerSchemaClearError(t *testing.T) {
 		t.Fatalf("newer schema accepted: %+v", r)
 	}
 	msg := err.Error()
-	if !strings.Contains(msg, "99") || !strings.Contains(msg, "1") {
+	if !strings.Contains(msg, "99") || !strings.Contains(msg, strconv.Itoa(SchemaVersion)) {
 		t.Errorf("schema error does not name both versions: %v", err)
 	}
 }

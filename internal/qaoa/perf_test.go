@@ -1,0 +1,49 @@
+package qaoa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphs"
+)
+
+// BenchmarkExpectation measures one exact ⟨C⟩ evaluation on a 16-node
+// 4-regular instance at p=2 — the inner loop of SimEvaluator-driven
+// optimization, dominated by circuit execution plus the diagonal
+// cost-expectation sweep.
+func BenchmarkExpectation(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := graphs.RandomRegular(16, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := &Problem{G: g, MaxCut: 1}
+	params := Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.3, 0.1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Expectation(prob, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApproximationRatio measures cost aggregation over a 40960-shot
+// sample set (the Fig. 11(b) shot budget).
+func BenchmarkApproximationRatio(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := graphs.RandomRegular(14, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := &Problem{G: g, MaxCut: 10}
+	samples := make([]uint64, 40960)
+	for i := range samples {
+		samples[i] = rng.Uint64() & ((1 << 14) - 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApproximationRatio(prob, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

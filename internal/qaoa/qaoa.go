@@ -7,6 +7,7 @@ package qaoa
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/graphs"
@@ -17,6 +18,11 @@ import (
 type Problem struct {
 	G      *graphs.Graph
 	MaxCut int
+
+	// costTab caches the dense per-bitstring cut-value table (see
+	// CostTable). Lazily built; atomic so concurrent evaluations of a
+	// shared Problem stay race-free.
+	costTab atomic.Pointer[[]float64]
 }
 
 // NewMaxCut wraps g as a MaxCut problem, computing the exact optimum by
@@ -39,7 +45,14 @@ func NewMaxCutBounded(g *graphs.Graph, optimum int) *Problem {
 func (p *Problem) NumQubits() int { return p.G.N() }
 
 // Cost returns the cut value of bitstring x (bit v = side of vertex v).
+// When the cut-value table has been built (see CostTable) this is a single
+// array lookup instead of an O(edges) scan.
 func (p *Problem) Cost(x uint64) float64 {
+	if t := p.costTab.Load(); t != nil {
+		if tbl := *t; x < uint64(len(tbl)) {
+			return tbl[x]
+		}
+	}
 	return float64(graphs.CutValueBits(p.G, x))
 }
 
@@ -124,6 +137,12 @@ func ApproximationRatio(p *Problem, samples []uint64) (float64, error) {
 	if len(samples) == 0 {
 		return 0, fmt.Errorf("qaoa: empty sample set")
 	}
+	// A dense cut table costs 2^n O(1) steps once; the per-sample scan costs
+	// O(edges) each. Build (and cache on p) when the sample set is large
+	// enough to amortize the construction.
+	if n := p.G.N(); n <= CostTableMaxQubits && len(samples)*4 >= 1<<uint(n) {
+		p.CostTable()
+	}
 	var sum float64
 	for _, x := range samples {
 		sum += p.Cost(x)
@@ -178,7 +197,7 @@ func Expectation(p *Problem, params Params) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return simExpectation(c, p.Cost), nil
+	return simExpectation(c, p), nil
 }
 
 // ExpectationSampled estimates ⟨C⟩ from measurement samples along with the

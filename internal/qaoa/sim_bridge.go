@@ -1,13 +1,75 @@
 package qaoa
 
 import (
+	"math/bits"
+
 	"repro/internal/circuit"
+	"repro/internal/graphs"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 )
 
+// This file holds everything that couples qaoa to the simulator — the
+// expectation bridge and the cut-value table feeding its diagonal sweep —
+// so the package's dependency on sim stays explicit and minimal.
+
+// CostTableMaxQubits bounds the dense cut-value table: 2^22 float64 is
+// 32 MiB, comfortably beyond the ≤ 20-qubit instances of the paper's
+// experiments. Larger problems fall back to per-sample edge scans.
+const CostTableMaxQubits = 22
+
+// CostTable returns the dense table tbl[x] = cut value of bitstring x for
+// every x < 2^n, building and caching it on first use; nil when the graph
+// exceeds CostTableMaxQubits. The build is O(1) per entry: with h the
+// highest set bit of x, flipping vertex h to side 1 changes the cut by
+// deg(h) minus twice the number of h's neighbors already on side 1, all
+// read off precomputed neighbor bitmasks.
+//
+// The table turns both the simulator's diagonal expectation sweep and
+// large-sample approximation ratios from O(edges) per bitstring into one
+// lookup; Cost consults it transparently once built.
+func (p *Problem) CostTable() []float64 {
+	if t := p.costTab.Load(); t != nil {
+		return *t
+	}
+	n := p.G.N()
+	if n > CostTableMaxQubits {
+		return nil
+	}
+	tbl := buildCutTable(p.G)
+	p.costTab.Store(&tbl)
+	if col := sim.Collector(); col.Enabled() {
+		col.Inc(obsv.CntSimCutTableBuilds)
+	}
+	return tbl
+}
+
+// buildCutTable computes the full cut-value table by the highest-bit DP
+// described on CostTable.
+func buildCutTable(g *graphs.Graph) []float64 {
+	n := g.N()
+	nbr := make([]uint64, n)
+	for _, e := range g.Edges() {
+		nbr[e.U] |= 1 << uint(e.V)
+		nbr[e.V] |= 1 << uint(e.U)
+	}
+	tbl := make([]float64, 1<<uint(n))
+	for x := uint64(1); x < uint64(len(tbl)); x++ {
+		h := bits.Len64(x) - 1
+		rest := x &^ (1 << uint(h))
+		delta := bits.OnesCount64(nbr[h]) - 2*bits.OnesCount64(nbr[h]&rest)
+		tbl[x] = tbl[rest] + float64(delta)
+	}
+	return tbl
+}
+
 // simExpectation runs the circuit on the state-vector simulator and
-// evaluates the diagonal observable. Kept in its own file so the qaoa
-// package's dependency on the simulator is explicit and minimal.
-func simExpectation(c *circuit.Circuit, cost func(uint64) float64) float64 {
-	return sim.NewState(c.NQubits).Run(c).ExpectationDiagonal(cost)
+// evaluates the MaxCut observable, through the cached cut-value table when
+// the instance fits it.
+func simExpectation(c *circuit.Circuit, p *Problem) float64 {
+	st := sim.NewState(c.NQubits).Run(c)
+	if tbl := p.CostTable(); tbl != nil && len(tbl) >= len(st.Amp) {
+		return st.ExpectationTable(tbl)
+	}
+	return st.ExpectationDiagonal(p.Cost)
 }

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/device"
-	"repro/internal/obsv"
 )
 
 // NoiseModel is a stochastic Pauli error model: after each gate a random
@@ -54,18 +53,6 @@ func (nm *NoiseModel) twoQubitError(a, b int) float64 {
 	return nm.TwoQubitDefault
 }
 
-// injectPauli1 applies a uniformly random non-identity Pauli to qubit q.
-func injectPauli1(s *State, q int, rng *rand.Rand) {
-	switch rng.Intn(3) {
-	case 0:
-		s.Apply1Q(q, matX)
-	case 1:
-		s.Apply1Q(q, matY)
-	default:
-		s.Apply1Q(q, matZ)
-	}
-}
-
 // injectPauli2 applies a uniformly random non-identity two-qubit Pauli
 // (one of the 15 products P⊗Q ≠ I⊗I) to qubits a, b.
 func injectPauli2(s *State, a, b int, rng *rand.Rand) {
@@ -88,64 +75,34 @@ func applyPauliDigit(s *State, q, digit int) {
 // RunNoisy executes one noisy trajectory of c from |0…0⟩: every gate is
 // applied ideally and followed by a probabilistic Pauli fault. The returned
 // state is a single sample of the noisy process; average observables over
-// many trajectories.
+// many trajectories. The fault sites are drawn up front (the state
+// evolution consumes no randomness, so the caller's RNG stream is consumed
+// draw-for-draw as in the interleaved formulation). A fault-free trajectory
+// runs entirely through the fused fast path; a faulty one applies the
+// gates up to its first fault site directly and finishes through the fused
+// fault suffix — the exact computation the Executor's checkpoint replay
+// performs, so the two agree bit for bit on the same plan.
 func RunNoisy(c *circuit.Circuit, nm *NoiseModel, rng *rand.Rand) *State {
+	faults := drawFaults(c, nm, rng, nil)
 	s := NewState(c.NQubits)
-	for _, g := range c.Gates {
-		s.ApplyGate(g)
-		switch {
-		case g.Kind == circuit.Barrier || g.Kind == circuit.Measure:
-		case g.Arity() == 2:
-			e := nm.twoQubitError(g.Q0, g.Q1)
-			for i := 0; i < circuit.NativeCNOTCost(g.Kind); i++ {
-				if rng.Float64() < e {
-					injectPauli2(s, g.Q0, g.Q1, rng)
-				}
-			}
-		default:
-			if nm.OneQubit > 0 && rng.Float64() < nm.OneQubit {
-				injectPauli1(s, g.Q0, rng)
-			}
-		}
+	if len(faults) == 0 {
+		return Fuse(c).RunOn(s)
 	}
+	for gi := 0; gi <= faults[0].gate; gi++ {
+		s.ApplyGate(c.Gates[gi])
+	}
+	faultSuffixProgram(c, faults).apply(s)
 	return s
 }
 
 // SampleNoisy draws shots measurement outcomes from the noisy execution of
 // c, spreading them over the given number of independent Pauli-fault
-// trajectories and applying readout bit-flips to every sample.
+// trajectories and applying readout bit-flips to every sample. It is the
+// one-shot form of Executor.SampleNoisy (which amortizes the fused program
+// and ideal state across calls); see there for the trajectory substream and
+// checkpoint-replay semantics.
 func SampleNoisy(c *circuit.Circuit, nm *NoiseModel, shots, trajectories int, rng *rand.Rand) []uint64 {
-	if trajectories < 1 {
-		trajectories = 1
-	}
-	if trajectories > shots {
-		trajectories = shots
-	}
-	out := make([]uint64, 0, shots)
-	base := shots / trajectories
-	extra := shots % trajectories
-	for t := 0; t < trajectories; t++ {
-		k := base
-		if t < extra {
-			k++
-		}
-		if k == 0 {
-			continue
-		}
-		s := RunNoisy(c, nm, rng)
-		samples := s.Sample(rng, k)
-		if nm.Readout != nil {
-			for i, x := range samples {
-				samples[i] = flipReadout(x, nm.Readout, rng)
-			}
-		}
-		out = append(out, samples...)
-	}
-	if col := Collector(); col.Enabled() {
-		col.Add(obsv.CntSimNoisyShots, int64(len(out)))
-		col.Add(obsv.CntSimTrajectories, int64(trajectories))
-	}
-	return out
+	return NewExecutor(c).SampleNoisy(nm, shots, trajectories, rng)
 }
 
 func flipReadout(x uint64, readout []float64, rng *rand.Rand) uint64 {

@@ -15,7 +15,6 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
-	"repro/internal/obsv"
 )
 
 // State is an n-qubit state vector of 2^n complex amplitudes.
@@ -77,46 +76,113 @@ func (s *State) Probabilities() []float64 {
 }
 
 // Apply1Q applies the 2×2 unitary m to qubit q, fanning out across cores
-// for large registers (see ParallelThreshold).
+// for large registers (see ParallelThreshold). The serial path dispatches
+// on the matrix structure: the compiled gate set is dominated by real
+// matrices (H, X, RY) and real-diagonal/imaginary-off-diagonal ones (RX),
+// whose scalar kernels cost half the flops of a generic complex 2×2.
 func (s *State) Apply1Q(q int, m [2][2]complex128) {
 	if len(s.Amp) > ParallelThreshold {
 		s.apply1QParallel(q, m)
 		return
 	}
 	bit := 1 << uint(q)
+	if imag(m[0][0]) == 0 && imag(m[0][1]) == 0 && imag(m[1][0]) == 0 && imag(m[1][1]) == 0 {
+		s.apply1QReal(bit, real(m[0][0]), real(m[0][1]), real(m[1][0]), real(m[1][1]))
+		return
+	}
+	if imag(m[0][0]) == 0 && imag(m[1][1]) == 0 && real(m[0][1]) == 0 && real(m[1][0]) == 0 {
+		s.apply1QCross(bit, real(m[0][0]), imag(m[0][1]), imag(m[1][0]), real(m[1][1]))
+		return
+	}
+	m00, m01, m10, m11 := m[0][0], m[0][1], m[1][0], m[1][1]
 	n := len(s.Amp)
 	for base := 0; base < n; base += bit << 1 {
-		for i := base; i < base+bit; i++ {
-			a0, a1 := s.Amp[i], s.Amp[i|bit]
-			s.Amp[i] = m[0][0]*a0 + m[0][1]*a1
-			s.Amp[i|bit] = m[1][0]*a0 + m[1][1]*a1
+		lo := s.Amp[base : base+bit]
+		hi := s.Amp[base+bit : base+bit+bit][:len(lo)]
+		for k := range lo {
+			a0, a1 := lo[k], hi[k]
+			lo[k] = m00*a0 + m01*a1
+			hi[k] = m10*a0 + m11*a1
 		}
 	}
 }
 
-// ApplyCNOT applies CNOT with control c, target t. Each amplitude pair
-// (i, i|tb) is touched exactly once (at the member with the target bit
-// clear), so chunked iteration is safe.
+// apply1QReal is Apply1Q for an all-real matrix: each output component is a
+// real linear combination, so a pair costs 8 real multiplies instead of 16.
+func (s *State) apply1QReal(bit int, m00, m01, m10, m11 float64) {
+	n := len(s.Amp)
+	for base := 0; base < n; base += bit << 1 {
+		lo := s.Amp[base : base+bit]
+		hi := s.Amp[base+bit : base+bit+bit][:len(lo)]
+		for k := range lo {
+			a0, a1 := lo[k], hi[k]
+			lo[k] = complex(m00*real(a0)+m01*real(a1), m00*imag(a0)+m01*imag(a1))
+			hi[k] = complex(m10*real(a0)+m11*real(a1), m10*imag(a0)+m11*imag(a1))
+		}
+	}
+}
+
+// apply1QCross is Apply1Q for m = [[a, i·b], [i·c, d]] with a, b, c, d real
+// (RX and Y have this shape): i·b·a1 contributes (-b·Im a1, b·Re a1), so the
+// pair again costs 8 real multiplies.
+func (s *State) apply1QCross(bit int, a, b, c, d float64) {
+	n := len(s.Amp)
+	for base := 0; base < n; base += bit << 1 {
+		lo := s.Amp[base : base+bit]
+		hi := s.Amp[base+bit : base+bit+bit][:len(lo)]
+		for k := range lo {
+			a0, a1 := lo[k], hi[k]
+			lo[k] = complex(a*real(a0)-b*imag(a1), a*imag(a0)+b*real(a1))
+			hi[k] = complex(d*real(a1)-c*imag(a0), d*imag(a1)+c*real(a0))
+		}
+	}
+}
+
+// expand2 inserts zero bits at the two (distinct) bit positions given by
+// the masks loBit < hiBit, mapping a compact index k ∈ [0, 2^{n-2}) to the
+// unique basis index with both bits clear and the remaining bits of k in
+// order. Combined with parallelFor this iterates exactly the touched
+// subset of a two-qubit kernel instead of scanning all 2^n amplitudes.
+func expand2(k, loBit, hiBit int) int {
+	loMask, hiMask := loBit-1, hiBit-1
+	i := (k&^loMask)<<1 | (k & loMask)
+	return (i&^hiMask)<<1 | (i & hiMask)
+}
+
+// sortBits returns the two bit masks in increasing order.
+func sortBits(a, b int) (int, int) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+// ApplyCNOT applies CNOT with control c, target t. Iteration is over the
+// 2^{n-2} swapped pairs only (control bit set, target bit clear), so no
+// amplitude is visited without being moved.
 func (s *State) ApplyCNOT(c, t int) {
 	cb, tb := 1<<uint(c), 1<<uint(t)
-	parallelFor(len(s.Amp), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&cb != 0 && i&tb == 0 {
-				j := i | tb
-				s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
-			}
+	lo, hi := sortBits(cb, tb)
+	parallelFor(len(s.Amp)>>2, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			i := expand2(k, lo, hi) | cb
+			j := i | tb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
 		}
 	})
 }
 
-// ApplyCZ applies a controlled-Z between a and b.
+// ApplyCZ applies a controlled-Z between a and b, visiting only the
+// 2^{n-2} amplitudes with both bits set.
 func (s *State) ApplyCZ(a, b int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
-	for i := range s.Amp {
-		if i&ab != 0 && i&bb != 0 {
+	lo, hi := sortBits(ab, bb)
+	parallelFor(len(s.Amp)>>2, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			i := expand2(k, lo, hi) | ab | bb
 			s.Amp[i] = -s.Amp[i]
 		}
-	}
+	})
 }
 
 // ApplyZZ applies exp(-i θ/2 Z⊗Z) between a and b: amplitudes where the two
@@ -136,15 +202,18 @@ func (s *State) ApplyZZ(a, b int, theta float64) {
 	})
 }
 
-// ApplySwap exchanges qubits a and b.
+// ApplySwap exchanges qubits a and b, visiting only the 2^{n-2} swapped
+// pairs (bit a set, bit b clear, and the mirror image).
 func (s *State) ApplySwap(a, b int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
-	for i := range s.Amp {
-		if i&ab != 0 && i&bb == 0 {
+	lo, hi := sortBits(ab, bb)
+	parallelFor(len(s.Amp)>>2, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			i := expand2(k, lo, hi) | ab
 			j := (i &^ ab) | bb
 			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
 		}
-	}
+	})
 }
 
 // ApplyGate dispatches a single IR gate. Measure and Barrier gates are
@@ -186,35 +255,58 @@ func (s *State) ApplyGate(g circuit.Gate) {
 	}
 }
 
-// Run applies every gate of c in order and returns s for chaining.
+// Run executes c through the gate-fusion pre-pass (see Fuse) and returns s
+// for chaining. Semantically identical (up to float rounding) to applying
+// every gate in order with ApplyGate.
 func (s *State) Run(c *circuit.Circuit) *State {
 	if c.NQubits > s.N {
 		panic(fmt.Sprintf("sim: circuit needs %d qubits, state has %d", c.NQubits, s.N))
 	}
-	for _, g := range c.Gates {
-		s.ApplyGate(g)
-	}
-	if col := Collector(); col.Enabled() {
-		col.Inc(obsv.CntSimRuns)
-		col.Add(obsv.CntSimGates, int64(len(c.Gates)))
-		col.Add(obsv.CntSimAmpOps, int64(len(c.Gates))*int64(len(s.Amp)))
-	}
-	return s
+	return Fuse(c).RunOn(s)
 }
 
 // Sample draws shots basis states from the measurement distribution.
 func (s *State) Sample(rng *rand.Rand, shots int) []uint64 {
-	cdf := make([]float64, len(s.Amp))
+	return s.SampleInto(rng, shots, make([]uint64, 0, shots), nil)
+}
+
+// SampleInto appends shots basis states drawn from the measurement
+// distribution to out and returns it, using cdf as the CDF scratch buffer
+// when it has capacity for the full state (allocating otherwise). Callers
+// on a hot path pass out[:0] and a reused cdf to make sampling
+// allocation-free; Sample is the convenience form.
+func (s *State) SampleInto(rng *rand.Rand, shots int, out []uint64, cdf []float64) []uint64 {
+	if cap(cdf) >= len(s.Amp) {
+		cdf = cdf[:len(s.Amp)]
+	} else {
+		cdf = make([]float64, len(s.Amp))
+	}
+	acc := buildCDF(s.Amp, cdf)
+	for k := 0; k < shots; k++ {
+		out = append(out, uint64(searchCDF(cdf, rng.Float64()*acc)))
+	}
+	return out
+}
+
+// buildCDF fills cdf (len(amp) entries) with the cumulative measurement
+// distribution and returns the total mass (1 up to rounding for a
+// normalized state).
+func buildCDF(amp []complex128, cdf []float64) float64 {
 	var acc float64
-	for i, a := range s.Amp {
+	for i, a := range amp {
 		acc += real(a)*real(a) + imag(a)*imag(a)
 		cdf[i] = acc
 	}
-	out := make([]uint64, shots)
-	for k := 0; k < shots; k++ {
-		out[k] = uint64(searchCDF(cdf, rng.Float64()*acc))
+	return acc
+}
+
+// sampleCDFInto fills out with draws from a prebuilt CDF — the shared-CDF
+// fast path of Executor for trajectories that reuse the ideal state.
+func sampleCDFInto(cdf []float64, rng *rand.Rand, out []uint64) {
+	total := cdf[len(cdf)-1]
+	for k := range out {
+		out[k] = uint64(searchCDF(cdf, rng.Float64()*total))
 	}
-	return out
 }
 
 // searchCDF returns the smallest index i with cdf[i] > r.
@@ -239,6 +331,23 @@ func (s *State) ExpectationDiagonal(f func(x uint64) float64) float64 {
 		p := real(a)*real(a) + imag(a)*imag(a)
 		if p > 0 {
 			e += p * f(uint64(i))
+		}
+	}
+	return e
+}
+
+// ExpectationTable returns Σ_x |⟨x|ψ⟩|² vals[x] for a precomputed diagonal
+// observable — the table-lookup fast path of ExpectationDiagonal (same
+// summation order, so results are bit-identical for vals[x] == f(x)).
+func (s *State) ExpectationTable(vals []float64) float64 {
+	if len(vals) < len(s.Amp) {
+		panic(fmt.Sprintf("sim: expectation table has %d entries, state needs %d", len(vals), len(s.Amp)))
+	}
+	var e float64
+	for i, a := range s.Amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > 0 {
+			e += p * vals[i]
 		}
 	}
 	return e

@@ -9,7 +9,11 @@ package repro
 
 import (
 	"context"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/obsv"
@@ -82,12 +86,29 @@ func TestPipelineRecordsOnlyRegisteredNames(t *testing.T) {
 		obsv.CntDeviceHopDistBuilds, obsv.CntExpInstances,
 		obsv.CntFallbackAttempts, obsv.CntTraceEvents,
 		obsv.CntLoopEvaluations, obsv.CntSimRuns,
+		obsv.CntSimFusedOps, obsv.CntSimAmpOps,
+		obsv.CntSimTrajectories, obsv.CntSimNoisyShots,
+		obsv.CntSimCutTableBuilds,
 	} {
 		if _, ok := snap.Counters[name]; !ok {
 			t.Errorf("expected counter %q was never recorded", name)
 		}
 	}
-	for _, name := range []string{obsv.SpanCompileTotal, obsv.SpanExpInstance, obsv.SpanLoopExpectation} {
+	// Every trajectory either reuses the shared ideal state or replays from a
+	// checkpoint; the split depends on the fault draws, but the counters must
+	// account for all of them.
+	reuses := snap.Counters[obsv.CntSimIdealReuses]
+	replays := snap.Counters[obsv.CntSimReplays]
+	if traj := snap.Counters[obsv.CntSimTrajectories]; reuses+replays != traj {
+		t.Errorf("ideal_reuses (%d) + replays (%d) != trajectories (%d)", reuses, replays, traj)
+	}
+	if snap.Counters[obsv.CntSimCheckpoints] != replays {
+		t.Errorf("checkpoints (%d) != replays (%d)", snap.Counters[obsv.CntSimCheckpoints], replays)
+	}
+	for _, name := range []string{
+		obsv.SpanCompileTotal, obsv.SpanExpInstance, obsv.SpanLoopExpectation,
+		obsv.SpanSimIdealRun, obsv.SpanSimSampleNoisy,
+	} {
 		found := false
 		for _, sp := range snap.Spans {
 			if sp.Name == name {
@@ -97,6 +118,34 @@ func TestPipelineRecordsOnlyRegisteredNames(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("expected span %q was never recorded", name)
+		}
+	}
+
+	// End to end through the live metrics endpoint: every registered name the
+	// run recorded must surface as a Prometheus series, including the new
+	// simulator counters a -listen qaoa-bench run exports.
+	srv := httptest.NewServer(obsv.NewHandler(c, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, series := range []string{
+		"qaoa_sim_runs_total",
+		"qaoa_sim_fused_ops_total",
+		"qaoa_sim_amp_ops_total",
+		"qaoa_sim_trajectories_total",
+		"qaoa_sim_cut_table_builds_total",
+		"qaoa_compile_compilations_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics is missing series %q", series)
 		}
 	}
 }

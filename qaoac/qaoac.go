@@ -249,6 +249,16 @@ func SampleNoisy(c *Circuit, nm *NoiseModel, shots, trajectories int, rng *rand.
 // NoiseFromDevice derives a noise model from a device calibration.
 func NoiseFromDevice(d *Device) *NoiseModel { return sim.NoiseFromDevice(d) }
 
+// SimExecutor caches one circuit's fused program and ideal final state so
+// repeated ideal and noisy sampling of the same circuit share work (the
+// fault-free trajectories of SampleNoisy reuse the ideal state directly).
+type SimExecutor = sim.Executor
+
+// NewSimExecutor fuses c into an executor; use it instead of the one-shot
+// Simulate/SampleIdeal/SampleNoisy helpers when sampling a circuit more
+// than once.
+func NewSimExecutor(c *Circuit) *SimExecutor { return sim.NewExecutor(c) }
+
 // Gate constructors (see package circuit for the full set).
 
 // NewH returns a Hadamard on q.
