@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/qaoac"
 )
 
@@ -84,7 +85,7 @@ func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64
 		// Progress: compilations finished so far (the suite size is not known
 		// up front, so Total stays 0).
 		progress := func() qaoac.ObsProgress {
-			return qaoac.ObsProgress{Phase: "bench", Done: int(c.Counter("compile/compilations"))}
+			return qaoac.ObsProgress{Phase: "bench", Done: int(c.Counter(obsv.CntCompilations))}
 		}
 		ln, lerr := qaoac.ServeObservability(listen, c, progress)
 		if lerr != nil {

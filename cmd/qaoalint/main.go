@@ -1,0 +1,234 @@
+// qaoalint is the repo's invariant checker: a multichecker over the five
+// analyzers of internal/analysis (determinism, obsvnames, ctxflow,
+// errcmp, hotpath). It runs in two modes:
+//
+// Standalone, from the module root (loads packages itself, test files
+// included):
+//
+//	go run ./cmd/qaoalint ./...
+//
+// As a vet tool (the go command drives it one compilation unit at a time,
+// passing a JSON config with the compiler's export data):
+//
+//	go build -o qaoalint ./cmd/qaoalint
+//	go vet -vettool=$(pwd)/qaoalint ./...
+//
+// Individual analyzers can be disabled with -<name>=false. Exit status:
+// 0 clean, 1 on driver errors, 2 when diagnostics were reported (vet
+// convention).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errcmp"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/obsvnames"
+)
+
+// version participates in the go command's content-based vet caching: it
+// must change when the analyzers change behavior, or cached clean results
+// would mask new diagnostics. Bump on any analyzer change.
+const version = "qaoalint-1.0.0"
+
+var all = []*analysis.Analyzer{
+	determinism.Analyzer,
+	obsvnames.Analyzer,
+	ctxflow.Analyzer,
+	errcmp.Analyzer,
+	hotpath.Analyzer,
+}
+
+func main() {
+	var vFlag string
+	flag.StringVar(&vFlag, "V", "", "print version and exit (the go command probes -V=full)")
+	printFlags := flag.Bool("flags", false, "print the tool's flags as JSON and exit (the go command probes this)")
+	_ = flag.Bool("json", false, "accepted for vet protocol compatibility (ignored)")
+	enabled := map[string]*bool{}
+	for _, a := range all {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	flag.Parse()
+
+	if vFlag != "" {
+		// go vet probes `tool -V=full` and keys its result cache on the
+		// output, which must be of the form "name version ...".
+		fmt.Printf("qaoalint version %s\n", version)
+		return
+	}
+	if *printFlags {
+		// go vet probes `tool -flags` to learn which flags it may forward.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var fs []jsonFlag
+		flag.VisitAll(func(f *flag.Flag) {
+			b, ok := f.Value.(interface{ IsBoolFlag() bool })
+			fs = append(fs, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+		})
+		if err := json.NewEncoder(os.Stdout).Encode(fs); err != nil {
+			fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], active))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, active))
+}
+
+// runStandalone loads the named patterns (with tests) and reports every
+// diagnostic in vet format.
+func runStandalone(patterns []string, active []*analysis.Analyzer) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+		return 1
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		line := fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+		if seen[line] {
+			continue // a file analyzed under both a package and its test variant
+		}
+		seen[line] = true
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if len(seen) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON the go command hands a -vettool per compilation
+// unit (the fields qaoalint consumes; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit described by cfgPath, speaking
+// enough of the x/tools unitchecker protocol for `go vet -vettool`.
+func runVetUnit(cfgPath string, active []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "qaoalint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even though
+	// qaoalint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("qaoalint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	// Strip the " [pkg.test]" suffix of in-package test units so the
+	// per-package scoping of the analyzers still recognizes the path.
+	checkPath := cfg.ImportPath
+	if i := strings.Index(checkPath, " ["); i >= 0 {
+		checkPath = checkPath[:i]
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(checkPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+		return 1
+	}
+	pkg := &analysis.Package{Path: checkPath, Fset: fset, Syntax: files, Types: tpkg, Info: info}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestPkgNamed(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/compile", true},
+		{"compile", true},
+		{"repro/internal/compile/sub", false},
+		{"repro/internal/device", false},
+		{"trace", true},
+	}
+	for _, tc := range cases {
+		if got := PkgNamed(tc.path, "compile", "trace"); got != tc.want {
+			t.Errorf("PkgNamed(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestAllowIndex(t *testing.T) {
+	const src = `package p
+
+func f() {
+	a() //lint:allow determinism: measured span
+	//lint:allow determinism
+	b()
+	c() //lint:allow otherchecker
+	d()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := buildAllowIndex(fset, []*ast.File{f}, "determinism")
+	// a() on line 4 (same-line escape), b() on line 6 (escape on the line
+	// above); c() carries an escape for a different analyzer and d() none.
+	for line, want := range map[int]bool{4: true, 6: true, 7: false, 8: false} {
+		if got := idx[allowKey{"p.go", line}]; got != want {
+			t.Errorf("line %d allowed = %v, want %v", line, got, want)
+		}
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	ds := []Diagnostic{
+		{Position: token.Position{Filename: "b.go", Line: 1, Column: 1}},
+		{Position: token.Position{Filename: "a.go", Line: 9, Column: 2}},
+		{Position: token.Position{Filename: "a.go", Line: 9, Column: 1}},
+		{Position: token.Position{Filename: "a.go", Line: 2, Column: 5}},
+	}
+	SortDiagnostics(ds)
+	got := ""
+	for _, d := range ds {
+		got += d.Position.String() + " "
+	}
+	want := "a.go:2:5 a.go:9:1 a.go:9:2 b.go:1:1 "
+	if got != want {
+		t.Errorf("sorted order = %q, want %q", got, want)
+	}
+}

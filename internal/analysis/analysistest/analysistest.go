@@ -1,0 +1,333 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want comments — a
+// stdlib-only miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout, relative to the analyzer's package directory:
+//
+//	testdata/src/<pkg>/*.go
+//
+// An import path inside a fixture resolves to a sibling fixture directory
+// when one exists (import "obsv" → testdata/src/obsv) and to the standard
+// library otherwise. Expectations are comments on the offending line:
+//
+//	time.Now() // want `wall-clock`
+//
+// The quoted text is a regular expression matched against the diagnostic
+// message; several expectations may share one line. Every diagnostic must
+// be wanted and every want must fire, or the test fails.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package and applies analyzer, enforcing the
+// // want expectations of that package's files.
+func Run(t *testing.T, analyzer *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			runOne(t, analyzer, name)
+		})
+	}
+}
+
+func runOne(t *testing.T, analyzer *analysis.Analyzer, name string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newFixtureLoader(root)
+	pkg, err := ld.load(name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  analyzer,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := analyzer.Run(pass); err != nil {
+		t.Fatalf("%s: %v", analyzer.Name, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Syntax)
+	for _, d := range got {
+		pos := d.Position
+		key := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w.re.MatchString(d.Message) && !w.used {
+				wants[key][i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// collectWants extracts // want expectations from file comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]want {
+	t.Helper()
+	wants := map[wantKey][]want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos.String(), strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					key := wantKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted or backquoted strings.
+func splitQuoted(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var tok string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquote in want: %s", at, s)
+			}
+			tok, s = s[1:1+end], s[2+end:]
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			for end >= 0 && end > 0 && rest[end-1] == '\\' {
+				next := strings.IndexByte(rest[end+1:], '"')
+				if next < 0 {
+					end = -1
+					break
+				}
+				end += 1 + next
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated quote in want: %s", at, s)
+			}
+			unq, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad quoted want %q: %v", at, s[:end+2], err)
+			}
+			tok, s = unq, s[end+2:]
+		default:
+			t.Fatalf("%s: want expectations must be quoted: %s", at, s)
+		}
+		out = append(out, tok)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}
+
+// fixtureLoader type-checks fixture packages, resolving sibling fixture
+// imports locally and everything else through gc export data obtained
+// from `go list -export`.
+type fixtureLoader struct {
+	root    string // testdata/src
+	fset    *token.FileSet
+	local   map[string]*analysis.Package
+	loading map[string]bool
+	exports map[string]string
+	gc      types.ImporterFrom // shared so stdlib type identities agree across fixtures
+}
+
+func newFixtureLoader(root string) *fixtureLoader {
+	l := &fixtureLoader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		local:   map[string]*analysis.Package{},
+		loading: map[string]bool{},
+		exports: map[string]string{},
+	}
+	lookup := func(ipath string) (io.ReadCloser, error) {
+		file, ok := l.exports[ipath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", ipath)
+		}
+		return os.Open(file)
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", lookup).(types.ImporterFrom)
+	return l
+}
+
+func (l *fixtureLoader) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+func (l *fixtureLoader) load(path string) (*analysis.Package, error) {
+	if p, ok := l.local[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	stdlib := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if l.isLocal(ipath) {
+				if _, err := l.load(ipath); err != nil {
+					return nil, err
+				}
+			} else {
+				stdlib[ipath] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %q has no Go files", path)
+	}
+	if err := l.fetchExports(stdlib); err != nil {
+		return nil, err
+	}
+
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Fset: l.fset, Syntax: files, Types: tpkg, Info: info}
+	l.local[path] = pkg
+	return pkg, nil
+}
+
+// fetchExports ensures export data paths are known for the given standard
+// library (or otherwise non-fixture) import paths.
+func (l *fixtureLoader) fetchExports(paths map[string]bool) error {
+	var missing []string
+	for p := range paths {
+		if _, ok := l.exports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %v: %v\n%s", missing, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// fixtureImporter adapts fixtureLoader to types.Importer.
+type fixtureImporter fixtureLoader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*fixtureLoader)(fi)
+	if l.isLocal(path) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gc.ImportFrom(path, "", 0)
+}

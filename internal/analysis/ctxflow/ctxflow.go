@@ -1,0 +1,121 @@
+// Package ctxflow enforces the context discipline of the compilation
+// pipeline's public packages (compile, router, exp, loop): deadlines and
+// cancellation must flow from the API boundary down, never be minted
+// mid-pipeline.
+//
+// Two rules, production files only:
+//
+//   - A function that accepts a context.Context must take it as its first
+//     parameter (after the receiver), matching the stdlib convention the
+//     rest of the pipeline relies on.
+//   - context.Background() / context.TODO() may appear only inside an
+//     exported function that itself has no context parameter — i.e. a
+//     boundary convenience wrapper (Compile → CompileContext) that mints
+//     the root context for callers who opted out of deadlines. Anywhere
+//     deeper, a fresh Background would silently detach the call tree from
+//     the caller's deadline; thread the ctx parameter instead, or carry a
+//     //lint:allow ctxflow escape stating why detachment is intended.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ctxPkgs are the packages holding the context-threaded pipeline API.
+var ctxPkgs = []string{"compile", "router", "exp", "loop"}
+
+// Analyzer enforces ctx-first signatures and boundary-only Background/TODO.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context first in signatures; context.Background/TODO only in exported no-ctx boundary wrappers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PkgNamed(pass.Pkg.Path(), ctxPkgs...) {
+		return nil, nil
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkSignature(pass, n)
+		case *ast.CallExpr:
+			checkMint(pass, n, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkSignature flags a context.Context parameter that is not first.
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if pass.IsTestFile(fd.Pos()) {
+		return
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		if isContextType(pass, field.Type) && idx != 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter of %s", fd.Name.Name)
+		}
+		idx += names
+	}
+}
+
+// checkMint flags context.Background()/TODO() below the API boundary.
+func checkMint(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if pass.IsTestFile(call.Pos()) {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	enclosing := analysis.EnclosingFuncDecl(stack)
+	if enclosing != nil && enclosing.Name.IsExported() && !hasContextParam(pass, enclosing) {
+		return // boundary wrapper minting the root context
+	}
+	where := "package-level initialization"
+	if enclosing != nil {
+		where = enclosing.Name.Name
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s below the API boundary (in %s): thread the caller's ctx (or //lint:allow ctxflow if detachment is intended)",
+		fn.Name(), where)
+}
+
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

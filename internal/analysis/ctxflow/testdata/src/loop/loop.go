@@ -1,0 +1,36 @@
+// Package loop exercises the ctxflow analyzer's boundary rules (the
+// analyzer scopes by the last path element).
+package loop
+
+import "context"
+
+// Run is an exported ctx-free boundary wrapper: minting the root context
+// here is the sanctioned pattern.
+func Run() error {
+	return RunContext(context.Background())
+}
+
+// RunContext is the deadline-aware form.
+func RunContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// badSignature takes its context late.
+func badSignature(n int, ctx context.Context) {} // want `context.Context must be the first parameter of badSignature`
+
+// helper mints a context below the boundary.
+func helper() context.Context {
+	return context.Background() // want `context.Background below the API boundary \(in helper\)`
+}
+
+// Reset is exported but already ctx-aware, so a fresh root would detach
+// the call tree from the caller's deadline.
+func Reset(ctx context.Context) {
+	_ = context.TODO() // want `context.TODO below the API boundary \(in Reset\)`
+}
+
+// detach documents an intended detachment with the escape.
+func detach() context.Context {
+	return context.Background() //lint:allow ctxflow: spawned job must outlive the request
+}

@@ -1,0 +1,223 @@
+// Package determinism statically enforces the reproduction's core
+// scientific invariant: compilation, routing, tracing, experiment sweeps,
+// simulation and graph generation are pure functions of their seeds. The
+// CI gates (byte-identical stripped BENCH reports, seed-deterministic
+// trace JSONL) only hold if no wall clock and no global RNG leaks into
+// those paths, and if nothing iterates a Go map in an order-sensitive way.
+//
+// Inside the deterministic packages (compile, router, trace, exp, sim,
+// graphs) the analyzer flags:
+//
+//   - time.Now / time.Since calls — wall clock. Measured spans that the
+//     determinism gates explicitly strip (compile-time fields, trace
+//     timestamps) carry a //lint:allow determinism escape stating so.
+//   - package-level math/rand functions (rand.Intn, rand.Shuffle, ...) —
+//     the process-global source. Seeded *rand.Rand values (rand.New) are
+//     the sanctioned alternative and are not flagged.
+//   - range over a map that feeds an order-sensitive sink: appending to a
+//     slice that is not subsequently sorted in the same function, or
+//     emitting directly (fmt.Fprint*, an Encode method, or a trace.Tracer
+//     event) from inside the loop body.
+//
+// Test files are exempt: the invariant guards production compile paths.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// deterministicPkgs are the packages whose outputs must be pure functions
+// of their seeds.
+var deterministicPkgs = []string{"compile", "router", "trace", "exp", "sim", "graphs"}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// consult the process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "Uint": true, "UintN": true,
+}
+
+// Analyzer flags wall-clock, global-RNG and unsorted-map-order leaks in
+// the deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now, global math/rand and order-sensitive map ranges in seed-deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PkgNamed(pass.Pkg.Path(), deterministicPkgs...) {
+		return nil, nil
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || pass.IsTestFile(call.Pos()) {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"wall-clock time.%s in deterministic package %s (inject a clock, or //lint:allow determinism for a measured span the gates strip)",
+				fn.Name(), pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() == nil && globalRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global rand.%s in deterministic package %s (thread a seeded *rand.Rand instead)",
+				fn.Name(), pass.Pkg.Name())
+		}
+	}
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkMapRange flags `range m` over a map when the body feeds an
+// order-sensitive sink.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	if pass.IsTestFile(rng.Pos()) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	enclosing := analysis.EnclosingFuncDecl(stack)
+
+	// Order-sensitive sinks inside the body: direct emission, or appends
+	// to slices declared outside the loop.
+	var appended []*ast.Ident
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sinkName := emitSink(pass, call); sinkName != "" {
+			pass.Reportf(rng.Pos(),
+				"range over map emits through %s in iteration order; sort the keys first (or //lint:allow determinism)",
+				sinkName)
+			return true
+		}
+		if id := appendTarget(pass, call, rng); id != nil {
+			appended = append(appended, id)
+		}
+		return true
+	})
+
+	for _, id := range appended {
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || enclosing == nil {
+			continue
+		}
+		if !sortedAfter(pass, enclosing, obj, rng.End()) {
+			pass.Reportf(rng.Pos(),
+				"range over map appends to %s in iteration order and %s is never sorted afterwards; sort it (or //lint:allow determinism)",
+				id.Name, id.Name)
+		}
+	}
+}
+
+// emitSink reports a non-empty sink name when call writes output whose
+// order follows the enclosing iteration: fmt.Fprint*, any Encode method,
+// or a trace event emission (a method on a type from a trace package).
+func emitSink(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch {
+	case fn.Pkg().Path() == "fmt" && (fn.Name() == "Fprint" || fn.Name() == "Fprintf" || fn.Name() == "Fprintln"):
+		return "fmt." + fn.Name()
+	case sig != nil && sig.Recv() != nil && fn.Name() == "Encode":
+		return "(" + sig.Recv().Type().String() + ").Encode"
+	case sig != nil && sig.Recv() != nil && analysis.PkgNamed(fn.Pkg().Path(), "trace"):
+		return "trace event " + fn.Name()
+	}
+	return ""
+}
+
+// appendTarget returns the identifier x in `x = append(x, ...)` when x is
+// a plain identifier declared outside the range statement. Appends into
+// map entries (per-key accumulation) are order-insensitive and ignored.
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt) *ast.Ident {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()) {
+		return nil // declared inside the loop: scoped per iteration
+	}
+	return target
+}
+
+// sortedAfter reports whether obj appears as an argument to a sort.* or
+// slices.Sort* call after pos within fn's body.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

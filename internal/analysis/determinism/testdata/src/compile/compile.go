@@ -1,0 +1,74 @@
+// Package compile is a determinism fixture mirroring the real pipeline
+// package of the same name (the analyzer scopes by the last path element).
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// wallClock leaks the wall clock twice.
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock time.Now in deterministic package compile`
+	return time.Since(start) // want `wall-clock time.Since in deterministic package compile`
+}
+
+// measuredSpan is the sanctioned escape: a measured span the gates strip.
+func measuredSpan() time.Time {
+	return time.Now() //lint:allow determinism: measured span stripped by the gates
+}
+
+// globalRand consults the process-global source.
+func globalRand() int {
+	return rand.Intn(10) // want `global rand.Intn in deterministic package compile`
+}
+
+// seededRand threads a seeded source: the sanctioned alternative.
+func seededRand() int {
+	rng := rand.New(rand.NewSource(7))
+	return rng.Intn(10)
+}
+
+// unsortedKeys leaks map iteration order into its result.
+func unsortedKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want `appends to keys in iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the compliant form: append then sort.
+func sortedKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// perKeyAppend accumulates into map entries — order-insensitive.
+func perKeyAppend(m map[int][]int, edges map[int]bool) {
+	for k := range edges {
+		m[k] = append(m[k], k)
+	}
+}
+
+// emitUnsorted writes output in map iteration order.
+func emitUnsorted(m map[string]int) {
+	for k, v := range m { // want `emits through fmt.Fprintln in iteration order`
+		fmt.Fprintln(os.Stdout, k, v)
+	}
+}
+
+// emitEscaped declares the order irrelevant.
+func emitEscaped(m map[string]int) {
+	//lint:allow determinism: diagnostic dump, order irrelevant
+	for k := range m {
+		fmt.Fprintln(os.Stderr, k)
+	}
+}

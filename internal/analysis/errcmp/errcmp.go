@@ -1,0 +1,130 @@
+// Package errcmp enforces wrap-transparent error matching for the
+// pipeline's typed error set (device.NotCoupledError,
+// router.DisconnectedError, compile.InsufficientQubitsError,
+// compile.PanicError, and any future sibling). The compile boundary wraps
+// causes — PanicError carries the original payload on its Unwrap chain,
+// fmt.Errorf("%w") adds context in exp — so identity comparison or a
+// direct type assertion silently stops matching the moment a wrapping
+// layer appears. errors.Is / errors.As are the only future-proof forms.
+//
+// A "typed pipeline error" is any struct type named *Error that
+// implements the error interface (value or pointer receiver). Flagged,
+// tests included:
+//
+//   - x == y / x != y where either side has type T or *T (comparing a
+//     concrete *T against nil is fine: that is a presence check, not a
+//     match);
+//   - type assertions v.(*T) or v.(T) — use errors.As;
+//   - *T / T cases in a type switch — use errors.As (or errors.Is).
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces errors.Is/errors.As over ==, type assertions and type
+// switches for the typed error set.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "typed pipeline errors must be matched with errors.Is/errors.As, never == or type switches",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	analysis.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkComparison(pass, n)
+		case *ast.TypeAssertExpr:
+			checkAssertion(pass, n)
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(pass, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isTypedError reports whether t (or its pointee) is a struct type named
+// "...Error" implementing the error interface, returning the type name.
+func isTypedError(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if !strings.HasSuffix(obj.Name(), "Error") || obj.Pkg() == nil {
+		return "", false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return "", false
+	}
+	if !types.Implements(named, errorInterface) && !types.Implements(types.NewPointer(named), errorInterface) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	xt := pass.TypesInfo.Types[be.X]
+	yt := pass.TypesInfo.Types[be.Y]
+	name, ok := isTypedError(xt.Type)
+	if !ok {
+		if name, ok = isTypedError(yt.Type); !ok {
+			return
+		}
+	}
+	// A nil presence check on a concrete pointer is not error matching.
+	if xt.IsNil() || yt.IsNil() {
+		return
+	}
+	pass.Reportf(be.OpPos,
+		"%s compared with %s; match typed pipeline errors with errors.Is (wrapping breaks identity)",
+		name, be.Op)
+}
+
+func checkAssertion(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // the v.(type) of a type switch; handled there
+	}
+	tv, ok := pass.TypesInfo.Types[ta.Type]
+	if !ok {
+		return
+	}
+	if name, isErr := isTypedError(tv.Type); isErr {
+		pass.Reportf(ta.Pos(),
+			"type assertion on %s; use errors.As so wrapped instances still match", name)
+	}
+}
+
+func checkTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	for _, clause := range ts.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok {
+				continue
+			}
+			if name, isErr := isTypedError(tv.Type); isErr {
+				pass.Reportf(expr.Pos(),
+					"type switch case on %s; use errors.As so wrapped instances still match", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errcmp"
+)
+
+func TestErrCmp(t *testing.T) {
+	analysistest.Run(t, errcmp.Analyzer, "errs")
+}

@@ -1,0 +1,41 @@
+// Package errs exercises the errcmp analyzer with a fixture twin of the
+// pipeline's typed error set.
+package errs
+
+import "errors"
+
+// NotCoupledError mirrors device.NotCoupledError.
+type NotCoupledError struct{ A, B int }
+
+func (e *NotCoupledError) Error() string { return "not coupled" }
+
+// plainError is a non-struct error type: outside the typed set.
+type plainError string
+
+func (e plainError) Error() string { return string(e) }
+
+var sentinel = &NotCoupledError{}
+
+func compare(err error, a, b *NotCoupledError) bool {
+	if a == b { // want `NotCoupledError compared with ==`
+		return true
+	}
+	if a != nil { // nil presence check, not matching: fine
+		return false
+	}
+	if _, ok := err.(*NotCoupledError); ok { // want `type assertion on NotCoupledError; use errors.As`
+		return true
+	}
+	switch err.(type) {
+	case *NotCoupledError: // want `type switch case on NotCoupledError; use errors.As`
+		return true
+	case plainError: // non-struct error type: fine
+		return false
+	}
+	var nce *NotCoupledError
+	return errors.As(err, &nce) // the sanctioned form
+}
+
+func compareEscaped(a *NotCoupledError) bool {
+	return a == sentinel //lint:allow errcmp: identity against the package sentinel is intentional
+}

@@ -1,0 +1,158 @@
+// Package hotpath guards the simulator's per-amplitude kernels — the
+// code the sim-work regression gate and the BENCH wall-time backstop
+// watch. A function annotated
+//
+//	//qaoa:hotpath
+//
+// in its doc comment declares itself allocation- and dispatch-free; the
+// analyzer then rejects the constructs that historically crept in and
+// silently cost 2-10× on the fused kernels:
+//
+//   - defer — per-call overhead and a closure allocation in loops;
+//   - function literals — a heap allocation per evaluation once captured
+//     variables escape. Closures passed directly to parallelFor are the
+//     one sanctioned exception: that is the fan-out harness itself, one
+//     closure per kernel invocation, amortized over ≥ParallelThreshold
+//     amplitudes;
+//   - any call into package fmt — formatting allocates and walks
+//     reflection;
+//   - explicit conversions to an interface type, and calls whose final
+//     variadic parameter is ...interface{} — both box their operand.
+//
+// Escapes: //lint:allow hotpath on the offending line, for the rare case
+// where a kernel legitimately needs one of these off the per-amplitude
+// loop (say, a guarded cold error path).
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// directive is the annotation marking a function as a hot kernel.
+const directive = "//qaoa:hotpath"
+
+// Analyzer rejects allocation and dynamic dispatch in annotated kernels.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "functions annotated //qaoa:hotpath must not defer, allocate closures, call fmt, or box into interfaces",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hotpath function %s", name)
+		case *ast.FuncLit:
+			// Allowed only as a direct argument to parallelFor.
+			return true // reported (or not) at the enclosing CallExpr below
+		case *ast.CallExpr:
+			checkCall(pass, n, name)
+		}
+		return true
+	})
+	// Closures: a second pass so the parallelFor carve-out can look at the
+	// closure's call-argument position.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && isParallelFor(pass, call) {
+			// Descend into the closure body but skip reporting the literal
+			// itself.
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					checkNestedLits(pass, fl.Body, name)
+				}
+			}
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			pass.Reportf(fl.Pos(), "closure allocated in hotpath function %s (only parallelFor fan-out closures are exempt)", name)
+			return false
+		}
+		return true
+	})
+}
+
+// checkNestedLits reports closures nested inside an exempted parallelFor
+// closure body.
+func checkNestedLits(pass *analysis.Pass, body *ast.BlockStmt, name string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			pass.Reportf(fl.Pos(), "closure allocated in hotpath function %s (only parallelFor fan-out closures are exempt)", name)
+			return false
+		}
+		return true
+	})
+}
+
+func isParallelFor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Name() == "parallelFor"
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+			pass.Reportf(call.Pos(), "conversion to interface type %s in hotpath function %s", tv.Type, name)
+		}
+		return
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s call in hotpath function %s", fn.Name(), name)
+		return
+	}
+	// Variadic ...interface{} parameters box every argument.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Variadic() && len(call.Args) > 0 {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok {
+			if iface, ok := slice.Elem().Underlying().(*types.Interface); ok && iface.Empty() {
+				pass.Reportf(call.Pos(), "call to %s boxes arguments into ...interface{} in hotpath function %s", fn.Name(), name)
+			}
+		}
+	}
+}

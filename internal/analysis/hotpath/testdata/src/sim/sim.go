@@ -1,0 +1,56 @@
+// Package sim exercises the hotpath analyzer against a miniature of the
+// simulator's kernel layout.
+package sim
+
+import "fmt"
+
+// parallelFor is the fixture twin of the simulator's fan-out harness.
+func parallelFor(n int, f func(lo, hi int)) { f(0, n) }
+
+var amps = make([]float64, 1024)
+
+// kernel is a compliant hot kernel: the parallelFor closure is the one
+// sanctioned literal.
+//
+//qaoa:hotpath
+func kernel(scale float64) {
+	parallelFor(len(amps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			amps[i] *= scale
+		}
+	})
+}
+
+// slowKernel collects the rejected constructs.
+//
+//qaoa:hotpath
+func slowKernel(scale float64) {
+	defer fmt.Println("done")        // want `defer in hotpath function slowKernel` `fmt.Println call in hotpath function slowKernel`
+	f := func() { amps[0] *= scale } // want `closure allocated in hotpath function slowKernel`
+	f()
+	parallelFor(len(amps), func(lo, hi int) {
+		g := func(i int) { amps[i] *= scale } // want `closure allocated in hotpath function slowKernel`
+		for i := lo; i < hi; i++ {
+			g(i)
+		}
+	})
+	_ = interface{}(scale) // want `conversion to interface type interface\{\} in hotpath function slowKernel`
+	logv(scale)            // want `call to logv boxes arguments into \.\.\.interface\{\} in hotpath function slowKernel`
+}
+
+// coldPath is unannotated: the same constructs pass unflagged.
+func coldPath() {
+	defer fmt.Println("done")
+}
+
+// escapedKernel keeps one fmt call on a guarded cold path behind the
+// explicit escape.
+//
+//qaoa:hotpath
+func escapedKernel(bad bool) {
+	if bad {
+		fmt.Println("corrupt register") //lint:allow hotpath: guarded cold error path
+	}
+}
+
+func logv(args ...interface{}) {}

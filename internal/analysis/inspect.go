@@ -1,0 +1,35 @@
+package analysis
+
+import "go/ast"
+
+// WalkStack traverses every file of the pass in source order, calling f
+// with each node and the stack of its ancestors (outermost first, not
+// including the node itself). Returning false from f prunes the subtree.
+func WalkStack(files []*ast.File, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := f(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// EnclosingFuncDecl returns the innermost *ast.FuncDecl on the stack, or
+// nil when the node is not inside a function declaration (e.g. package
+// level var initializer).
+func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked analysis unit.
+type Package struct {
+	// Path is the import path with any test-variant suffix stripped
+	// ("repro/internal/sim [repro/internal/sim.test]" → "repro/internal/sim").
+	Path   string
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// listedPackage mirrors the fields of `go list -json` the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir with
+// `go list -export -deps -test` and type-checks every non-standard package
+// against the compiler's own export data. Test variants replace their base
+// package (so _test.go files are analyzed too); synthesized .test binaries
+// are skipped. Load requires the go command but no network: the module has
+// no external dependencies.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Export,Standard,ForTest,GoFiles,ImportMap"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		q := p
+		listed = append(listed, &q)
+	}
+
+	// Pick analysis units: module packages only, preferring the in-package
+	// test variant "P [P.test]" over plain P, keeping external test
+	// packages "P_test [P.test]", dropping .test binaries.
+	hasTestVariant := map[string]bool{}
+	for _, p := range listed {
+		if p.ForTest != "" && basePath(p.ImportPath) == p.ForTest {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+	var units []*listedPackage
+	for _, p := range listed {
+		switch {
+		case p.Standard, strings.HasSuffix(p.ImportPath, ".test"):
+			continue
+		case p.ForTest == "" && hasTestVariant[p.ImportPath]:
+			continue // superseded by its test variant
+		}
+		units = append(units, p)
+	}
+
+	var pkgs []*Package
+	for _, u := range units {
+		pkg, err := checkUnit(u.Dir, basePath(u.ImportPath), u.GoFiles, u.ImportMap, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// basePath strips the " [P.test]" suffix go list gives test variants.
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// checkUnit parses and type-checks one package against gc export data.
+// importMap translates source-level import paths to the keys of exports
+// (identity for normal builds, test-variant redirects under -test).
+func checkUnit(dir, path string, goFiles []string, importMap map[string]string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(ipath string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[ipath]; ok {
+			ipath = mapped
+		}
+		file, ok := exports[ipath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", ipath)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := NewInfo()
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Syntax: files, Types: tpkg, Info: info}, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

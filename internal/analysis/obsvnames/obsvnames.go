@@ -1,0 +1,114 @@
+// Package obsvnames is the static half of the metric-name registry gate.
+// Every counter, gauge and span name the pipeline records must be a
+// constant declared in internal/obsv (names.go): the registry keyed on
+// those constants drives the BENCH compare gate, the Prometheus endpoint
+// and the dashboards, so a string literal at a producer would silently
+// fork a metric. The runtime complement (obsv_names_test.go) still runs a
+// slim end-to-end pass; this analyzer catches the same drift at vet speed
+// on every file, including paths no test exercises.
+//
+// Flagged: any call to a recording or lookup method of obsv.Collector
+// (Add, Inc, Set, RecordSpan, StartSpan, Counter, Gauge) whose name
+// argument is not an identifier resolving to a constant declared in the
+// obsv package. The obsv package itself and _test.go files are exempt
+// (internal plumbing forwards names through variables; tests use scratch
+// collectors).
+package obsvnames
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// nameMethods are the Collector methods whose first argument is a metric
+// name.
+var nameMethods = map[string]bool{
+	"Add": true, "Inc": true, "Set": true,
+	"RecordSpan": true, "StartSpan": true,
+	"Counter": true, "Gauge": true,
+}
+
+// Analyzer enforces that metric names are registry constants.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsvnames",
+	Doc:  "metric names passed to obsv.Collector must be constants from internal/obsv/names.go",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if analysis.PkgNamed(pass.Pkg.Path(), "obsv") {
+		return nil, nil
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkCall(pass, call)
+		return true
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if pass.IsTestFile(call.Pos()) || len(call.Args) == 0 {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !nameMethods[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isObsvCollector(sig.Recv().Type()) {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if constFromObsv(pass, arg) {
+		return
+	}
+	pass.Reportf(call.Args[0].Pos(),
+		"metric name for Collector.%s must be a constant from internal/obsv/names.go, not %s",
+		fn.Name(), describeArg(pass, arg))
+}
+
+// isObsvCollector reports whether t is obsv.Collector or *obsv.Collector.
+func isObsvCollector(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Collector" && obj.Pkg() != nil && analysis.PkgNamed(obj.Pkg().Path(), "obsv")
+}
+
+// constFromObsv reports whether expr is an identifier or selector bound to
+// a constant declared in the obsv package.
+func constFromObsv(pass *analysis.Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && analysis.PkgNamed(c.Pkg().Path(), "obsv")
+}
+
+func describeArg(pass *analysis.Pass, arg ast.Expr) string {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		return "literal " + tv.Value.String()
+	}
+	return "a non-constant expression"
+}

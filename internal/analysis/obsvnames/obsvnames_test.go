@@ -1,0 +1,12 @@
+package obsvnames_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsvnames"
+)
+
+func TestObsvNames(t *testing.T) {
+	analysistest.Run(t, obsvnames.Analyzer, "app")
+}

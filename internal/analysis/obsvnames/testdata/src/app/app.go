@@ -1,0 +1,24 @@
+// Package app exercises the obsvnames analyzer against the fixture
+// registry package.
+package app
+
+import (
+	"time"
+
+	"obsv"
+)
+
+// localName is a constant, but not from the registry package.
+const localName = "app/rogue"
+
+func record(c *obsv.Collector) {
+	// Registry constants: fine.
+	c.Inc(obsv.CntCompilations)
+	c.RecordSpan(obsv.SpanCompile, time.Second)
+
+	c.Inc("compile/compilations") // want `metric name for Collector.Inc must be a constant from internal/obsv/names.go, not literal "compile/compilations"`
+	c.Add(localName, 1)           // want `metric name for Collector.Add must be a constant from internal/obsv/names.go, not literal "app/rogue"`
+	_ = c.Counter("app/" + "x")   // want `metric name for Collector.Counter must be a constant`
+
+	c.Inc("scratch/debug") //lint:allow obsvnames: throwaway metric in a debugging harness
+}

@@ -1,0 +1,19 @@
+// Package obsv is a fixture miniature of the real registry package: the
+// analyzer recognizes it by package name, exactly as it does the real one.
+package obsv
+
+import "time"
+
+// Registered metric names.
+const (
+	CntCompilations = "compile/compilations"
+	SpanCompile     = "compile/total"
+)
+
+// Collector is the fixture twin of obsv.Collector.
+type Collector struct{}
+
+func (c *Collector) Inc(name string)                         {}
+func (c *Collector) Add(name string, v float64)              {}
+func (c *Collector) Counter(name string) float64             { return 0 }
+func (c *Collector) RecordSpan(name string, d time.Duration) {}

@@ -139,7 +139,7 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 	if o.Trace.Enabled() {
 		o.Trace.Meta(traceMeta(spec, dev, o))
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism: measured pass span, stripped by the gates
 
 	o.Trace.BeginPass(StageMap)
 	var initial *router.Layout
@@ -152,7 +152,7 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 	if err != nil {
 		return nil, err
 	}
-	mapTime := time.Since(start)
+	mapTime := time.Since(start) //lint:allow determinism: measured pass span, stripped by the gates
 	o.Obs.RecordSpan(obsv.SpanCompileMap, mapTime)
 
 	switch o.Strategy {
@@ -178,7 +178,7 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 	}
 	res.Depth = res.Native.Depth()
 	res.GateCount = res.Native.GateCount()
-	res.CompileTime = time.Since(start)
+	res.CompileTime = time.Since(start) //lint:allow determinism: measured pass span, stripped by the gates
 	res.MapTime = mapTime
 	if o.Obs.Enabled() {
 		o.Obs.RecordSpan(obsv.SpanCompileOrder, res.OrderTime)
@@ -249,7 +249,7 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 		return nil, err
 	}
 	o.Trace.BeginPass(StageOrder)
-	orderStart := time.Now()
+	orderStart := time.Now() //lint:allow determinism: measured pass span, stripped by the gates
 	logical := circuit.New(spec.N)
 	for q := 0; q < spec.N; q++ {
 		logical.Append(circuit.NewH(q))
@@ -279,7 +279,7 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 	if o.Measure {
 		logical.MeasureAll()
 	}
-	orderTime := time.Since(orderStart)
+	orderTime := time.Since(orderStart) //lint:allow determinism: measured pass span, stripped by the gates
 	o.Trace.EndPass(StageOrder)
 
 	*stage = StageRoute
@@ -292,7 +292,7 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 	r.Obs = o.Obs
 	r.Trace = o.Trace
 	o.Trace.BeginPass(StageRoute)
-	routeStart := time.Now()
+	routeStart := time.Now() //lint:allow determinism: measured pass span, stripped by the gates
 	routed, err := r.RouteContext(ctx, logical, initial)
 	o.Trace.EndPass(StageRoute)
 	if err != nil {
@@ -304,7 +304,7 @@ func compileWhole(ctx context.Context, spec Spec, dev *device.Device, initial *r
 		Final:     routed.Final,
 		SwapCount: routed.SwapCount,
 		OrderTime: orderTime,
-		RouteTime: time.Since(routeStart),
+		RouteTime: time.Since(routeStart), //lint:allow determinism: measured pass span, stripped by the gates
 	}, nil
 }
 
@@ -343,26 +343,26 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 				return nil, err
 			}
 			o.Trace.BeginPass(StageOrder)
-			orderStart := time.Now()
+			orderStart := time.Now() //lint:allow determinism: measured pass span, stripped by the gates
 			layer, rest := nextIncrementalLayer(remaining, layout, dist, o)
 			// Route the single-layer partial circuit from the live layout.
 			partial := circuit.New(n)
 			for _, t := range layer {
 				partial.Append(circuit.NewCPhase(t.U, t.V, t.Theta))
 			}
-			orderTime += time.Since(orderStart)
+			orderTime += time.Since(orderStart) //lint:allow determinism: measured pass span, stripped by the gates
 			o.Trace.EndPass(StageOrder)
 			if o.Trace.Enabled() {
 				o.Trace.Layer(traceLayer(layerIdx, li, layer, rest, layout, dist))
 			}
 			o.Trace.BeginPass(StageRoute)
-			routeStart := time.Now()
+			routeStart := time.Now() //lint:allow determinism: measured pass span, stripped by the gates
 			routed, err := r.RouteContext(ctx, partial, layout)
 			if err != nil {
 				o.Trace.EndPass(StageRoute)
 				return nil, err
 			}
-			routeTime += time.Since(routeStart)
+			routeTime += time.Since(routeStart) //lint:allow determinism: measured pass span, stripped by the gates
 			o.Trace.EndPass(StageRoute)
 			stitch := o.Obs.StartSpan(obsv.SpanCompileStitch)
 			out.AppendCircuit(routed.Circuit)

@@ -30,7 +30,9 @@ func TestCNOTErrorPanicsWithTypedValue(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected panic")
 		}
-		if _, ok := r.(*NotCoupledError); !ok {
+		err, ok := r.(error)
+		var nce *NotCoupledError
+		if !ok || !errors.As(err, &nce) {
 			t.Fatalf("panic value %T, want *NotCoupledError", r)
 		}
 	}()

@@ -96,7 +96,9 @@ const instanceRetries = 2
 // independent of scheduling); per-preset sample order is by instance index,
 // keeping aggregates deterministic.
 func runPoint(w Workload, n int, param float64, dev *device.Device, presets []compile.Preset, instances int, seed int64, packing int) (map[compile.Preset]metrics.Aggregate, error) {
-	return runPointCtx(context.Background(), w, n, param, dev, presets, instances, seed, packing)
+	// The figure API (Fig7..Fig12) is deliberately deadline-free; this is
+	// its single detachment point. Deadline-aware callers use runPointCtx.
+	return runPointCtx(context.Background(), w, n, param, dev, presets, instances, seed, packing) //lint:allow ctxflow: boundary shim of the ctx-free figure API
 }
 
 // runPointCtx is runPoint with a deadline, and is resilient against faulty

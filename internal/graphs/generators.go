@@ -3,6 +3,7 @@ package graphs
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Named and structured graph constructors, used as additional QAOA
@@ -120,7 +121,15 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
 				chosen[w] = true
 			}
 		}
+		// Attach in sorted order: map iteration order would leak into the
+		// edge list and the stub pool (and through it into every later
+		// rng.Intn draw), making the graph differ run to run per seed.
+		picked := make([]int, 0, m)
 		for w := range chosen {
+			picked = append(picked, w)
+		}
+		sort.Ints(picked)
+		for _, w := range picked {
 			g.MustAddEdge(v, w)
 			stubs = append(stubs, v, w)
 		}

@@ -250,6 +250,8 @@ func (f *fuser) foldDiag(global complex128, t diagTerm, qs ...int) {
 }
 
 // termFac returns the term's factor for basis index x.
+//
+//qaoa:hotpath
 func termFac(t *diagTerm, x uint64) complex128 {
 	var sel int
 	if t.parity {
@@ -273,6 +275,8 @@ const diagSweepMin = 1 << 20
 // applyDiag multiplies every amplitude by the run's phase: the global
 // factor (1 after Fuse's finalize pass whenever terms exist) times each
 // term's mask-selected factor.
+//
+//qaoa:hotpath
 func (s *State) applyDiag(global complex128, terms []diagTerm) {
 	if len(terms) == 0 {
 		if global == 1 {
@@ -313,6 +317,8 @@ func (s *State) applyDiag(global complex128, terms []diagTerm) {
 
 // applyTerm1 applies a single-bit diagonal term: fac[0] on the bit-clear
 // half, fac[1] on the bit-set half.
+//
+//qaoa:hotpath
 func (s *State) applyTerm1(b int, f0, f1 complex128) {
 	bm := b - 1
 	if f0 == 1 {
@@ -335,6 +341,8 @@ func (s *State) applyTerm1(b int, f0, f1 complex128) {
 // applyTerm2 applies a two-bit diagonal term by quarter-state subsets:
 // parity terms put fac[1] on the two mixed-bit quarters, subset terms on
 // the both-set quarter.
+//
+//qaoa:hotpath
 func (s *State) applyTerm2(mask uint64, parity bool, f0, f1 complex128) {
 	lo := int(mask & -mask)
 	hi := int(mask) &^ lo
@@ -381,6 +389,8 @@ func (s *State) applyTerm2(mask uint64, parity bool, f0, f1 complex128) {
 // memory-bound state sizes: per amplitude the term factors accumulate into
 // four independent products so the complex multiplies pipeline instead of
 // forming one serial dependency chain.
+//
+//qaoa:hotpath
 func (s *State) diagSweep(global complex128, terms []diagTerm) {
 	parallelFor(len(s.Amp), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -403,6 +413,8 @@ func (s *State) diagSweep(global complex128, terms []diagTerm) {
 
 // apply executes the fused ops on s without touching the counters — the
 // building block shared by RunOn and the noisy-trajectory suffix replay.
+//
+//qaoa:hotpath
 func (p *Program) apply(s *State) {
 	for i := range p.ops {
 		op := &p.ops[i]

@@ -168,7 +168,7 @@ type Tracer struct {
 }
 
 // New returns an empty enabled tracer whose clock starts now.
-func New() *Tracer { return &Tracer{start: time.Now()} }
+func New() *Tracer { return &Tracer{start: time.Now()} } //lint:allow determinism: trace epoch; timestamps are stripped for deterministic comparison
 
 // Enabled reports whether the tracer records anything (i.e. is non-nil).
 func (t *Tracer) Enabled() bool { return t != nil }
@@ -180,7 +180,7 @@ func (t *Tracer) emit(e Event) {
 	}
 	t.mu.Lock()
 	e.Seq = len(t.events)
-	e.TimeUS = time.Since(t.start).Microseconds()
+	e.TimeUS = time.Since(t.start).Microseconds() //lint:allow determinism: event timestamp; stripped by StripTimes before comparison
 	t.events = append(t.events, e)
 	t.mu.Unlock()
 }
@@ -276,7 +276,7 @@ func (t *Tracer) Reset() {
 	}
 	t.mu.Lock()
 	t.events = nil
-	t.start = time.Now()
+	t.start = time.Now() //lint:allow determinism: trace epoch reset; timestamps are stripped for comparison
 	t.mu.Unlock()
 }
 
