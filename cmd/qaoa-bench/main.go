@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obsv"
@@ -53,7 +55,11 @@ func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64
 	if out == "" {
 		out = qaoac.DefaultBenchFilename(rev)
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the suite context: RunBenchSuite stops at the
+	// next record boundary and the metrics endpoint (if any) drains
+	// gracefully on the way out instead of dying mid-scrape.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -87,12 +93,17 @@ func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64
 		progress := func() qaoac.ObsProgress {
 			return qaoac.ObsProgress{Phase: "bench", Done: int(c.Counter(obsv.CntCompilations))}
 		}
-		ln, lerr := qaoac.ServeObservability(listen, c, progress)
+		obs, lerr := qaoac.ServeObservability(listen, c, progress)
 		if lerr != nil {
 			return lerr
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "qaoa-bench: serving metrics on http://%s/metrics\n", ln.Addr())
+		obs.SetReady(true, "")
+		defer func() {
+			dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			obs.Shutdown(dctx)
+		}()
+		fmt.Fprintf(os.Stderr, "qaoa-bench: serving metrics on http://%s/metrics\n", obs.Addr())
 	}
 
 	rep := qaoac.NewBenchReport("qaoa-bench", rev, nil)

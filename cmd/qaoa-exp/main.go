@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/qaoac"
@@ -59,13 +62,26 @@ func main() {
 		defer qaoac.SetObservability(nil)
 	}
 	if *listen != "" {
-		ln, err := qaoac.ServeObservability(*listen, col, readProgress)
+		obs, err := qaoac.ServeObservability(*listen, col, readProgress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
 			os.Exit(1)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "qaoa-exp: serving metrics on http://%s/metrics\n", ln.Addr())
+		// The endpoint boots not-ready; the sweep is about to start, so flip
+		// readiness now. On SIGINT/SIGTERM and on normal exit the server
+		// drains gracefully (readiness goes false first) so in-flight
+		// /metrics scrapes finish instead of being cut mid-body.
+		obs.SetReady(true, "")
+		defer drainObs(obs)
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigCh
+			fmt.Fprintf(os.Stderr, "qaoa-exp: %s: draining metrics endpoint\n", sig)
+			drainObs(obs)
+			os.Exit(1)
+		}()
+		fmt.Fprintf(os.Stderr, "qaoa-exp: serving metrics on http://%s/metrics\n", obs.Addr())
 	}
 	if err := run(*fig, *scale, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
@@ -79,6 +95,14 @@ func main() {
 		}
 		fmt.Printf("metrics written to %s (%d counters, %d spans)\n", *metrics, len(rep.Counters), len(rep.Spans))
 	}
+}
+
+// drainObs gracefully stops the observability endpoint, bounding the drain
+// so a stuck scraper cannot hold the process open.
+func drainObs(obs *qaoac.ObsServer) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	obs.Shutdown(ctx)
 }
 
 func scaleN(n int, s float64) int {

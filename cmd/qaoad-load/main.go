@@ -1,0 +1,340 @@
+// Command qaoad-load is the deterministic load generator for qaoad. It
+// drives three phases against a server — warm (fill the compiled-circuit
+// cache), cached (sustained throughput over the warm keys, measuring p50/
+// p99 latency and req/s), and overload (a deliberate burst of distinct
+// uncached compiles that must shed cleanly with 429s, never 5xx) — and
+// writes a schema-versioned BENCH record of the results.
+//
+// The workload is a pure function of -seed: the same circuits in the same
+// order every run. Shed accounting is verified exactly: the client-observed
+// 429 count must equal the server's serve/shed counter delta over the
+// overload phase, proving no response path is double- or under-counted.
+//
+// By default it boots an in-process qaoad server on a loopback port;
+// -addr points it at an externally running daemon instead.
+//
+// Usage:
+//
+//	qaoad-load -metrics-out BENCH_serve.json -min-throughput 500
+//	qaoad-load -addr 127.0.0.1:8080
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/obsv"
+	"repro/internal/serve"
+	"repro/qaoac"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "address of a running qaoad (default: boot an in-process server)")
+		devName   = flag.String("device", "tokyo", "registered device the workload compiles against")
+		warmN     = flag.Int("warm", 24, "distinct circuits compiled during the warm phase (the cached working set)")
+		requests  = flag.Int("requests", 4000, "total requests of the cached phase")
+		clients   = flag.Int("clients", 16, "concurrent clients of the cached phase")
+		overN     = flag.Int("overload", 192, "distinct uncached circuits of the overload burst")
+		overCli   = flag.Int("overload-clients", 48, "concurrent clients of the overload burst")
+		seed      = flag.Int64("seed", 7, "workload seed: circuits and schedules are a pure function of it")
+		minRPS    = flag.Float64("min-throughput", 0, "fail unless the cached phase sustains at least this many req/s (0 = no gate)")
+		minShed   = flag.Int("min-shed", 0, "fail unless the overload phase sheds at least this many requests (0 = no gate)")
+		injectLat = flag.Duration("inject-latency", 0, "in-process server: inject this much latency into every compile pass (makes overload shedding reproducible on small machines)")
+		workers   = flag.Int("workers", 4, "in-process server: maximum concurrent compile flights")
+		queue     = flag.Int("queue", 0, "in-process server: admission queue bound (default 4×workers)")
+		out       = flag.String("metrics-out", "", "write the BENCH_*.json record to this path")
+		rev       = flag.String("rev", "", "revision stamped into the record (default $GITHUB_SHA, then \"dev\")")
+	)
+	flag.Parse()
+	if err := run(*addr, *devName, *warmN, *requests, *clients, *overN, *overCli, *seed, *minRPS,
+		*minShed, *injectLat, *workers, *queue, *out, *rev); err != nil {
+		fmt.Fprintln(os.Stderr, "qaoad-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, devName string, warmN, requests, clients, overN, overCli int, seed int64, minRPS float64,
+	minShed int, injectLat time.Duration, workers, queue int, out, rev string) error {
+	col := obsv.New()
+	if addr == "" {
+		// The optional injected pass latency models real-hardware compile
+		// times on machines too small for CPU-bound compiles to overlap
+		// (sleeps yield the CPU, so concurrent requests genuinely pile up
+		// at admission and the overload phase sheds reproducibly).
+		var hook compile.Hook
+		if injectLat > 0 {
+			hook = func(string) error { time.Sleep(injectLat); return nil }
+		}
+		srv := serve.New(serve.Config{Workers: workers, Queue: queue, Obs: col, Hook: hook})
+		srv.MarkReady()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := serve.NewHTTPServer(srv.Handler())
+		go hs.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Drain(ctx)
+			hs.Shutdown(ctx)
+			srv.Close()
+		}()
+		addr = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "qaoad-load: in-process server on %s (workers=%d)\n", addr, workers)
+	}
+	base := "http://" + addr
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * (clients + overCli),
+		MaxIdleConnsPerHost: 2 * (clients + overCli),
+	}}
+
+	rng := rand.New(rand.NewSource(seed))
+	// Warm working set: small p=1 IC circuits (the cached-throughput
+	// subject). Overload burst: large p=12 VIC circuits — slow enough that
+	// the worker pool and queue demonstrably fill and the rest shed.
+	warm := genCircuits(rng, warmN, devName, "IC", 6, 14, 1)
+	over := genCircuits(rng, overN, devName, "VIC", 16, 20, 12)
+
+	// Phase 1: warm. Every circuit compiles once; the cache now holds the
+	// working set the cached phase replays.
+	for i, body := range warm {
+		st, _, err := post(client, base, body)
+		if err != nil {
+			return fmt.Errorf("warm %d: %w", i, err)
+		}
+		if st != http.StatusOK {
+			return fmt.Errorf("warm %d: status %d", i, st)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "qaoad-load: warm done (%d circuits)\n", warmN)
+
+	// Phase 2: cached throughput. Each client replays the warm working set
+	// round-robin from its own offset; every response must be a cache hit.
+	var (
+		mu        sync.Mutex
+		latencies = make([]float64, 0, requests)
+		bad       int
+		firstErr  error
+	)
+	perClient := requests / clients
+	startCached := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				body := warm[(c+i)%len(warm)]
+				t0 := time.Now()
+				st, _, err := post(client, base, body)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil || st != http.StatusOK {
+					bad++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cached client %d req %d: status %d err %v", c, i, st, err)
+					}
+				} else {
+					latencies = append(latencies, float64(d.Microseconds())/1000.0)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	cachedWall := time.Since(startCached)
+	if bad > 0 {
+		return fmt.Errorf("cached phase: %d bad responses (first: %v)", bad, firstErr)
+	}
+	sort.Float64s(latencies)
+	rps := float64(len(latencies)) / cachedWall.Seconds()
+	p50, p99 := pct(latencies, 0.50), pct(latencies, 0.99)
+	fmt.Printf("cached:   %d req in %s = %.0f req/s, p50 %.2fms p99 %.2fms\n",
+		len(latencies), cachedWall.Round(time.Millisecond), rps, p50, p99)
+
+	// Phase 3: overload. Distinct uncached compiles driven closed-loop:
+	// overload-clients workers each march through their slice of the burst
+	// back-to-back, so in-flight pressure stays above the server's
+	// workers+queue capacity for the whole phase regardless of connection-
+	// setup stagger. The well-behaved outcomes are 200 (admitted) and 429
+	// (shed); anything 5xx is a robustness bug.
+	shedBefore, err := scrapeCounter(client, base, "qaoa_serve_shed_total")
+	if err != nil {
+		return err
+	}
+	var ok200, shed429, http5xx, other int
+	start := make(chan struct{})
+	startOver := time.Now()
+	for c := 0; c < overCli; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := c; i < len(over); i += overCli {
+				st, _, err := post(client, base, over[i])
+				mu.Lock()
+				switch {
+				case err != nil:
+					other++
+				case st == http.StatusOK:
+					ok200++
+				case st == http.StatusTooManyRequests:
+					shed429++
+				case st >= 500:
+					http5xx++
+				default:
+					other++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	overWall := time.Since(startOver)
+	shedAfter, err := scrapeCounter(client, base, "qaoa_serve_shed_total")
+	if err != nil {
+		return err
+	}
+	serverShed := shedAfter - shedBefore
+	fmt.Printf("overload: %d req in %s: %d ok, %d shed (429), %d 5xx, %d other; server shed delta %d\n",
+		overN, overWall.Round(time.Millisecond), ok200, shed429, http5xx, other, serverShed)
+
+	if out != "" {
+		// In-process runs fold the server's own counters (shed, cache hits,
+		// singleflight shares) into the record; against a remote server the
+		// collector is empty and /metrics is the source of truth.
+		rep := obsv.NewReport("qaoad-load", qaoac.RevisionFromEnv(rev), col)
+		rep.Benchmarks = []obsv.Benchmark{
+			{Name: "serve/cached", Instances: len(latencies), ReqPerSec: rps, P50MS: p50, P99MS: p99},
+			{Name: "serve/overload", Instances: overN, ReqPerSec: float64(overN) / overWall.Seconds(),
+				Shed: int64(shed429), HTTP5xx: int64(http5xx)},
+		}
+		if err := rep.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+
+	// Gates, strictest last so every number above is always printed.
+	if http5xx > 0 || other > 0 {
+		return fmt.Errorf("overload phase returned %d 5xx and %d other failures; want only 200/429", http5xx, other)
+	}
+	if int64(shed429) != serverShed {
+		return fmt.Errorf("shed accounting mismatch: clients saw %d 429s, server counted %d", shed429, serverShed)
+	}
+	if minRPS > 0 && rps < minRPS {
+		return fmt.Errorf("cached throughput %.0f req/s below the -min-throughput gate %.0f", rps, minRPS)
+	}
+	if minShed > 0 && shed429 < minShed {
+		return fmt.Errorf("overload phase shed %d requests, below the -min-shed gate %d", shed429, minShed)
+	}
+	return nil
+}
+
+// genCircuits produces count deterministic compile-request bodies: random
+// ring-plus-chords MaxCut instances of nmin..nmax nodes at p levels. Every
+// document is a pure function of the rng stream.
+func genCircuits(rng *rand.Rand, count int, devName, policy string, nmin, nmax, p int) [][]byte {
+	docs := make([][]byte, count)
+	for i := range docs {
+		n := nmin + rng.Intn(nmax-nmin+1)
+		seen := make(map[[2]int]bool)
+		var edges [][2]int
+		for v := 0; v < n; v++ {
+			e := [2]int{v, (v + 1) % n}
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		for c := 0; c < n/2; c++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+		req := serve.CompileRequest{
+			DeviceName: devName,
+			Circuit:    serve.CircuitDoc{N: n, Edges: edges},
+			Config:     serve.ConfigDoc{Policy: policy, P: p, Seed: int64(i + 1), DeadlineMS: 60000},
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			panic(err) // a struct we just built cannot fail to marshal
+		}
+		docs[i] = body
+	}
+	return docs
+}
+
+func post(client *http.Client, base string, body []byte) (status int, resp []byte, err error) {
+	r, err := client.Post(base+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	return r.StatusCode, data, err
+}
+
+// pct returns the q-th percentile of sorted (nearest-rank).
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeCounter reads one counter from the Prometheus text endpoint.
+// Missing counters read 0 (obsv only emits counters that were recorded).
+func scrapeCounter(client *http.Client, base, name string) (int64, error) {
+	r, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, fmt.Errorf("scraping metrics: %w", err)
+	}
+	defer r.Body.Close()
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, name)), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parsing %s: %w", line, err)
+		}
+		return v, nil
+	}
+	return 0, sc.Err()
+}

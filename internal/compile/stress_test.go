@@ -1,0 +1,211 @@
+// Combined-stress coverage for CompileResilient: injected pass faults and
+// panics crossed with near-expired deadlines and seeded device degradation.
+// The contract under test is all-or-nothing: every call returns either a
+// typed error or a fully valid routed circuit — never a partial result,
+// never a panic escaping, never a circuit that violates the device.
+//
+// This lives in package compile_test (not compile) because faultinject
+// imports compile; the external test package breaks the cycle.
+package compile_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/faultinject"
+	"repro/internal/graphs"
+	"repro/internal/qaoa"
+)
+
+// stressProblem builds a seeded 3-regular MaxCut instance.
+func stressProblem(t *testing.T, n int, seed int64) *qaoa.Problem {
+	t.Helper()
+	g := graphs.MustRandomRegular(n, 3, rand.New(rand.NewSource(seed)))
+	p, err := qaoa.NewMaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// stressDevices returns the device axis: healthy, calibrated, and two
+// seeded faultinject degradations (dead qubits, dropped couplers, calib
+// drift). Degradation is deterministic per seed, so failures reproduce.
+func stressDevices(t *testing.T) map[string]*device.Device {
+	t.Helper()
+	degTokyo, _, err := faultinject.Spec{Seed: 11, DeadQubits: 2, DropEdgeFrac: 0.15}.Apply(device.Tokyo20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	degMelb, _, err := faultinject.Spec{Seed: 13, DeadQubits: 2, DropEdgeFrac: 0.1, DriftSigma: 0.2}.Apply(device.Melbourne15())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*device.Device{
+		"tokyo":              device.Tokyo20(),
+		"melbourne":          device.Melbourne15(),
+		"tokyo-degraded":     degTokyo,
+		"melbourne-degraded": degMelb,
+	}
+}
+
+// checkAllOrNothing is the single invariant: err XOR fully valid result.
+func checkAllOrNothing(t *testing.T, dev *device.Device, res *compile.Result, err error) {
+	t.Helper()
+	if err != nil {
+		if res != nil {
+			t.Fatalf("error AND result returned together: err=%v", err)
+		}
+		// The error must be one of the typed failures this stack produces.
+		var (
+			pe *compile.PanicError
+			le *compile.LadderError
+			ie *compile.InsufficientQubitsError
+		)
+		switch {
+		case errors.Is(err, faultinject.ErrInjected),
+			errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, context.Canceled),
+			errors.As(err, &pe),
+			errors.As(err, &le),
+			errors.As(err, &ie):
+		default:
+			t.Fatalf("untyped error escaped: %T %v", err, err)
+		}
+		return
+	}
+	if res == nil {
+		t.Fatal("nil error and nil result")
+	}
+	if res.Circuit == nil {
+		t.Fatal("success with nil circuit")
+	}
+	if verr := dev.VerifyCompliant(res.Circuit); verr != nil {
+		t.Fatalf("success with non-compliant circuit: %v", verr)
+	}
+	if res.Depth <= 0 || res.GateCount <= 0 {
+		t.Fatalf("success with empty accounting: depth=%d gates=%d", res.Depth, res.GateCount)
+	}
+	if res.Initial == nil || res.Final == nil {
+		t.Fatal("success without layouts")
+	}
+	if res.Fallback == nil {
+		t.Fatal("resilient success without FallbackInfo")
+	}
+	if res.Fallback.Degraded && res.Fallback.Reason == "" {
+		t.Fatalf("degraded without a reason: %+v", res.Fallback)
+	}
+}
+
+func TestCompileResilientCombinedStress(t *testing.T) {
+	devices := stressDevices(t)
+	params := qaoa.Params{Gamma: []float64{0.5}, Beta: []float64{0.2}}
+
+	faultAxis := []struct {
+		name  string
+		make  func() *faultinject.PassFaults
+	}{
+		{"clean", func() *faultinject.PassFaults { return &faultinject.PassFaults{} }},
+		{"errors", func() *faultinject.PassFaults { return &faultinject.PassFaults{ErrorEvery: 3} }},
+		{"panics", func() *faultinject.PassFaults { return &faultinject.PassFaults{PanicEvery: 4} }},
+		{"storm", func() *faultinject.PassFaults {
+			return &faultinject.PassFaults{ErrorEvery: 5, PanicEvery: 7, Latency: 200 * time.Microsecond}
+		}},
+	}
+	deadlineAxis := []struct {
+		name string
+		d    time.Duration // 0 = none, -1 = pre-expired
+	}{
+		{"no-deadline", 0},
+		{"near-expired", 2 * time.Millisecond},
+		{"expired", -1},
+	}
+
+	// Fixed iteration order: the per-subtest seed depends on position, and
+	// randomized map order would make failures non-reproducible.
+	devOrder := []string{"tokyo", "melbourne", "tokyo-degraded", "melbourne-degraded"}
+	seed := int64(0)
+	for _, devName := range devOrder {
+		dev := devices[devName]
+		for _, fc := range faultAxis {
+			for _, dc := range deadlineAxis {
+				for _, preset := range compile.Presets {
+					seed++
+					name := devName + "/" + fc.name + "/" + dc.name + "/" + preset.String()
+					localSeed := seed
+					t.Run(name, func(t *testing.T) {
+						prob := stressProblem(t, 8, localSeed)
+						ctx := context.Background()
+						switch {
+						case dc.d > 0:
+							var cancel context.CancelFunc
+							ctx, cancel = context.WithTimeout(ctx, dc.d)
+							defer cancel()
+						case dc.d < 0:
+							var cancel context.CancelFunc
+							ctx, cancel = context.WithTimeout(ctx, time.Nanosecond)
+							defer cancel()
+							<-ctx.Done()
+						}
+						faults := fc.make()
+						res, err := compile.CompileResilient(ctx, prob, params, dev, preset,
+							compile.FallbackOptions{
+								Seed:    localSeed,
+								Retries: 1,
+								Backoff: 100 * time.Microsecond,
+								Hook:    faults.Hook(),
+							})
+						checkAllOrNothing(t, dev, res, err)
+						if dc.d < 0 && err == nil {
+							t.Fatal("compile succeeded on a pre-expired context")
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCompileResilientStressDeterminism re-runs a faulty configuration and
+// demands bit-identical outcomes: same error chain or same circuit text.
+// Fault injection is call-counted, so a fresh PassFaults per run replays
+// the identical fault schedule.
+func TestCompileResilientStressDeterminism(t *testing.T) {
+	devices := stressDevices(t)
+	params := qaoa.Params{Gamma: []float64{0.5}, Beta: []float64{0.2}}
+	for _, devName := range []string{"tokyo", "melbourne-degraded"} {
+		dev := devices[devName]
+		for run := 0; run < 2; run++ {
+			var firstErr, secondErr string
+			var firstCirc, secondCirc string
+			for i := 0; i < 2; i++ {
+				prob := stressProblem(t, 10, 42)
+				faults := &faultinject.PassFaults{ErrorEvery: 4}
+				res, err := compile.CompileResilient(context.Background(), prob, params, dev,
+					compile.PresetVIC, compile.FallbackOptions{
+						Seed: 42, Retries: 1, Backoff: time.Microsecond, Hook: faults.Hook(),
+					})
+				errText, circText := "", ""
+				if err != nil {
+					errText = err.Error()
+				} else {
+					circText = res.Circuit.String()
+				}
+				if i == 0 {
+					firstErr, firstCirc = errText, circText
+				} else {
+					secondErr, secondCirc = errText, circText
+				}
+			}
+			if firstErr != secondErr || firstCirc != secondCirc {
+				t.Fatalf("%s: non-deterministic under identical fault schedule:\nerr %q vs %q",
+					devName, firstErr, secondErr)
+			}
+		}
+	}
+}

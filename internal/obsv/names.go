@@ -21,6 +21,8 @@ const (
 	SpanLoopExpectation = "loop/expectation"
 	SpanSimIdealRun     = "sim/ideal_run"
 	SpanSimSampleNoisy  = "sim/sample_noisy"
+	SpanServeRequest    = "serve/request"
+	SpanServeCompile    = "serve/compile_flight"
 )
 
 // Counter names (monotonic).
@@ -60,6 +62,32 @@ const (
 	CntSimCheckpoints      = "sim/checkpoints"
 	CntSimCutTableBuilds   = "sim/cut_table_builds"
 	CntTraceEvents         = "trace/events"
+
+	// qaoad compile-service counters (internal/serve).
+	CntServeRequests           = "serve/requests"
+	CntServeOK                 = "serve/ok"
+	CntServeErrors             = "serve/errors"
+	CntServeBadRequests        = "serve/bad_requests"
+	CntServeShed               = "serve/shed"
+	CntServeDeadlineExceeded   = "serve/deadline_exceeded"
+	CntServeClientGone         = "serve/client_gone"
+	CntServeCacheHits          = "serve/cache_hits"
+	CntServeCacheMisses        = "serve/cache_misses"
+	CntServeCacheEvictions     = "serve/cache_evictions"
+	CntServeCacheInvalidations = "serve/cache_invalidations"
+	CntServeSingleflightShared = "serve/singleflight_shared"
+	CntServeCompiles           = "serve/compiles"
+	CntServeBreakerOpens       = "serve/breaker_opens"
+	CntServeBreakerRejected    = "serve/breaker_rejected"
+	CntServeBreakerRerouted    = "serve/breaker_rerouted"
+	CntServeBreakerProbes      = "serve/breaker_probes"
+	CntServeCalibReloads       = "serve/calib_reloads"
+)
+
+// Gauge names (point-in-time values; never wall-clock readings).
+const (
+	GaugeServeInflight   = "serve/inflight"
+	GaugeServeQueueDepth = "serve/queue_depth"
 )
 
 // NameKind classifies a registered metric name.
@@ -132,6 +160,31 @@ var registry = map[string]NameKind{
 	CntSimCheckpoints:      KindCounter,
 	CntSimCutTableBuilds:   KindCounter,
 	CntTraceEvents:         KindCounter,
+
+	SpanServeRequest: KindSpan,
+	SpanServeCompile: KindSpan,
+
+	CntServeRequests:           KindCounter,
+	CntServeOK:                 KindCounter,
+	CntServeErrors:             KindCounter,
+	CntServeBadRequests:        KindCounter,
+	CntServeShed:               KindCounter,
+	CntServeDeadlineExceeded:   KindCounter,
+	CntServeClientGone:         KindCounter,
+	CntServeCacheHits:          KindCounter,
+	CntServeCacheMisses:        KindCounter,
+	CntServeCacheEvictions:     KindCounter,
+	CntServeCacheInvalidations: KindCounter,
+	CntServeSingleflightShared: KindCounter,
+	CntServeCompiles:           KindCounter,
+	CntServeBreakerOpens:       KindCounter,
+	CntServeBreakerRejected:    KindCounter,
+	CntServeBreakerRerouted:    KindCounter,
+	CntServeBreakerProbes:      KindCounter,
+	CntServeCalibReloads:       KindCounter,
+
+	GaugeServeInflight:   KindGauge,
+	GaugeServeQueueDepth: KindGauge,
 }
 
 // NameRegistered reports whether name is a known metric name.

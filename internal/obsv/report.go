@@ -54,6 +54,20 @@ type Benchmark struct {
 	// SuccessProb is the estimated circuit success probability on the
 	// calibrated device; 0 when not measured.
 	SuccessProb float64 `json:"success_prob,omitempty"`
+
+	// Service-load fields, set only by qaoad-load records. All omitempty,
+	// so their addition needs no schema bump (older readers ignore them,
+	// older reports simply lack them).
+	//
+	// ReqPerSec is the sustained request throughput of the measured phase;
+	// P50MS/P99MS are client-observed latency percentiles in milliseconds.
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+	P50MS     float64 `json:"p50_ms,omitempty"`
+	P99MS     float64 `json:"p99_ms,omitempty"`
+	// Shed counts 429 load-shed responses, HTTP5xx the server-fault
+	// responses, observed by the client during the phase.
+	Shed    int64 `json:"shed,omitempty"`
+	HTTP5xx int64 `json:"http_5xx,omitempty"`
 }
 
 // Report is the stable machine-readable metrics artifact. It combines the

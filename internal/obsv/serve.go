@@ -27,10 +27,20 @@ type Progress struct {
 // concurrent calls; nil means no progress is reported.
 type ProgressFunc func() Progress
 
+// ReadyFunc reports whether the process is ready to take traffic, with a
+// human-readable reason when it is not (e.g. "warming up", "draining"). It
+// must be safe for concurrent calls; nil means always ready. Liveness
+// (/healthz) and readiness (/readyz) are deliberately distinct probes: a
+// draining or warming server is alive but must not receive new work, so
+// orchestrators restart on failed liveness and only unroute on failed
+// readiness.
+type ReadyFunc func() (bool, string)
+
 // Handler serves the live state of one Collector over HTTP:
 //
 //	/metrics      Prometheus text exposition of counters, gauges and spans
-//	/healthz      JSON liveness + sweep progress
+//	/healthz      JSON liveness + sweep progress (200 while the process runs)
+//	/readyz       JSON readiness (503 while warming up or draining)
 //	/debug/pprof  the standard runtime profiles
 //
 // Build one with NewHandler and mount it on any server, or use Serve for the
@@ -38,16 +48,19 @@ type ProgressFunc func() Progress
 type Handler struct {
 	col      *Collector
 	progress ProgressFunc
+	ready    ReadyFunc
 	start    time.Time
 	mux      *http.ServeMux
 }
 
 // NewHandler builds a Handler over col (nil col serves empty metrics — the
 // endpoint stays useful as a liveness probe even with observability off).
-func NewHandler(col *Collector, progress ProgressFunc) *Handler {
-	h := &Handler{col: col, progress: progress, start: time.Now(), mux: http.NewServeMux()}
+// ready gates /readyz; nil reports always ready.
+func NewHandler(col *Collector, progress ProgressFunc, ready ReadyFunc) *Handler {
+	h := &Handler{col: col, progress: progress, ready: ready, start: time.Now(), mux: http.NewServeMux()}
 	h.mux.HandleFunc("/metrics", h.metrics)
 	h.mux.HandleFunc("/healthz", h.healthz)
+	h.mux.HandleFunc("/readyz", h.readyz)
 	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -55,6 +68,10 @@ func NewHandler(col *Collector, progress ProgressFunc) *Handler {
 	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return h
 }
+
+// Mux exposes the underlying mux so servers can mount additional routes
+// next to the standard observability endpoints.
+func (h *Handler) Mux() *http.ServeMux { return h.mux }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -80,6 +97,26 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(resp)
 }
 
+func (h *Handler) readyz(w http.ResponseWriter, _ *http.Request) {
+	ok, reason := true, ""
+	if h.ready != nil {
+		ok, reason = h.ready()
+	}
+	resp := struct {
+		Status string `json:"status"`
+		Reason string `json:"reason,omitempty"`
+	}{Status: "ready"}
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		resp.Status = "not ready"
+		resp.Reason = reason
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
 // Serve starts an HTTP server for the handler on addr (":0" picks a free
 // port) and returns the listener, whose Addr reveals the bound port. The
 // server runs until the listener is closed; serving errors after that are
@@ -90,7 +127,13 @@ func (h *Handler) Serve(addr string) (net.Listener, error) {
 		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
 	}
 	go func() {
-		srv := &http.Server{Handler: h}
+		// Hardened against slow or abandoned clients; see internal/serve
+		// for the full rationale.
+		srv := &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		srv.Serve(ln) // returns on ln.Close; nothing useful to do with the error
 	}()
 	return ln, nil

@@ -18,7 +18,7 @@ func TestMetricsEndpointExposesCollector(t *testing.T) {
 	c.Set("fig7/ratio", 0.8)
 	c.RecordSpan(SpanCompileMap, 3*time.Millisecond)
 
-	h := NewHandler(c, nil)
+	h := NewHandler(c, nil, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -57,7 +57,7 @@ func TestMetricsEndpointExposesCollector(t *testing.T) {
 }
 
 func TestMetricsEndpointNilCollector(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(nil, nil))
+	srv := httptest.NewServer(NewHandler(nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -71,7 +71,7 @@ func TestMetricsEndpointNilCollector(t *testing.T) {
 
 func TestHealthzReportsProgress(t *testing.T) {
 	progress := func() Progress { return Progress{Phase: "fig7", Done: 3, Total: 10} }
-	srv := httptest.NewServer(NewHandler(New(), progress))
+	srv := httptest.NewServer(NewHandler(New(), progress, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -95,7 +95,7 @@ func TestHealthzReportsProgress(t *testing.T) {
 }
 
 func TestPprofIndexServed(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(nil, nil))
+	srv := httptest.NewServer(NewHandler(nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/debug/pprof/")
 	if err != nil {
@@ -110,7 +110,7 @@ func TestPprofIndexServed(t *testing.T) {
 func TestServeBindsAndServes(t *testing.T) {
 	c := New()
 	c.Inc(CntCompilations)
-	ln, err := NewHandler(c, nil).Serve("127.0.0.1:0")
+	ln, err := NewHandler(c, nil, nil).Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/obsv"
+)
+
+// errShed is returned by admission.acquire when both the worker pool and
+// the bounded wait queue are full — the load-shedding signal that becomes
+// a 429 with Retry-After. Shedding at admission keeps the tail of the
+// latency distribution bounded: past the queue there is no place where a
+// request can wait invisibly.
+var errShed = errors.New("serve: admission queue full")
+
+// admission is a bounded work queue: at most workers compiles run
+// concurrently and at most queue flights wait for a slot; anything beyond
+// that is shed immediately. Only flight leaders pass through admission —
+// singleflight waiters of an admitted flight cost nothing.
+type admission struct {
+	sem chan struct{}
+
+	mu      sync.Mutex
+	waiting int
+	queue   int
+
+	obs *obsv.Collector
+}
+
+func newAdmission(workers, queue int, obs *obsv.Collector) *admission {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{sem: make(chan struct{}, workers), queue: queue, obs: obs}
+}
+
+// acquire obtains a worker slot, waiting in the bounded queue when all
+// slots are busy. It returns a release func on success; errShed when the
+// queue is full; or ctx.Err() when the caller's context ends first.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.sem <- struct{}{}:
+		a.obs.Set(obsv.GaugeServeInflight, float64(len(a.sem)))
+		return a.release, nil
+	default:
+	}
+	a.mu.Lock()
+	if a.waiting >= a.queue {
+		a.mu.Unlock()
+		return nil, errShed
+	}
+	a.waiting++
+	a.obs.Set(obsv.GaugeServeQueueDepth, float64(a.waiting))
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.obs.Set(obsv.GaugeServeQueueDepth, float64(a.waiting))
+		a.mu.Unlock()
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		a.obs.Set(obsv.GaugeServeInflight, float64(len(a.sem)))
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.sem
+	a.obs.Set(obsv.GaugeServeInflight, float64(len(a.sem)))
+}
+
+// queueDepth reports how many flights are waiting for a worker slot.
+func (a *admission) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+// retryAfterSeconds estimates when capacity frees up: one queue drain
+// period per full queue, at least one second. Deterministic given the
+// queue state, so shed accounting and client backoff reproduce in tests.
+func (a *admission) retryAfterSeconds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	workers := cap(a.sem)
+	if workers == 0 {
+		return 1
+	}
+	s := (a.waiting + workers - 1) / workers
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

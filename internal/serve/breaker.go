@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/obsv"
+)
+
+// BreakerConfig tunes the per-preset circuit breakers.
+type BreakerConfig struct {
+	// Window is the rolling failure-rate observation window (default 10s).
+	Window time.Duration
+	// MinRequests is the minimum number of outcomes inside the window
+	// before the failure rate is trusted (default 8).
+	MinRequests int
+	// FailureRate opens the breaker when at least this fraction of the
+	// window's outcomes failed (default 0.5).
+	FailureRate float64
+	// Cooldown is how long an open breaker rejects before moving to
+	// half-open (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many trial requests a half-open breaker admits
+	// before deciding (default 2).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 8
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one preset's circuit breaker. Closed: outcomes accumulate in
+// a fixed observation window; when the window holds enough outcomes and
+// the failure rate crosses the threshold the breaker opens. Open: every
+// request is refused until the cooldown elapses, then the breaker turns
+// half-open. Half-open: a bounded number of probes run; the first success
+// closes the breaker, any failure re-opens it for another cooldown.
+//
+// The wall clock is injected (now) so state transitions are exactly
+// testable; the production server passes time.Now.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       breakerState
+	windowStart time.Time
+	succ, fail  int
+	openedAt    time.Time
+	probes      int // probes admitted in the current half-open period
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// allow reports whether a request may run under this breaker right now.
+// probe is true when the admission is a half-open trial.
+func (b *breaker) allow() (admitted, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probes = 0
+		fallthrough
+	case breakerHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false, false
+		}
+		b.probes++
+		return true, true
+	}
+	return true, false
+}
+
+// record folds one outcome into the breaker and returns true when the
+// outcome tripped it open (for the serve/breaker_opens counter).
+func (b *breaker) record(success bool) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case breakerHalfOpen:
+		if success {
+			b.state = breakerClosed
+			b.succ, b.fail = 0, 0
+			b.windowStart = now
+			return false
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerOpen:
+		// Late outcome of a request admitted before the trip; ignore.
+		return false
+	}
+	// Closed: rotate the window, then count.
+	if b.windowStart.IsZero() || now.Sub(b.windowStart) > b.cfg.Window {
+		b.windowStart = now
+		b.succ, b.fail = 0, 0
+	}
+	if success {
+		b.succ++
+		return false
+	}
+	b.fail++
+	total := b.succ + b.fail
+	if total >= b.cfg.MinRequests && float64(b.fail) >= b.cfg.FailureRate*float64(total) {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// snapshot returns the current state for the /v1/status endpoint.
+func (b *breaker) snapshot() (state string, succ, fail int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.succ, b.fail
+}
+
+// breakerSet holds one breaker per compilation preset.
+type breakerSet struct {
+	byPreset map[compile.Preset]*breaker
+	obs      *obsv.Collector
+}
+
+func newBreakerSet(cfg BreakerConfig, now func() time.Time, obs *obsv.Collector) *breakerSet {
+	s := &breakerSet{byPreset: make(map[compile.Preset]*breaker, len(compile.Presets)), obs: obs}
+	for _, p := range compile.Presets {
+		s.byPreset[p] = newBreaker(cfg, now)
+	}
+	return s
+}
+
+// route returns the first rung of the preset's degradation ladder whose
+// breaker admits traffic. ok is false when every rung is open — the
+// whole-service 503. rerouted is true when the chosen rung is below the
+// requested preset.
+func (s *breakerSet) route(requested compile.Preset) (start compile.Preset, rerouted, ok bool) {
+	for _, p := range compile.Ladder(requested) {
+		admitted, probe := s.byPreset[p].allow()
+		if !admitted {
+			continue
+		}
+		if probe {
+			s.obs.Inc(obsv.CntServeBreakerProbes)
+		}
+		if p != requested {
+			s.obs.Inc(obsv.CntServeBreakerRerouted)
+		}
+		return p, p != requested, true
+	}
+	return 0, false, false
+}
+
+// observe folds a finished compilation into the breakers: every failed
+// attempt counts against its preset, the effective preset of a successful
+// result counts for it.
+func (s *breakerSet) observe(res *compile.Result, attempts []compile.Attempt) {
+	for _, a := range attempts {
+		if b, ok := s.byPreset[a.Preset]; ok {
+			if b.record(false) {
+				s.obs.Inc(obsv.CntServeBreakerOpens)
+			}
+		}
+	}
+	if res != nil && res.Fallback != nil {
+		if b, ok := s.byPreset[res.Fallback.Effective]; ok {
+			b.record(true)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/obsv"
+)
+
+// outcome is one compiled artifact: the immutable payload a cache entry
+// holds and every waiter of a flight receives. Nothing in it is ever
+// mutated after construction, which is what makes "byte-identical circuits
+// to all waiters" a structural guarantee rather than a test-only
+// observation.
+type outcome struct {
+	circuitText   string
+	qasm          string
+	swaps         int
+	depth         int
+	gates         int
+	initial       []int
+	final         []int
+	effective     string
+	requested     string
+	degraded      bool
+	degradedWhy   string
+	attempts      int
+	deviceName    string
+	deviceID      string
+}
+
+// cache is a mutex-guarded LRU of compiled outcomes keyed by the canonical
+// request hash. Each entry remembers its deviceID so calibration reloads
+// can invalidate exactly the entries of the affected device revision.
+type cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+	obs   *obsv.Collector
+}
+
+type cacheEntry struct {
+	key      string
+	deviceID string
+	out      *outcome
+}
+
+func newCache(max int, obs *obsv.Collector) *cache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &cache{max: max, ll: list.New(), items: make(map[string]*list.Element), obs: obs}
+}
+
+func (c *cache) get(key string) (*outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.obs.Inc(obsv.CntServeCacheMisses)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.obs.Inc(obsv.CntServeCacheHits)
+	return el.Value.(*cacheEntry).out, true
+}
+
+func (c *cache) put(key, deviceID string, out *outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).out = out
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, deviceID: deviceID, out: out})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.obs.Inc(obsv.CntServeCacheEvictions)
+	}
+}
+
+// invalidateDevice drops every entry compiled against any epoch of the
+// named registered device, returning how many were dropped. Entries of
+// other devices are untouched.
+func (c *cache) invalidateDevice(name string) int {
+	prefix := name + "@"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if strings.HasPrefix(e.deviceID, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			n++
+		}
+		el = next
+	}
+	c.obs.Add(obsv.CntServeCacheInvalidations, int64(n))
+	return n
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flight is one in-progress compilation shared by every concurrent request
+// with the same cache key — singleflight deduplication. done is closed
+// exactly once, after out/err are set.
+type flight struct {
+	done chan struct{}
+	out  *outcome
+	err  error
+}
+
+// flightGroup deduplicates concurrent compiles by key.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating it when absent. leader is true
+// for the caller that must run the compilation and finish the flight.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// finish publishes the flight's result, wakes every waiter, and removes the
+// flight from the group. The leader must call put on the cache before
+// finish, so a request arriving after removal hits the cache instead of
+// starting a duplicate flight.
+func (g *flightGroup) finish(key string, f *flight, out *outcome, err error) {
+	f.out, f.err = out, err
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// registry holds the named devices the server compiles against, each with
+// a monotonically increasing calibration epoch. Devices are swapped
+// copy-on-write on calibration reload: in-flight compilations keep the
+// snapshot they started with, new requests see the new epoch.
+type registry struct {
+	mu      sync.RWMutex
+	devices map[string]*regDevice
+}
+
+type regDevice struct {
+	dev   *device.Device
+	epoch int64
+}
+
+func newRegistry() *registry {
+	return &registry{devices: make(map[string]*regDevice)}
+}
+
+// register adds (or replaces) a named device at epoch 0.
+func (r *registry) register(name string, dev *device.Device) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.devices[name] = &regDevice{dev: dev}
+}
+
+func (r *registry) get(name string) (*device.Device, int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rd, ok := r.devices[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("unknown device %q", name)
+	}
+	return rd.dev, rd.epoch, nil
+}
+
+// names returns the registered device names, sorted.
+func (r *registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.devices))
+	for n := range r.devices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reload validates and attaches cal to a fresh copy of the named device and
+// bumps its calibration epoch — the service form of the
+// SetCalibration-invalidates-caches discipline. The returned epoch is the
+// new one.
+func (r *registry) reload(name string, cal *device.Calibration) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rd, ok := r.devices[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown device %q", name)
+	}
+	// Fresh Device so in-flight compiles keep their consistent snapshot;
+	// SetCalibration validates and leaves the new device's distance caches
+	// empty (built lazily on first use).
+	next := &device.Device{Name: rd.dev.Name, Coupling: rd.dev.Coupling, Calib: rd.dev.Calib}
+	if err := next.SetCalibration(cal); err != nil {
+		return 0, err
+	}
+	rd.dev = next
+	rd.epoch++
+	return rd.epoch, nil
+}

@@ -1,0 +1,579 @@
+// Package serve implements qaoad, the QAOA compilation-as-a-service
+// daemon: an HTTP/JSON server compiling the device/circuit/config trio of
+// the original QAOA-Compiler input into hardware-compliant circuits, built
+// for sustained multi-tenant traffic. Robustness is the core of the
+// design, not a wrapper:
+//
+//   - a compiled-circuit LRU cache keyed on (canonical graph hash, device
+//     revision, preset, calibration epoch), with singleflight deduplication
+//     so concurrent identical requests compile exactly once and every
+//     waiter receives byte-identical circuits;
+//   - admission control: a bounded worker pool plus a bounded wait queue;
+//     anything beyond both is shed immediately with 429 + Retry-After;
+//   - per-preset circuit breakers that trip on failure-rate spikes (e.g. a
+//     degraded device making VIC fail persistently) and route traffic down
+//     the paper's own degradation ladder VIC → IC → IP → NAIVE while
+//     half-open probes test recovery;
+//   - per-request deadlines bounding each client's wait, a server-side
+//     compile budget bounding each flight, and the retry/backoff ladder of
+//     compile.CompileSpecResilient absorbing transient pass faults;
+//   - graceful shutdown: readiness flips before the listener stops, then
+//     in-flight flights drain under a deadline, then the lifecycle context
+//     is cancelled and aborts whatever remains.
+//
+// See DESIGN.md §10 for the full robustness model.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/device"
+	"repro/internal/obsv"
+	"repro/internal/qasm"
+)
+
+// Config parameterizes a Server. The zero value is usable: sensible
+// defaults are applied by New.
+type Config struct {
+	// Devices are the named devices available to device_name requests.
+	// Nil installs the standard evaluation set (tokyo, melbourne,
+	// falcon27, grid6x6).
+	Devices map[string]*device.Device
+	// Workers bounds concurrent compile flights (default 4).
+	Workers int
+	// Queue bounds flights waiting for a worker; beyond it requests are
+	// shed (default 4×Workers).
+	Queue int
+	// QueueTimeout bounds how long a flight may wait for a worker before
+	// it is shed (default DefaultDeadline).
+	QueueTimeout time.Duration
+	// CacheSize is the compiled-circuit LRU capacity (default 1024).
+	CacheSize int
+	// DefaultDeadline is the client wait budget when a request carries no
+	// deadline_ms (default 30s). MaxDeadline caps client-supplied
+	// deadlines (default 2m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// CompileBudget bounds one compile flight wall-clock, independent of
+	// any client's patience (default 1m).
+	CompileBudget time.Duration
+	// Retries, Backoff and AttemptTimeout configure the server-side
+	// retry policy handed to compile.CompileSpecResilient (defaults: 1
+	// retry per rung, 5ms backoff, AttemptTimeout = CompileBudget/2).
+	Retries        int
+	Backoff        time.Duration
+	AttemptTimeout time.Duration
+	// Breaker tunes the per-preset circuit breakers.
+	Breaker BreakerConfig
+	// Obs receives the serve/* metrics; nil disables collection.
+	Obs *obsv.Collector
+	// Now is the breaker clock (default time.Now); injectable for tests.
+	Now func() time.Time
+	// Hook is threaded into every compilation — the fault-injection seam
+	// the chaos harness uses. Nil in production.
+	Hook compile.Hook
+	// Progress optionally feeds the /healthz progress payload.
+	Progress obsv.ProgressFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Devices == nil {
+		c.Devices = map[string]*device.Device{
+			"tokyo":     device.Tokyo20(),
+			"melbourne": device.Melbourne15(),
+			"falcon27":  device.Falcon27(),
+			"grid6x6":   device.Grid(6, 6),
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.CompileBudget <= 0 {
+		c.CompileBudget = time.Minute
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = c.DefaultDeadline
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 5 * time.Millisecond
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = c.CompileBudget / 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// errAllBreakersOpen is the whole-ladder rejection: every rung's breaker
+// is open, so no preset can even be attempted.
+var errAllBreakersOpen = errors.New("serve: circuit breaker open for every preset of the ladder")
+
+// Server is the qaoad compile service. Construct with New, mount Handler
+// on an HTTP server, and call MarkReady once warm-up (if any) completes.
+type Server struct {
+	cfg      Config
+	obs      *obsv.Collector
+	devices  *registry
+	cache    *cache
+	flights  *flightGroup
+	adm      *admission
+	breakers *breakerSet
+	mux      *http.ServeMux
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	flightWG sync.WaitGroup
+}
+
+// New builds a Server. The server starts not-ready: run any warm-up you
+// want, then call MarkReady; /readyz reports 503 until then (and again
+// while draining).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		devices:  newRegistry(),
+		cache:    newCache(cfg.CacheSize, cfg.Obs),
+		flights:  newFlightGroup(),
+		adm:      newAdmission(cfg.Workers, cfg.Queue, cfg.Obs),
+		breakers: newBreakerSet(cfg.Breaker, cfg.Now, cfg.Obs),
+	}
+	for name, dev := range cfg.Devices {
+		s.devices.register(name, dev)
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+
+	obsHandler := obsv.NewHandler(cfg.Obs, cfg.Progress, s.Readiness)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/devices/{name}/calibration", s.handleCalibration)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.Handle("/", obsHandler)
+	return s
+}
+
+// Handler returns the server's HTTP handler (compile API + observability
+// endpoints).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// MarkReady flips /readyz to 200 and starts admitting compile requests.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// Readiness implements the /readyz probe: not ready while warming up or
+// draining.
+func (s *Server) Readiness() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if !s.ready.Load() {
+		return false, "warming up"
+	}
+	return true, ""
+}
+
+// drainGrace bounds how long Drain waits, after aborting stragglers, for
+// their goroutines to observe the canceled lifecycle context and unwind.
+const drainGrace = 250 * time.Millisecond
+
+// Drain stops admitting new compile requests (readiness goes false, new
+// compiles get 503) and waits for in-flight compile flights to finish,
+// bounded by ctx. On ctx expiry the remaining flights are aborted through
+// the lifecycle context and Drain returns the ctx error. A flight wedged
+// in a pass that ignores its context cannot be aborted in-process; Drain
+// gives it drainGrace to unwind and then returns anyway, on the premise
+// that the caller is about to exit the process.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.flightWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.cancel() // abort stragglers; their waiters get the ctx error
+	select {
+	case <-done:
+	case <-time.After(drainGrace):
+	}
+	return fmt.Errorf("serve: drain deadline: %w", ctx.Err())
+}
+
+// Close aborts every in-flight flight immediately. Safe after Drain.
+func (s *Server) Close() { s.cancel() }
+
+// CacheLen reports the number of cached compiled circuits.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// RegisterDevice adds (or replaces) a named device at calibration epoch 0
+// and invalidates any cache entries of the name's previous registration.
+func (s *Server) RegisterDevice(name string, dev *device.Device) {
+	s.devices.register(name, dev)
+	s.cache.invalidateDevice(name)
+}
+
+// ReloadCalibration installs a new calibration for a registered device,
+// bumping its calibration epoch and invalidating exactly the cache entries
+// compiled against that device. It returns the new epoch and how many
+// entries were invalidated.
+func (s *Server) ReloadCalibration(name string, cal *device.Calibration) (epoch int64, invalidated int, err error) {
+	epoch, err = s.devices.reload(name, cal)
+	if err != nil {
+		return 0, 0, err
+	}
+	invalidated = s.cache.invalidateDevice(name)
+	s.obs.Inc(obsv.CntServeCalibReloads)
+	return epoch, invalidated, nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.obs.Inc(obsv.CntServeRequests)
+	span := s.obs.StartSpan(obsv.SpanServeRequest)
+	defer span.End()
+
+	if ok, reason := s.Readiness(); !ok {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Status: "error", Kind: "draining", Error: "server not accepting work: " + reason})
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyLen)
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.obs.Inc(obsv.CntServeBadRequests)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: "decoding request: " + err.Error()})
+		return
+	}
+	p, err := s.parseRequest(&req)
+	if err != nil {
+		s.obs.Inc(obsv.CntServeBadRequests)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: err.Error()})
+		return
+	}
+
+	if out, ok := s.cache.get(p.key); ok {
+		s.obs.Inc(obsv.CntServeOK)
+		writeJSON(w, http.StatusOK, buildResponse(p, out, true))
+		return
+	}
+
+	// Client wait budget: request deadline_ms, clamped, else the default.
+	wait := s.cfg.DefaultDeadline
+	if p.wait > 0 {
+		wait = p.wait
+	}
+	if wait > s.cfg.MaxDeadline {
+		wait = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+
+	f, leader := s.flights.join(p.key)
+	if leader {
+		s.flightWG.Add(1)
+		go s.runFlight(p, f)
+	} else {
+		s.obs.Inc(obsv.CntServeSingleflightShared)
+	}
+
+	select {
+	case <-f.done:
+		s.respondFlight(w, p, f)
+	case <-ctx.Done():
+		if r.Context().Err() != nil {
+			// The client went away; nobody is listening to this response.
+			s.obs.Inc(obsv.CntServeClientGone)
+			return
+		}
+		s.obs.Inc(obsv.CntServeDeadlineExceeded)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Status: "error", Kind: "deadline", Error: "deadline exceeded waiting for compilation (the flight continues server-side)"})
+	}
+}
+
+// respondFlight translates a finished flight into this waiter's HTTP
+// response. Counters are per response, so shed/error accounting matches
+// what clients observed exactly.
+func (s *Server) respondFlight(w http.ResponseWriter, p *parsedRequest, f *flight) {
+	switch {
+	case f.err == nil:
+		s.obs.Inc(obsv.CntServeOK)
+		writeJSON(w, http.StatusOK, buildResponse(p, f.out, false))
+	case errors.Is(f.err, errShed):
+		s.obs.Inc(obsv.CntServeShed)
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Status: "error", Kind: "shed", Error: "compile queue full"})
+	case errors.Is(f.err, errAllBreakersOpen):
+		s.obs.Inc(obsv.CntServeBreakerRejected)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Status: "error", Kind: "breaker_open", Error: f.err.Error()})
+	case errors.Is(f.err, context.DeadlineExceeded), errors.Is(f.err, context.Canceled):
+		s.obs.Inc(obsv.CntServeDeadlineExceeded)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Status: "error", Kind: "deadline", Error: f.err.Error()})
+	default:
+		s.obs.Inc(obsv.CntServeErrors)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Status: "error", Kind: "compile_failed", Error: f.err.Error()})
+	}
+}
+
+// runFlight is the singleflight leader: admission, breaker routing, the
+// resilient compile itself, cache fill, waiter wake-up. It runs detached
+// from any single request's context — clients bound their own wait, never
+// each other's compile — under the server lifecycle context and compile
+// budget.
+func (s *Server) runFlight(p *parsedRequest, f *flight) {
+	defer s.flightWG.Done()
+
+	qctx, qcancel := context.WithTimeout(s.baseCtx, s.cfg.QueueTimeout)
+	release, err := s.adm.acquire(qctx)
+	qcancel()
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Waiting a full queue timeout without reaching a worker is
+			// overload, same as an instantly full queue.
+			err = errShed
+		}
+		s.flights.finish(p.key, f, nil, err)
+		return
+	}
+	defer release()
+
+	start, rerouted, ok := s.breakers.route(p.preset)
+	if !ok {
+		s.flights.finish(p.key, f, nil, errAllBreakersOpen)
+		return
+	}
+
+	s.obs.Inc(obsv.CntServeCompiles)
+	cspan := s.obs.StartSpan(obsv.SpanServeCompile)
+	cctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.CompileBudget)
+	defer cancel()
+	fo := compile.FallbackOptions{
+		Retries:        s.cfg.Retries,
+		Backoff:        s.cfg.Backoff,
+		AttemptTimeout: s.cfg.AttemptTimeout,
+		Seed:           p.seed,
+		PackingLimit:   p.packing,
+		Optimize:       p.optimize,
+		Hook:           s.cfg.Hook,
+		Obs:            s.obs,
+	}
+	res, err := compile.CompileSpecResilient(cctx, p.spec, p.dev, start, fo)
+	cspan.End()
+
+	s.breakers.observe(res, attemptsOf(res, err, start))
+	if err != nil {
+		s.flights.finish(p.key, f, nil, err)
+		return
+	}
+	out := buildOutcome(p, res, start, rerouted)
+	s.cache.put(p.key, p.deviceID, out)
+	s.flights.finish(p.key, f, out, nil)
+}
+
+// attemptsOf extracts the failed-attempt list from a compile result or
+// error so every failure is charged to the preset that produced it. A
+// failure that carries no attempt breakdown (e.g. a deadline abort before
+// any rung finished) is charged to the starting rung.
+func attemptsOf(res *compile.Result, err error, start compile.Preset) []compile.Attempt {
+	if res != nil && res.Fallback != nil {
+		return res.Fallback.Attempts
+	}
+	var ladderErr *compile.LadderError
+	if errors.As(err, &ladderErr) {
+		return ladderErr.Attempts
+	}
+	if err != nil {
+		return []compile.Attempt{{Preset: start, Err: err.Error()}}
+	}
+	return nil
+}
+
+// buildOutcome freezes a compile result into the immutable cached
+// artifact.
+func buildOutcome(p *parsedRequest, res *compile.Result, start compile.Preset, rerouted bool) *outcome {
+	out := &outcome{
+		circuitText: res.Circuit.String(),
+		qasm:        qasm.Export(res.Native),
+		swaps:       res.SwapCount,
+		depth:       res.Depth,
+		gates:       res.GateCount,
+		initial:     layoutSlice(res.Initial),
+		final:       layoutSlice(res.Final),
+		requested:   p.preset.String(),
+		effective:   res.Fallback.Effective.String(),
+		deviceName:  p.devName,
+		deviceID:    p.deviceID,
+		attempts:    len(res.Fallback.Attempts),
+	}
+	out.degraded = rerouted || res.Fallback.Degraded
+	switch {
+	case res.Fallback.Degraded && res.Fallback.Reason != "":
+		out.degradedWhy = res.Fallback.Reason
+	case rerouted:
+		out.degradedWhy = fmt.Sprintf("circuit breaker open for %s; started at %s", p.preset, start)
+	}
+	return out
+}
+
+func layoutSlice(l interface {
+	NLogical() int
+	Phys(int) int
+}) []int {
+	out := make([]int, l.NLogical())
+	for q := range out {
+		out[q] = l.Phys(q)
+	}
+	return out
+}
+
+func buildResponse(p *parsedRequest, out *outcome, cached bool) CompileResponse {
+	resp := CompileResponse{
+		Status:          "ok",
+		CacheKey:        p.key,
+		Cached:          cached,
+		Device:          out.deviceName,
+		PresetRequested: out.requested,
+		PresetEffective: out.effective,
+		Degraded:        out.degraded,
+		DegradedReason:  out.degradedWhy,
+		Attempts:        out.attempts,
+		Swaps:           out.swaps,
+		Depth:           out.depth,
+		Gates:           out.gates,
+		InitialLayout:   out.initial,
+		FinalLayout:     out.final,
+		Circuit:         out.circuitText,
+	}
+	if p.emitQASM {
+		resp.QASM = out.qasm
+	}
+	return resp
+}
+
+// handleCalibration accepts a full device document (the same schema as an
+// inline request device) and installs its calibration on the named
+// registered device, bumping the calibration epoch. The document's
+// coupling map must match the registered device.
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyLen)
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: "decoding calibration document: " + err.Error()})
+		return
+	}
+	doc, err := device.FromJSON(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: err.Error()})
+		return
+	}
+	cur, _, err := s.devices.get(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Status: "error", Kind: "bad_request", Error: err.Error()})
+		return
+	}
+	if doc.Calib == nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: "calibration document carries no calibration section"})
+		return
+	}
+	if doc.NQubits() != cur.NQubits() {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request",
+			Error: fmt.Sprintf("calibration document has %d qubits, device %s has %d", doc.NQubits(), name, cur.NQubits())})
+		return
+	}
+	epoch, invalidated, err := s.ReloadCalibration(name, doc.Calib)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status      string `json:"status"`
+		Device      string `json:"device"`
+		Epoch       int64  `json:"epoch"`
+		Invalidated int    `json:"invalidated"`
+	}{"ok", name, epoch, invalidated})
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
+	type devInfo struct {
+		Name   string `json:"name"`
+		Qubits int    `json:"qubits"`
+		Epoch  int64  `json:"epoch"`
+		Calib  bool   `json:"calibrated"`
+	}
+	var out []devInfo
+	for _, name := range s.devices.names() {
+		dev, epoch, err := s.devices.get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, devInfo{Name: name, Qubits: dev.NQubits(), Epoch: epoch, Calib: dev.Calib != nil})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Devices []devInfo `json:"devices"`
+	}{out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	type breakerInfo struct {
+		State     string `json:"state"`
+		Successes int    `json:"successes"`
+		Failures  int    `json:"failures"`
+	}
+	breakers := make(map[string]breakerInfo, len(compile.Presets))
+	for _, p := range compile.Presets {
+		state, succ, fail := s.breakers.byPreset[p].snapshot()
+		breakers[p.String()] = breakerInfo{State: state, Successes: succ, Failures: fail}
+	}
+	ready, reason := s.Readiness()
+	writeJSON(w, http.StatusOK, struct {
+		Ready       bool                   `json:"ready"`
+		Reason      string                 `json:"reason,omitempty"`
+		CacheLen    int                    `json:"cache_entries"`
+		QueueDepth  int                    `json:"queue_depth"`
+		Breakers    map[string]breakerInfo `json:"breakers"`
+		DeviceNames []string               `json:"devices"`
+	}{ready, reason, s.cache.len(), s.adm.queueDepth(), breakers, s.devices.names()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

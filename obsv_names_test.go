@@ -164,7 +164,7 @@ func TestPipelineRecordsOnlyRegisteredNames(t *testing.T) {
 	// End to end through the live metrics endpoint: every registered name the
 	// run recorded must surface as a Prometheus series, including the new
 	// simulator counters a -listen qaoa-bench run exports.
-	srv := httptest.NewServer(obsv.NewHandler(c, nil))
+	srv := httptest.NewServer(obsv.NewHandler(c, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {

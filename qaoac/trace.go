@@ -2,9 +2,9 @@ package qaoac
 
 import (
 	"io"
-	"net"
 
 	"repro/internal/obsv"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -60,15 +60,20 @@ func StripTraceTimes(events []TraceEvent) { trace.StripTimes(events) }
 // ObsProgress is the sweep-progress payload of the /healthz endpoint.
 type ObsProgress = obsv.Progress
 
-// ServeObservability starts an HTTP server on addr (":0" picks a free port)
-// exposing the live collector as Prometheus text metrics on /metrics, a
-// JSON liveness + progress probe on /healthz, and the standard runtime
-// profiles under /debug/pprof. progress may be nil. Close the returned
-// listener to stop serving.
-func ServeObservability(addr string, c *Collector, progress func() ObsProgress) (net.Listener, error) {
+// ObsServer is a running observability endpoint with readiness control
+// (/readyz) and graceful Shutdown. See internal/serve.ObsServer.
+type ObsServer = serve.ObsServer
+
+// ServeObservability starts a hardened HTTP server on addr (":0" picks a
+// free port) exposing the live collector as Prometheus text metrics on
+// /metrics, a JSON liveness + progress probe on /healthz, a readiness
+// probe on /readyz (503 "warming up" until SetReady(true, "") is called,
+// 503 "draining" after Shutdown begins), and the standard runtime profiles
+// under /debug/pprof. progress may be nil. Stop serving with Shutdown.
+func ServeObservability(addr string, c *Collector, progress func() ObsProgress) (*ObsServer, error) {
 	var pf obsv.ProgressFunc
 	if progress != nil {
 		pf = func() obsv.Progress { return progress() }
 	}
-	return obsv.NewHandler(c, pf).Serve(addr)
+	return serve.ServeObs(addr, c, pf)
 }
