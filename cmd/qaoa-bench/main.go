@@ -39,18 +39,19 @@ func main() {
 		seed      = flag.Int64("seed", 0, "suite random seed (default 11)")
 		argShots  = flag.Int("arg-shots", 0, "measurement shots per ARG record (default 4096)")
 		argTraj   = flag.Int("arg-trajectories", 0, "noisy trajectories per ARG record (default 256)")
+		trials    = flag.Int("router-trials", 0, "stochastic routing trials per circuit (0/1 = single-shot; trials run in parallel across GOMAXPROCS with a deterministic result)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "abort the suite after this long (0 = no deadline)")
 		listen    = flag.String("listen", "", "serve live Prometheus metrics, /healthz and pprof on this address (e.g. :8080) while the suite runs")
 	)
 	flag.Parse()
 
-	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *simThr, *timeSlack, *instances, *nodes, *argShots, *argTraj, *seed, *timeout, *listen); err != nil {
+	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *simThr, *timeSlack, *instances, *nodes, *argShots, *argTraj, *trials, *seed, *timeout, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64, instances, nodes, argShots, argTraj int, seed int64, timeout time.Duration, listen string) error {
+func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64, instances, nodes, argShots, argTraj, trials int, seed int64, timeout time.Duration, listen string) error {
 	rev = qaoac.RevisionFromEnv(rev)
 	if out == "" {
 		out = qaoac.DefaultBenchFilename(rev)
@@ -82,6 +83,7 @@ func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64
 	if argTraj > 0 {
 		cfg.ARGTrajectories = argTraj
 	}
+	cfg.RouterTrials = trials
 
 	c := qaoac.NewCollector()
 	qaoac.SetObservability(c)

@@ -335,6 +335,12 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 		out.Append(circuit.NewH(layout.Phys(q)))
 	}
 
+	// Layer-formation scratch, reused across every pack of the compile:
+	// the occupancy flags, the packed-layer buffer, and the single-layer
+	// partial circuit (the router copies what it needs out of it).
+	occupied := make([]bool, n)
+	var layerBuf []ZZTerm
+	partial := circuit.New(n)
 	for li, level := range spec.Levels {
 		emitLocals(out, level, layout.Phys)
 		remaining := append([]ZZTerm(nil), level.ZZ...)
@@ -344,9 +350,10 @@ func compileIncremental(ctx context.Context, spec Spec, dev *device.Device, init
 			}
 			o.Trace.BeginPass(StageOrder)
 			orderStart := time.Now() //lint:allow determinism: measured pass span, stripped by the gates
-			layer, rest := nextIncrementalLayer(remaining, layout, dist, o)
+			layer, rest := nextIncrementalLayer(remaining, layout, dist, o, occupied, layerBuf)
+			layerBuf = layer // keep the high-water scratch for the next pack
 			// Route the single-layer partial circuit from the live layout.
-			partial := circuit.New(n)
+			partial.Gates = partial.Gates[:0]
 			for _, t := range layer {
 				partial.Append(circuit.NewCPhase(t.U, t.V, t.Theta))
 			}
@@ -414,8 +421,12 @@ func traceLayer(index, level int, layer, rest []ZZTerm, layout *router.Layout, d
 
 // nextIncrementalLayer sorts the remaining ZZ terms by the current physical
 // distance of their endpoints (ascending, ties random) and packs one layer
-// greedily; it returns the layer and the remaining terms.
-func nextIncrementalLayer(remaining []ZZTerm, layout *router.Layout, dist *graphs.DistanceMatrix, o Options) (layer, rest []ZZTerm) {
+// greedily. The layer lands in layerBuf's storage and the deferred terms are
+// compacted into remaining's own storage (safe: the write cursor never
+// passes the read cursor), so the packing loop allocates nothing once the
+// caller's scratch reaches its high-water mark. occupied is caller-owned
+// per-logical-qubit scratch, handed back all-false.
+func nextIncrementalLayer(remaining []ZZTerm, layout *router.Layout, dist *graphs.DistanceMatrix, o Options, occupied []bool, layerBuf []ZZTerm) (layer, rest []ZZTerm) {
 	o.Rng.Shuffle(len(remaining), func(i, j int) {
 		remaining[i], remaining[j] = remaining[j], remaining[i]
 	})
@@ -424,7 +435,8 @@ func nextIncrementalLayer(remaining []ZZTerm, layout *router.Layout, dist *graph
 		db := dist.Dist(layout.Phys(remaining[b].U), layout.Phys(remaining[b].V))
 		return da < db
 	})
-	occupied := make(map[int]bool, 2*len(remaining))
+	layer = layerBuf[:0]
+	rest = remaining[:0]
 	for _, t := range remaining {
 		if (o.PackingLimit > 0 && len(layer) >= o.PackingLimit) ||
 			occupied[t.U] || occupied[t.V] {
@@ -433,6 +445,9 @@ func nextIncrementalLayer(remaining []ZZTerm, layout *router.Layout, dist *graph
 		}
 		layer = append(layer, t)
 		occupied[t.U], occupied[t.V] = true, true
+	}
+	for _, t := range layer {
+		occupied[t.U], occupied[t.V] = false, false
 	}
 	return layer, rest
 }

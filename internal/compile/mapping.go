@@ -151,9 +151,15 @@ func qaimMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *r
 		return best
 	}
 
+	// Scratch buffers reused across placement steps: candMark deduplicates
+	// candidate positions (cleared per step by walking cands, not the whole
+	// device) and placed/cands grow once to their high-water mark.
+	candMark := make([]bool, dev.NQubits())
+	cands := make([]int, 0, dev.NQubits())
+	var placed []int
 	for _, q := range logical {
 		// Collect already-placed logical neighbours.
-		var placed []int
+		placed = placed[:0]
 		for _, nb := range g.Neighbors(q) {
 			if l2p[nb] != -1 {
 				placed = append(placed, l2p[nb])
@@ -171,31 +177,34 @@ func qaimMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *r
 			}
 		} else {
 			// Candidates: free physical neighbours of the placed positions.
-			candSet := make(map[int]bool)
+			cands = cands[:0]
 			for _, p := range placed {
 				for _, nb := range dev.Coupling.Neighbors(p) {
-					if !used[nb] && eligible[nb] {
-						candSet[nb] = true
+					if !used[nb] && eligible[nb] && !candMark[nb] {
+						candMark[nb] = true
+						cands = append(cands, nb)
 					}
 				}
 			}
-			if len(candSet) == 0 {
+			if len(cands) == 0 {
 				// All surrounding qubits taken: fall back to any free usable
 				// qubit, still scored by the QAIM cost metric.
 				for p := 0; p < dev.NQubits(); p++ {
 					if !used[p] && eligible[p] {
-						candSet[p] = true
+						cands = append(cands, p)
 					}
+				}
+				// Fallback candidates are already distinct and ascending; no
+				// marks were set for them.
+			} else {
+				for _, p := range cands {
+					candMark[p] = false
 				}
 			}
 			chosen = -1
 			bestScore := 0.0
 			count := 0
 			// Deterministic candidate iteration order with random tie-break.
-			cands := make([]int, 0, len(candSet))
-			for p := range candSet {
-				cands = append(cands, p)
-			}
 			sort.Ints(cands)
 			for _, p := range cands {
 				var cum float64
@@ -219,12 +228,13 @@ func qaimMapping(g *graphs.Graph, dev *device.Device, strengthRadius int, rng *r
 		used[chosen] = true
 		if tr.Enabled() {
 			tr.Placement(trace.PlacementInfo{
-				Logical:         q,
-				Phys:            chosen,
-				Strength:        strength[chosen],
-				Score:           score,
-				Candidates:      candidates,
-				PlacedNeighbors: placed,
+				Logical:    q,
+				Phys:       chosen,
+				Strength:   strength[chosen],
+				Score:      score,
+				Candidates: candidates,
+				// placed is a reused scratch buffer — the event gets its own copy.
+				PlacedNeighbors: append([]int(nil), placed...),
 			})
 		}
 	}

@@ -126,7 +126,12 @@ type Options struct {
 	ReverseIterations int
 	// RouterTrials > 1 lets the backend route each (partial) circuit that
 	// many times with randomized tie-breaking and keep the fewest-SWAP
-	// attempt (stochastic-swap). Costs proportional compile time.
+	// attempt (stochastic-swap). The attempts run in parallel across
+	// GOMAXPROCS workers with deterministically pre-drawn per-trial
+	// shuffles, and attempts that can no longer beat the best-so-far swap
+	// count are pruned early, so the result is byte-identical to a
+	// sequential best-of-N loop at well below N× the single-shot cost
+	// (see DESIGN.md §11).
 	RouterTrials int
 	// Rng drives random tie-breaking and the NAIVE random choices; a nil
 	// value gets a fixed-seed source so runs are reproducible by default.

@@ -136,9 +136,10 @@ type Device struct {
 	// device is shared across goroutines.
 	Obs *obsv.Collector
 
-	mu      sync.Mutex // guards the lazily computed caches
-	hopDist *graphs.DistanceMatrix
-	relDist *graphs.DistanceMatrix
+	mu       sync.Mutex // guards the lazily computed caches
+	hopDist  *graphs.DistanceMatrix
+	relDist  *graphs.DistanceMatrix
+	strength map[int][]int // StrengthProfile cache by radius
 }
 
 // NQubits returns the number of physical qubits.
@@ -183,14 +184,25 @@ func (d *Device) ConnectivityStrength(q, radius int) int {
 	return graphs.NeighborhoodSize(d.Coupling, q, radius)
 }
 
-// StrengthProfile returns the connectivity strength of every qubit at the
-// given radius. This is the "hardware profiling" table of Fig. 3(b),
-// computed once per device.
+// StrengthProfile returns (and caches) the connectivity strength of every
+// qubit at the given radius. This is the "hardware profiling" table of
+// Fig. 3(b), computed once per device: the per-qubit BFS is repeated only
+// after InvalidateCaches. The returned slice is shared — treat it as
+// read-only, like the matrices of HopDistances. Safe for concurrent use.
 func (d *Device) StrengthProfile(radius int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.strength[radius]; ok {
+		return p
+	}
 	p := make([]int, d.NQubits())
 	for q := range p {
 		p[q] = d.ConnectivityStrength(q, radius)
 	}
+	if d.strength == nil {
+		d.strength = make(map[int][]int)
+	}
+	d.strength[radius] = p
 	return p
 }
 
@@ -293,7 +305,7 @@ func (d *Device) InvalidateCaches() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.Obs.Inc(obsv.CntDeviceInvalidations)
-	d.hopDist, d.relDist = nil, nil
+	d.hopDist, d.relDist, d.strength = nil, nil, nil
 }
 
 // SetCalibration validates cal against the device shape, attaches it, and

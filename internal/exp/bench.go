@@ -35,6 +35,12 @@ type BenchConfig struct {
 	ARGNodes        int
 	ARGShots        int
 	ARGTrajectories int
+	// RouterTrials routes every circuit that many times with randomized
+	// tie-breaking and keeps the fewest-SWAP attempt (0 or 1 = single-shot
+	// deterministic routing, the default). Trials run in parallel across
+	// GOMAXPROCS workers with a schedule-independent result, so suite
+	// records stay byte-identical across core counts.
+	RouterTrials int
 }
 
 // DefaultBenchConfig returns the CI-scale configuration.
@@ -139,6 +145,7 @@ func runBenchRecord(ctx context.Context, bc benchCase, preset compile.Preset, gs
 	for i, g := range gs {
 		prob := &qaoa.Problem{G: g, MaxCut: 1} // optimum unused for structural metrics
 		opts := preset.Options(instanceRNG(cfg.Seed+int64(i)*101, 1000+int(preset)))
+		opts.RouterTrials = cfg.RouterTrials
 		opts.Obs = Collector()
 		res, err := compile.CompileContext(ctx, prob, structuralParams, tokyo, opts)
 		if err != nil {
@@ -194,6 +201,7 @@ func benchARG(ctx context.Context, bc benchCase, preset compile.Preset, cfg Benc
 	mel := device.Melbourne15()
 	mel.Obs = Collector()
 	opts := preset.Options(rng)
+	opts.RouterTrials = cfg.RouterTrials
 	opts.Obs = Collector()
 	res, err := compile.CompileContext(ctx, prob, structuralParams, mel, opts)
 	if err != nil {

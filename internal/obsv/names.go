@@ -41,6 +41,8 @@ const (
 	CntRouterLayers        = "router/layers"
 	CntRouterSwaps         = "router/swaps"
 	CntRouterForcedPaths   = "router/forced_paths"
+	CntRouterScoreEvals    = "router/score_evals"
+	CntCompileDistUpdates  = "compile/dist_updates"
 	CntDeviceHopDistBuilds = "device/hopdist_builds"
 	CntDeviceHopDistHits   = "device/hopdist_hits"
 	CntDeviceRelDistBuilds = "device/reldist_builds"
@@ -139,6 +141,8 @@ var registry = map[string]NameKind{
 	CntRouterLayers:        KindCounter,
 	CntRouterSwaps:         KindCounter,
 	CntRouterForcedPaths:   KindCounter,
+	CntRouterScoreEvals:    KindCounter,
+	CntCompileDistUpdates:  KindCounter,
 	CntDeviceHopDistBuilds: KindCounter,
 	CntDeviceHopDistHits:   KindCounter,
 	CntDeviceRelDistBuilds: KindCounter,

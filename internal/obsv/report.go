@@ -279,6 +279,20 @@ var simWorkCounters = []string{
 	CntSimReplayGates,
 }
 
+// compileWorkCounters are the compiler cost counters gated by Compare, the
+// compile-side mirror of simWorkCounters: stochastic trials run, SWAPs
+// inserted across all trials, candidate score evaluations and incremental
+// distance updates. All are pure functions of the suite seeds — immune to
+// machine speed and GOMAXPROCS — so the tight CountThreshold gate catches
+// algorithmic regressions (a lost incremental update, a widened candidate
+// scan) that the loose wall-clock backstop would miss.
+var compileWorkCounters = []string{
+	CntRouterTrials,
+	CntRouterSwaps,
+	CntRouterScoreEvals,
+	CntCompileDistUpdates,
+}
+
 func (o CompareOptions) withDefaults() CompareOptions {
 	if o.TimeThreshold == 0 {
 		o.TimeThreshold = 0.15
@@ -301,7 +315,8 @@ func (o CompareOptions) withDefaults() CompareOptions {
 // Compare gates cur against base: every benchmark present in the baseline
 // must still exist and must not regress compile time, simulation time,
 // SWAP count or depth beyond the thresholds; the deterministic simulator
-// work counters (simWorkCounters) are gated run-wide at CountThreshold.
+// and compiler work counters (simWorkCounters, compileWorkCounters) are
+// gated run-wide at CountThreshold.
 // Records only in cur (new benchmarks) pass freely.
 // An empty result means the gate passes.
 func Compare(base, cur *Report, opts CompareOptions) []Regression {
@@ -330,6 +345,14 @@ func Compare(base, cur *Report, opts CompareOptions) []Regression {
 		out = appendRegression(out, b.Name, "depth", b.Depth, c.Depth, opts.CountThreshold, 0)
 	}
 	for _, name := range simWorkCounters {
+		bv, ok := base.Counters[name]
+		if !ok || bv == 0 {
+			continue // baseline predates the counter; nothing to gate against
+		}
+		out = appendRegression(out, "counters", name, float64(bv),
+			float64(cur.Counters[name]), opts.CountThreshold, 0)
+	}
+	for _, name := range compileWorkCounters {
 		bv, ok := base.Counters[name]
 		if !ok || bv == 0 {
 			continue // baseline predates the counter; nothing to gate against

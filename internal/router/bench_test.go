@@ -1,0 +1,48 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/obsv"
+)
+
+// benchRoute routes the QAOA-flavor Tokyo workload and reports, alongside
+// the wall-clock time, the deterministic work counters as per-op custom
+// units. The RNG is re-seeded every iteration, so the counters are exactly
+// the same each op: the CI compile-bench gate fails on any drift in them
+// (>15%), while sec/op — noisy on shared 1-CPU runners — is only a loose
+// backstop.
+func benchRoute(b *testing.B, trials int) {
+	dev := device.Tokyo20()
+	rng := rand.New(rand.NewSource(3))
+	circ := randomRoutingCircuit(16, 60, rng)
+	col := obsv.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := New(dev)
+		r.Obs = col
+		if trials > 1 {
+			r.Trials = trials
+			r.Rng = rand.New(rand.NewSource(7))
+		}
+		if _, err := r.Route(circ, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(col.Counter(obsv.CntRouterSwaps))/n, "swaps/op")
+	b.ReportMetric(float64(col.Counter(obsv.CntRouterScoreEvals))/n, "score-evals/op")
+	b.ReportMetric(float64(col.Counter(obsv.CntCompileDistUpdates))/n, "dist-updates/op")
+}
+
+// BenchmarkRouteSingle measures one deterministic routing pass (the
+// canonical scan order, no stochastic trials).
+func BenchmarkRouteSingle(b *testing.B) { benchRoute(b, 1) }
+
+// BenchmarkRouteTrials8 measures best-of-8 stochastic routing — the
+// configuration the suite-level ≥3× compile-time target is stated at.
+func BenchmarkRouteTrials8(b *testing.B) { benchRoute(b, 8) }

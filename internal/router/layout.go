@@ -6,7 +6,12 @@
 // the paper's experiments).
 package router
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/circuit"
+)
 
 // Layout is a bijective logical-to-physical qubit assignment. Physical
 // qubits without a logical occupant map to -1.
@@ -64,6 +69,49 @@ func (l *Layout) Clone() *Layout {
 		P2L: append([]int(nil), l.P2L...),
 	}
 }
+
+// CloneInto copies l into dst, reusing dst's backing arrays when they are
+// large enough, and returns dst.
+func (l *Layout) CloneInto(dst *Layout) *Layout {
+	dst.L2P = append(dst.L2P[:0], l.L2P...)
+	dst.P2L = append(dst.P2L[:0], l.P2L...)
+	return dst
+}
+
+// layoutPool recycles the working layouts of stochastic routing trials:
+// every trial clones the initial layout, but only the winner's final
+// layout escapes to the caller, so the losers' go back to the pool.
+var layoutPool = sync.Pool{New: func() any { return new(Layout) }}
+
+// getLayout returns a pooled clone of src.
+func getLayout(src *Layout) *Layout {
+	return src.CloneInto(layoutPool.Get().(*Layout))
+}
+
+// putLayout recycles a layout that no longer escapes.
+func putLayout(l *Layout) { layoutPool.Put(l) }
+
+// circuitPool recycles the routed-output circuits of stochastic routing
+// trials, the one remaining per-trial allocation of any size: only the
+// winning trial's circuit escapes to the caller, so the losers' gate
+// buffers go back to the pool.
+var circuitPool = sync.Pool{New: func() any { return new(circuit.Circuit) }}
+
+// getCircuit returns a pooled empty circuit over n qubits whose gate
+// buffer holds at least capHint gates before growing.
+func getCircuit(n, capHint int) *circuit.Circuit {
+	c := circuitPool.Get().(*circuit.Circuit)
+	c.NQubits = n
+	if cap(c.Gates) < capHint {
+		c.Gates = make([]circuit.Gate, 0, capHint)
+	} else {
+		c.Gates = c.Gates[:0]
+	}
+	return c
+}
+
+// putCircuit recycles a circuit that no longer escapes.
+func putCircuit(c *circuit.Circuit) { circuitPool.Put(c) }
 
 // NLogical returns the number of logical qubits.
 func (l *Layout) NLogical() int { return len(l.L2P) }

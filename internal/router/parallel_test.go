@@ -1,0 +1,48 @@
+package router
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestRouteTrialsGOMAXPROCSIndependent is the determinism contract of the
+// parallel trial fan-out: the same seed must produce a byte-identical
+// Result whether the trials run on one worker (the sequential path) or
+// many. Run under -race in CI, this also exercises the fan-out for data
+// races.
+func TestRouteTrialsGOMAXPROCSIndependent(t *testing.T) {
+	dev := device.Tokyo20()
+	rng := rand.New(rand.NewSource(3))
+	circ := randomRoutingCircuit(16, 60, rng)
+
+	route := func(procs int) *Result {
+		t.Helper()
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		r := New(dev)
+		r.Trials = 8
+		r.Rng = rand.New(rand.NewSource(99))
+		res, err := r.Route(circ, nil)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		return res
+	}
+
+	serial := route(1)
+	for _, procs := range []int{2, 4, 8} {
+		parallel := route(procs)
+		if parallel.SwapCount != serial.SwapCount {
+			t.Errorf("GOMAXPROCS=%d: SwapCount %d, serial %d", procs, parallel.SwapCount, serial.SwapCount)
+		}
+		if !reflect.DeepEqual(parallel.Circuit.Gates, serial.Circuit.Gates) {
+			t.Errorf("GOMAXPROCS=%d: routed gates diverge from the serial run", procs)
+		}
+		if !parallel.Final.Equal(serial.Final) {
+			t.Errorf("GOMAXPROCS=%d: final layout %v, serial %v", procs, parallel.Final, serial.Final)
+		}
+	}
+}

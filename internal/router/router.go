@@ -2,8 +2,13 @@ package router
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -23,6 +28,19 @@ type DisconnectedError struct {
 func (e *DisconnectedError) Error() string {
 	return fmt.Sprintf("router: physical qubits %d and %d disconnected on %s", e.A, e.B, e.Device)
 }
+
+// ErrTrialsWithoutRng reports the Router misuse of requesting stochastic
+// trials (Trials > 1) without supplying the Rng that seeds their shuffles.
+// Compare with errors.Is.
+var ErrTrialsWithoutRng = errors.New("router: Trials > 1 requires Rng")
+
+// errTrialPruned aborts a stochastic trial that exceeded the pruning cap
+// (see routeTrials); it never escapes the router.
+var errTrialPruned = errors.New("router: trial pruned")
+
+// noSwapCap disables trial pruning (single-shot routing, trial 0, traced
+// replays).
+const noSwapCap = math.MaxInt
 
 // Router inserts SWAPs to make a logical circuit comply with a device's
 // coupling constraints. It is the layer-partitioning heuristic backend the
@@ -45,14 +63,21 @@ type Router struct {
 	// tie-breaking (a shuffled coupling-edge scan order, seeded by Rng) and
 	// keeps the attempt with the fewest SWAPs — the stochastic-swap
 	// strategy of conventional compilers. Trials ≤ 1 is single-shot
-	// deterministic routing.
+	// deterministic routing. The attempts are independent by construction
+	// and run in parallel across GOMAXPROCS workers; see routeTrials for
+	// the determinism contract that keeps the result identical regardless
+	// of core count.
 	Trials int
-	// Rng seeds the trial shuffles; required when Trials > 1.
+	// Rng seeds the trial shuffles; required when Trials > 1. It is only
+	// consulted in the sequential prologue of routeTrials (never from the
+	// worker goroutines), so a single seeded source is safe and the draw
+	// sequence is schedule-independent.
 	Rng *rand.Rand
 	// Obs, when non-nil, receives routing counters: router/routes,
-	// router/layers, router/swaps, router/forced_paths and router/trials.
-	// Counters are batched per routing call, so the per-gate hot loop never
-	// touches the collector.
+	// router/layers, router/swaps, router/forced_paths, router/trials,
+	// and the deterministic scoring-work counters router/score_evals and
+	// compile/dist_updates. Counters are batched per routing call, so the
+	// per-gate hot loop never touches the collector.
 	Obs *obsv.Collector
 	// Trace, when non-nil, receives one event per inserted SWAP carrying
 	// the (before, after) layout and the distance the SWAP paid. With
@@ -94,155 +119,382 @@ func (r *Router) Route(c *circuit.Circuit, initial *Layout) (*Result, error) {
 // checks ctx between layers and between SWAP insertions and returns a
 // ctx-wrapped error as soon as the context is done.
 func (r *Router) RouteContext(ctx context.Context, c *circuit.Circuit, initial *Layout) (*Result, error) {
+	initial, dist, err := r.validate(c, initial)
+	if err != nil {
+		return nil, err
+	}
+	plan := buildPlan(c, r.LookaheadWeight > 0)
+	tab := buildDevTables(r.Dev, dist)
 	if r.Trials > 1 {
-		return r.routeTrials(ctx, c, initial)
+		return r.routeTrials(ctx, plan, initial, dist, tab)
 	}
-	return r.routeOnce(ctx, c, initial)
+	return r.routePlanned(ctx, plan, initial, dist, tab, noSwapCap)
 }
 
-// routeTrials runs Trials randomized attempts and keeps the fewest-SWAP one.
-func (r *Router) routeTrials(ctx context.Context, c *circuit.Circuit, initial *Layout) (*Result, error) {
-	if r.Rng == nil {
-		return nil, fmt.Errorf("router: Trials > 1 requires Rng")
-	}
-	r.Obs.Add(obsv.CntRouterTrials, int64(r.Trials))
-	canonical := r.Dev.Coupling.Edges()
-	var best *Result
-	var bestOrder []graphs.Edge
-	for trial := 0; trial < r.Trials; trial++ {
-		attempt := *r
-		attempt.Trials = 0
-		attempt.Trace = nil // only the kept attempt is traced, below
-		if trial > 0 {
-			order := append([]graphs.Edge(nil), canonical...)
-			r.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-			attempt.edgeOrder = order
-		}
-		res, err := attempt.routeOnce(ctx, c, initial)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || res.SwapCount < best.SwapCount {
-			best, bestOrder = res, attempt.edgeOrder
-		}
-	}
-	if r.Trace.Enabled() {
-		// Replay the winning attempt with tracing: routeOnce is
-		// deterministic given the edge scan order, so the replayed result
-		// is the one returned and the trace describes exactly it.
-		attempt := *r
-		attempt.Trials = 0
-		attempt.edgeOrder = bestOrder
-		return attempt.routeOnce(ctx, c, initial)
-	}
-	return best, nil
-}
-
-// routeOnce performs one deterministic routing pass.
-func (r *Router) routeOnce(ctx context.Context, c *circuit.Circuit, initial *Layout) (*Result, error) {
+// validate checks the circuit/layout/device shapes once per Route call and
+// resolves the defaults (trivial layout, hop distances).
+func (r *Router) validate(c *circuit.Circuit, initial *Layout) (*Layout, *graphs.DistanceMatrix, error) {
 	dev := r.Dev
 	if c.NQubits > dev.NQubits() {
-		return nil, fmt.Errorf("router: circuit needs %d qubits, device %s has %d", c.NQubits, dev.Name, dev.NQubits())
+		return nil, nil, fmt.Errorf("router: circuit needs %d qubits, device %s has %d", c.NQubits, dev.Name, dev.NQubits())
 	}
 	if initial == nil {
 		initial = TrivialLayout(c.NQubits, dev.NQubits())
 	}
 	if initial.NLogical() != c.NQubits || initial.NPhysical() != dev.NQubits() {
-		return nil, fmt.Errorf("router: layout shape (%d,%d) does not match circuit %d / device %d",
+		return nil, nil, fmt.Errorf("router: layout shape (%d,%d) does not match circuit %d / device %d",
 			initial.NLogical(), initial.NPhysical(), c.NQubits, dev.NQubits())
 	}
 	dist := r.Dist
 	if dist == nil {
 		dist = dev.HopDistances()
 	}
+	return initial, dist, nil
+}
 
-	layout := initial.Clone()
-	out := circuit.New(dev.NQubits())
-	swaps := 0
+// layerPlan is the routing work of one ASAP layer, precomputed once per
+// Route call and shared read-only by every stochastic trial: the one-qubit
+// gates to pass through, the two-qubit gates to route, and the next
+// layer's two-qubit gates feeding the lookahead score.
+type layerPlan struct {
+	oneQ []circuit.Gate
+	twoQ []circuit.Gate
+	next []circuit.Gate
+}
+
+// routePlan is the shared per-call routing plan plus the input gate total
+// (the output-circuit presizing hint).
+type routePlan struct {
+	layers []layerPlan
+	gates  int
+}
+
+// buildPlan partitions c into ASAP layers split by arity. With lookahead
+// enabled, each layer references the next layer's two-qubit gates.
+func buildPlan(c *circuit.Circuit, lookahead bool) *routePlan {
 	layers := c.Layers()
-
+	plan := &routePlan{layers: make([]layerPlan, len(layers)), gates: len(c.Gates)}
 	for li, layer := range layers {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("router: %w", err)
-		}
-		// Pass through one-qubit gates immediately; collect two-qubit work.
-		var pending []circuit.Gate
+		lp := &plan.layers[li]
 		for _, gi := range layer {
 			g := c.Gates[gi]
 			switch g.Arity() {
 			case 1:
-				mapped := g
-				mapped.Q0 = layout.Phys(g.Q0)
-				out.Append(mapped)
+				lp.oneQ = append(lp.oneQ, g)
 			case 2:
-				pending = append(pending, g)
+				lp.twoQ = append(lp.twoQ, g)
 			}
 		}
-		// Next layer's two-qubit gates feed the lookahead score.
-		var next []circuit.Gate
-		if r.LookaheadWeight > 0 && li+1 < len(layers) {
-			for _, gi := range layers[li+1] {
-				if g := c.Gates[gi]; g.Arity() == 2 {
-					next = append(next, g)
-				}
-			}
+	}
+	if lookahead {
+		for li := 0; li+1 < len(plan.layers); li++ {
+			plan.layers[li].next = plan.layers[li+1].twoQ
 		}
-		layerSwaps, err := r.routeLayer(ctx, li, pending, next, layout, out)
-		if err != nil {
-			return nil, err
-		}
-		swaps += layerSwaps
+	}
+	return plan
+}
+
+// trial is the one construction path for a stochastic routing attempt: the
+// same device, distances and collector as the parent, the trial's edge
+// scan order, single-shot, untraced (only the kept attempt is re-routed
+// with tracing).
+func (r *Router) trial(order []graphs.Edge) *Router {
+	t := *r
+	t.Trials = 0
+	t.Trace = nil
+	t.edgeOrder = order
+	return &t
+}
+
+// routeTrials runs Trials randomized attempts and keeps the fewest-SWAP one
+// (ties: lowest trial index). Trial 0 — the canonical, unshuffled scan
+// order — runs first and fixes the pruning cap: a later attempt that
+// reaches trial 0's swap count can no longer win (it would at best tie, and
+// ties go to the lowest index), so it aborts on the spot. The remaining
+// trials then run in parallel across min(GOMAXPROCS, Trials-1) workers.
+//
+// Determinism contract: trial randomness is exactly the shuffled edge scan
+// order, and every shuffle is drawn from Rng in a cheap sequential prologue
+// before the fan-out — the per-trial analogue of the simulator's splitmix64
+// substreams. Routing itself is a pure function of (circuit, layout, edge
+// order, pruning cap), the cap is fixed before any worker starts, and the
+// reduction is by (SwapCount, trial index), so the returned Result is
+// byte-identical regardless of GOMAXPROCS and identical to a sequential
+// best-of-N loop without pruning. On the success path the batched counters
+// are sums over all trials and equally schedule-independent; on an error
+// path, in-flight trials may add work to the counters that a sequential
+// loop would not have started.
+func (r *Router) routeTrials(ctx context.Context, plan *routePlan, initial *Layout, dist *graphs.DistanceMatrix, tab *devTables) (*Result, error) {
+	if r.Rng == nil {
+		return nil, ErrTrialsWithoutRng
+	}
+	r.Obs.Add(obsv.CntRouterTrials, int64(r.Trials))
+
+	// Sequential prologue: fix every trial's edge order before any worker
+	// starts. Trial 0 keeps the canonical order (the deterministic
+	// single-shot attempt); trials 1..n-1 shuffle it.
+	canonical := r.Dev.Coupling.Edges()
+	m := len(canonical)
+	buf := make([]graphs.Edge, (r.Trials-1)*m) // one backing array for all shuffles
+	orders := make([][]graphs.Edge, r.Trials)
+	for t := 1; t < r.Trials; t++ {
+		order := buf[(t-1)*m : t*m : t*m]
+		copy(order, canonical)
+		r.Rng.Shuffle(m, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		orders[t] = order
 	}
 
-	// Batched per call: the counters measure routing work performed (every
-	// stochastic trial counts), while compile/swaps counts only the SWAPs of
-	// the kept result.
+	first, err := r.trial(nil).routePlanned(ctx, plan, initial, dist, tab, noSwapCap)
+	if err != nil {
+		return nil, err
+	}
+	swapCap := first.SwapCount - 1
+
+	results := make([]*Result, r.Trials)
+	results[0] = first
+	errs := make([]error, r.Trials)
+	workers := min(runtime.GOMAXPROCS(0), r.Trials-1)
+	if workers <= 1 {
+		for t := 1; t < r.Trials; t++ {
+			res, err := r.trial(orders[t]).routePlanned(ctx, plan, initial, dist, tab, swapCap)
+			if errors.Is(err, errTrialPruned) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			results[t] = res
+		}
+	} else {
+		// Work-stealing fan-out: trials are claimed in index order from an
+		// atomic cursor; a failure stops further claims (in-flight trials
+		// finish on their own — they honor ctx themselves), which
+		// guarantees every trial below the lowest failing index has run, so
+		// the error reduction below is schedule-independent.
+		var cursor, failed atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for failed.Load() == 0 && ctx.Err() == nil {
+					t := int(cursor.Add(1))
+					if t >= r.Trials {
+						return
+					}
+					res, err := r.trial(orders[t]).routePlanned(ctx, plan, initial, dist, tab, swapCap)
+					if errors.Is(err, errTrialPruned) {
+						continue
+					}
+					if err != nil {
+						errs[t] = err
+						failed.Store(1)
+						return
+					}
+					results[t] = res
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("router: %w", err)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	win := 0
+	for t := 1; t < r.Trials; t++ {
+		if results[t] != nil && results[t].SwapCount < results[win].SwapCount {
+			win = t
+		}
+	}
+	if r.Trace.Enabled() {
+		// Replay the winning attempt with tracing: routing is deterministic
+		// given the edge scan order, so the replayed result is the one
+		// returned and the trace describes exactly it.
+		replay := r.trial(orders[win])
+		replay.Trace = r.Trace
+		res, err := replay.routePlanned(ctx, plan, initial, dist, tab, noSwapCap)
+		if err == nil {
+			recycleTrials(results, -1)
+		}
+		return res, err
+	}
+	recycleTrials(results, win)
+	return results[win], nil
+}
+
+// recycleTrials returns the losing trials' final layouts and routed
+// circuits to their pools (the winner's, index keep, escape to the caller;
+// pass -1 to recycle every trial, used after a traced replay superseded
+// them all).
+func recycleTrials(results []*Result, keep int) {
+	for t, res := range results {
+		if t != keep && res != nil {
+			putLayout(res.Final)
+			putCircuit(res.Circuit)
+		}
+	}
+}
+
+// routePlanned performs one deterministic routing pass over the shared
+// plan, aborting with errTrialPruned as soon as the inserted-SWAP total
+// exceeds swapCap (noSwapCap disables pruning). It is the single-trial
+// execution core: every allocation it makes beyond the returned Result
+// comes from pooled scratch (layout clone, scoring state), so stochastic
+// trials are cheap and GC-quiet.
+func (r *Router) routePlanned(ctx context.Context, plan *routePlan, initial *Layout, dist *graphs.DistanceMatrix, tab *devTables, swapCap int) (*Result, error) {
+	layout := getLayout(initial)
+	// Presize for the common case: every input gate plus a swap allowance;
+	// heavy routing still grows the slice, it just starts realistic.
+	out := getCircuit(r.Dev.NQubits(), plan.gates+plan.gates/2+8)
+	sc := getScorer()
+	sc.evals, sc.updates = 0, 0 // pooled scorers may carry another call's tallies
+	defer putScorer(sc)
+	swaps := 0
+	var rerr error
+
+	for li := range plan.layers {
+		if err := ctx.Err(); err != nil {
+			rerr = fmt.Errorf("router: %w", err)
+			break
+		}
+		lp := &plan.layers[li]
+		for _, g := range lp.oneQ {
+			// Remaps of validated gates onto in-range layout positions:
+			// appended directly, skipping Circuit.Append's re-validation.
+			mapped := g
+			mapped.Q0 = layout.Phys(g.Q0)
+			out.Gates = append(out.Gates, mapped)
+		}
+		layerSwaps, err := r.routeLayer(ctx, li, lp, layout, out, sc, dist, tab, swapCap-swaps)
+		swaps += layerSwaps
+		if err != nil {
+			rerr = err
+			break
+		}
+	}
+
+	// Batched per call, on every exit: the counters measure routing work
+	// performed — every stochastic trial counts, pruned and failed attempts
+	// included (with the pruning cap fixed before the fan-out, a pruned
+	// trial's partial work is as deterministic as a completed one's) —
+	// while compile/swaps counts only the SWAPs of the kept result.
 	if r.Obs.Enabled() {
 		r.Obs.Inc(obsv.CntRouterRoutes)
-		r.Obs.Add(obsv.CntRouterLayers, int64(len(layers)))
+		r.Obs.Add(obsv.CntRouterLayers, int64(len(plan.layers)))
 		r.Obs.Add(obsv.CntRouterSwaps, int64(swaps))
+		r.Obs.Add(obsv.CntRouterScoreEvals, sc.evals)
+		r.Obs.Add(obsv.CntCompileDistUpdates, sc.updates)
+	}
+	if rerr != nil {
+		putLayout(layout)
+		putCircuit(out)
+		return nil, rerr
 	}
 	return &Result{Circuit: out, Initial: initial, Final: layout, SwapCount: swaps}, nil
 }
 
-// routeLayer emits the pending two-qubit gates, inserting SWAPs as needed,
-// and returns the number of SWAPs added. The layout is updated in place.
-// li is the ASAP layer index, stamped into trace events.
-func (r *Router) routeLayer(ctx context.Context, li int, pending, next []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
+// routeLayer emits the layer's two-qubit gates, inserting SWAPs as needed,
+// and returns the number of SWAPs added — pruning the attempt with
+// errTrialPruned once they exceed budget (the caller's remaining swap
+// allowance). The layout is updated in place; sc carries the incremental
+// scoring state (and its work counters) across the layer.
+func (r *Router) routeLayer(ctx context.Context, li int, lp *layerPlan, layout *Layout, out *circuit.Circuit, sc *scorer, dist *graphs.DistanceMatrix, tab *devTables, budget int) (int, error) {
+	if len(lp.twoQ) == 0 {
+		return 0, nil
+	}
+	if budget < noSwapCap {
+		// Capped trial: a gate at hop distance h needs at least h-1 SWAPs
+		// (one SWAP moves an endpoint one hop), whichever distance metric
+		// guides selection. If the worst pending gate alone already
+		// overruns the remaining budget the trial can never finish within
+		// the cap, so it would be pruned later anyway — abort before paying
+		// for the layer. Guarded on finite hops: an unreachable pair is
+		// trial-order-independent and must surface as trial 0's routing
+		// error, not a silent prune.
+		maxHop := 0.0
+		for i := range lp.twoQ {
+			g := &lp.twoQ[i]
+			if h := tab.hop[layout.Phys(g.Q0)*tab.n+layout.Phys(g.Q1)]; h > maxHop {
+				maxHop = h
+			}
+		}
+		if !math.IsInf(maxHop, 1) && int(maxHop)-1 > budget {
+			return 0, errTrialPruned
+		}
+	}
+	// Swap-free fast path: when every pending gate already sits on a coupled
+	// pair, the scorer's first emission sweep would emit them all in pending
+	// order and terminate without ever scoring a swap — emit directly and
+	// skip the per-layer scoring state entirely. The emitted sequence and
+	// every work counter are identical to the scorer path (init evaluates
+	// nothing; bestSwap never runs on such a layer).
+	allAdj := true
+	for i := range lp.twoQ {
+		g := &lp.twoQ[i]
+		if !tab.adj[layout.Phys(g.Q0)*tab.n+layout.Phys(g.Q1)] {
+			allAdj = false
+			break
+		}
+	}
+	if allAdj {
+		for i := range lp.twoQ {
+			g := lp.twoQ[i]
+			g.Q0, g.Q1 = layout.Phys(g.Q0), layout.Phys(g.Q1)
+			out.Gates = append(out.Gates, g)
+		}
+		return 0, nil
+	}
+	scan := r.edgeOrder
+	if scan == nil {
+		scan = r.Dev.Coupling.Edges()
+	}
+	sc.init(tab, r.LookaheadWeight, scan, lp.twoQ, lp.next, layout)
 	swaps := 0
-	for len(pending) > 0 {
+	for {
 		if err := ctx.Err(); err != nil {
 			return swaps, fmt.Errorf("router: %w", err)
 		}
+		if swaps > budget {
+			return swaps, errTrialPruned
+		}
 		// Emit every gate that is currently executable.
-		rest := pending[:0]
-		for _, g := range pending {
-			p0, p1 := layout.Phys(g.Q0), layout.Phys(g.Q1)
-			if r.Dev.Connected(p0, p1) {
-				mapped := g
-				mapped.Q0, mapped.Q1 = p0, p1
-				out.Append(mapped)
-			} else {
-				rest = append(rest, g)
+		sc.emitReady(out)
+		if sc.nPend == 0 {
+			return swaps, nil
+		}
+		if budget < noSwapCap && swaps+tab.maxHop-1 > budget {
+			// Mid-layer lower bound: finishing the layer needs at least
+			// maxPendingHop-1 further SWAPs (one SWAP moves any gate at most
+			// one hop closer), so a capped trial already past that point is
+			// doomed — abort now instead of swapping up to the cap. Pruned
+			// trials are discarded whole, so the winner is unchanged. Same
+			// finite-hop guard as the layer-entry check; the entry scan only
+			// runs once the cap is within the coupling diameter, where the
+			// bound can actually fire.
+			if h := sc.maxPendingHop(); !math.IsInf(h, 1) && swaps+int(h)-1 > budget {
+				return swaps, errTrialPruned
 			}
 		}
-		pending = rest
-		if len(pending) == 0 {
-			break
-		}
 
-		if p1, p2, gain, ok := r.bestSwap(pending, next, layout); ok {
+		if p1, p2, gain, ok := sc.bestSwap(scan); ok {
 			var before []int
 			if r.Trace.Enabled() {
 				before = append([]int(nil), layout.L2P...)
 			}
 			out.Append(circuit.NewSwap(p1, p2))
 			layout.SwapPhysical(p1, p2)
+			sc.applySwap(p1, p2)
 			swaps++
 			if r.Trace.Enabled() {
 				r.Trace.Swap(trace.SwapInfo{
 					P1: p1, P2: p2,
-					Cost:         r.Dist.Dist(p1, p2),
+					Cost:         dist.Dist(p1, p2),
 					Gain:         gain,
 					RoutingLayer: li,
 					Before:       before,
@@ -254,141 +506,23 @@ func (r *Router) routeLayer(ctx context.Context, li int, pending, next []circuit
 
 		// No strictly improving swap exists: walk the closest pending gate's
 		// control along its (distance-matrix) shortest path until adjacent.
-		forced, err := r.forcePath(li, pending, layout, out)
+		forced, err := r.forcePath(li, sc, layout, out, dist)
 		swaps += forced
 		if err != nil {
 			return swaps, err
 		}
 	}
-	return swaps, nil
-}
-
-// bestSwap searches coupling edges adjacent to pending gates' qubits for
-// the swap minimizing pending distance plus the lookahead term plus the
-// swap's own execution cost (the edge's distance weight — uniform for hop
-// routing, reliability-dependent for VIC, so unreliable links are avoided
-// even when geometrically equivalent). A strict improvement of the pending
-// term is required so routing always terminates. Deterministic: ties broken
-// by coupling-edge order.
-//
-// Candidates are scored by delta-evaluation: only gates with an endpoint on
-// one of the swapped physical qubits change distance, so each candidate
-// costs O(gates touching the edge) instead of O(all pending gates).
-//
-// The third return is the winning swap's pending-distance improvement
-// (positive; the trace's "gain").
-func (r *Router) bestSwap(pending, next []circuit.Gate, layout *Layout) (int, int, float64, bool) {
-	// Combined entry list: pending gates first, then lookahead gates;
-	// indexed by physical endpoint for delta evaluation.
-	type entry struct {
-		p0, p1  int
-		pending bool
-	}
-	entries := make([]entry, 0, len(pending)+len(next))
-	for _, g := range pending {
-		entries = append(entries, entry{layout.Phys(g.Q0), layout.Phys(g.Q1), true})
-	}
-	lookahead := r.LookaheadWeight
-	if lookahead > 0 {
-		for _, g := range next {
-			entries = append(entries, entry{layout.Phys(g.Q0), layout.Phys(g.Q1), false})
-		}
-	}
-	touch := make(map[int][]int, 2*len(entries))
-	for i, e := range entries {
-		touch[e.p0] = append(touch[e.p0], i)
-		touch[e.p1] = append(touch[e.p1], i)
-	}
-	active := make(map[int]bool, 2*len(pending))
-	for _, g := range pending {
-		active[layout.Phys(g.Q0)] = true
-		active[layout.Phys(g.Q1)] = true
-	}
-
-	bestTotal := 0.0
-	bestGain := 0.0
-	var bp1, bp2 int
-	found := false
-	mark := make([]int, len(entries)) // visit stamp per entry
-	stamp := 0
-	scan := r.edgeOrder
-	if scan == nil {
-		scan = r.Dev.Coupling.Edges()
-	}
-	for _, e := range scan {
-		if !active[e.U] && !active[e.V] {
-			continue
-		}
-		stamp++
-		// Distance delta for gates touching either end of the swap; an
-		// entry touching both ends is visited once (its distance is
-		// unchanged anyway, both endpoints staying within {e.U, e.V}).
-		pendingDelta, nextDelta := 0.0, 0.0
-		for _, p := range [2]int{e.U, e.V} {
-			for _, i := range touch[p] {
-				if mark[i] == stamp {
-					continue
-				}
-				mark[i] = stamp
-				en := entries[i]
-				before := r.Dist.Dist(en.p0, en.p1)
-				after := r.Dist.Dist(swapped(en.p0, e.U, e.V), swapped(en.p1, e.U, e.V))
-				if en.pending {
-					pendingDelta += after - before
-				} else {
-					nextDelta += after - before
-				}
-			}
-		}
-		if !(pendingDelta < 0) {
-			// Must strictly improve the current layer. The negated form
-			// also rejects NaN deltas (∞−∞ on disconnected devices), which
-			// would otherwise loop forever; forcePath then reports the
-			// disconnection.
-			continue
-		}
-		total := pendingDelta + r.Dist.Dist(e.U, e.V)
-		if lookahead > 0 {
-			total += lookahead * nextDelta
-		}
-		if !found || total < bestTotal {
-			bestTotal = total
-			bestGain = -pendingDelta
-			bp1, bp2 = e.U, e.V
-			found = true
-		}
-	}
-	return bp1, bp2, bestGain, found
-}
-
-// swapped maps physical position p through the transposition (a b).
-func swapped(p, a, b int) int {
-	switch p {
-	case a:
-		return b
-	case b:
-		return a
-	}
-	return p
 }
 
 // forcePath routes the closest pending gate directly: the occupant of the
 // control's physical qubit is swapped along the shortest path toward the
 // target until the pair is coupled. Returns the number of swaps emitted, or
 // a *DisconnectedError when no path exists (severed coupling graph).
-func (r *Router) forcePath(li int, pending []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
+func (r *Router) forcePath(li int, sc *scorer, layout *Layout, out *circuit.Circuit, dist *graphs.DistanceMatrix) (int, error) {
 	r.Obs.Inc(obsv.CntRouterForcedPaths)
-	best := 0
-	bestD := r.Dist.Dist(layout.Phys(pending[0].Q0), layout.Phys(pending[0].Q1))
-	for i := 1; i < len(pending); i++ {
-		d := r.Dist.Dist(layout.Phys(pending[i].Q0), layout.Phys(pending[i].Q1))
-		if d < bestD {
-			best, bestD = i, d
-		}
-	}
-	g := pending[best]
-	src, dst := layout.Phys(g.Q0), layout.Phys(g.Q1)
-	path := r.Dist.Path(src, dst)
+	best := sc.closestPending()
+	src, dst := int(sc.entries[best].p0), int(sc.entries[best].p1)
+	path := dist.Path(src, dst)
 	if path == nil {
 		return 0, &DisconnectedError{Device: r.Dev.Name, A: src, B: dst}
 	}
@@ -400,11 +534,12 @@ func (r *Router) forcePath(li int, pending []circuit.Gate, layout *Layout, out *
 		}
 		out.Append(circuit.NewSwap(path[i], path[i+1]))
 		layout.SwapPhysical(path[i], path[i+1])
+		sc.applySwap(path[i], path[i+1])
 		swaps++
 		if r.Trace.Enabled() {
 			r.Trace.Swap(trace.SwapInfo{
 				P1: path[i], P2: path[i+1],
-				Cost:         r.Dist.Dist(path[i], path[i+1]),
+				Cost:         dist.Dist(path[i], path[i+1]),
 				Forced:       true,
 				RoutingLayer: li,
 				Before:       before,
@@ -413,4 +548,15 @@ func (r *Router) forcePath(li int, pending []circuit.Gate, layout *Layout, out *
 		}
 	}
 	return swaps, nil
+}
+
+// swapped maps physical position p through the transposition (a b).
+func swapped(p, a, b int) int {
+	switch p {
+	case a:
+		return b
+	case b:
+		return a
+	}
+	return p
 }

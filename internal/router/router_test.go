@@ -296,8 +296,9 @@ func TestRouteTrialsImproveOrMatch(t *testing.T) {
 func TestRouteTrialsRequireRng(t *testing.T) {
 	r := New(device.Linear(3))
 	r.Trials = 4
-	if _, err := r.Route(circuit.New(3).Append(circuit.NewCNOT(0, 2)), nil); err == nil {
-		t.Error("Trials without Rng accepted")
+	_, err := r.Route(circuit.New(3).Append(circuit.NewCNOT(0, 2)), nil)
+	if !errors.Is(err, ErrTrialsWithoutRng) {
+		t.Errorf("want ErrTrialsWithoutRng, got %v", err)
 	}
 }
 

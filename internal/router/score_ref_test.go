@@ -1,0 +1,281 @@
+package router
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/graphs"
+)
+
+// This file preserves the pre-incremental router as a test oracle: per
+// search it rebuilds the entry lists and recomputes every candidate score
+// from the distance matrix, with no memoization, no candidate set and no
+// incremental endpoint state. The incremental scorer must match it gate for
+// gate, bit for bit — that equivalence is the correctness contract of the
+// whole hot-path overhaul (see the scorer doc comment in score.go).
+
+// refRoute is the reference single-shot routing pass (the routeOnce of the
+// full-recompute implementation).
+func refRoute(r *Router, c *circuit.Circuit, initial *Layout) (*Result, error) {
+	dev := r.Dev
+	if initial == nil {
+		initial = TrivialLayout(c.NQubits, dev.NQubits())
+	}
+	layout := initial.Clone()
+	out := circuit.New(dev.NQubits())
+	swaps := 0
+	layers := c.Layers()
+
+	for li, layer := range layers {
+		var pending []circuit.Gate
+		for _, gi := range layer {
+			g := c.Gates[gi]
+			switch g.Arity() {
+			case 1:
+				mapped := g
+				mapped.Q0 = layout.Phys(g.Q0)
+				out.Append(mapped)
+			case 2:
+				pending = append(pending, g)
+			}
+		}
+		var next []circuit.Gate
+		if r.LookaheadWeight > 0 && li+1 < len(layers) {
+			for _, gi := range layers[li+1] {
+				if g := c.Gates[gi]; g.Arity() == 2 {
+					next = append(next, g)
+				}
+			}
+		}
+		layerSwaps, err := refRouteLayer(r, pending, next, layout, out)
+		swaps += layerSwaps
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Circuit: out, Initial: initial, Final: layout, SwapCount: swaps}, nil
+}
+
+// refRouteLayer emits the pending gates, inserting full-recompute-scored
+// SWAPs (and forced paths) until the layer drains.
+func refRouteLayer(r *Router, pending, next []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
+	swaps := 0
+	for len(pending) > 0 {
+		rest := pending[:0]
+		for _, g := range pending {
+			p0, p1 := layout.Phys(g.Q0), layout.Phys(g.Q1)
+			if r.Dev.Connected(p0, p1) {
+				mapped := g
+				mapped.Q0, mapped.Q1 = p0, p1
+				out.Append(mapped)
+			} else {
+				rest = append(rest, g)
+			}
+		}
+		pending = rest
+		if len(pending) == 0 {
+			break
+		}
+
+		if p1, p2, _, ok := refBestSwap(r, pending, next, layout); ok {
+			out.Append(circuit.NewSwap(p1, p2))
+			layout.SwapPhysical(p1, p2)
+			swaps++
+			continue
+		}
+
+		forced, err := refForcePath(r, pending, layout, out)
+		swaps += forced
+		if err != nil {
+			return swaps, err
+		}
+	}
+	return swaps, nil
+}
+
+// refBestSwap recomputes every candidate edge's score from scratch: entry
+// lists, endpoint index and active set are rebuilt per call, and each
+// touched entry's distance delta is re-read from the distance matrix.
+func refBestSwap(r *Router, pending, next []circuit.Gate, layout *Layout) (int, int, float64, bool) {
+	type entry struct {
+		p0, p1  int
+		pending bool
+	}
+	entries := make([]entry, 0, len(pending)+len(next))
+	for _, g := range pending {
+		entries = append(entries, entry{layout.Phys(g.Q0), layout.Phys(g.Q1), true})
+	}
+	lookahead := r.LookaheadWeight
+	if lookahead > 0 {
+		for _, g := range next {
+			entries = append(entries, entry{layout.Phys(g.Q0), layout.Phys(g.Q1), false})
+		}
+	}
+	touch := make(map[int][]int, 2*len(entries))
+	for i, e := range entries {
+		touch[e.p0] = append(touch[e.p0], i)
+		touch[e.p1] = append(touch[e.p1], i)
+	}
+	active := make(map[int]bool, 2*len(pending))
+	for _, g := range pending {
+		active[layout.Phys(g.Q0)] = true
+		active[layout.Phys(g.Q1)] = true
+	}
+
+	bestTotal := 0.0
+	bestGain := 0.0
+	var bp1, bp2 int
+	found := false
+	mark := make([]int, len(entries))
+	stamp := 0
+	scan := r.edgeOrder
+	if scan == nil {
+		scan = r.Dev.Coupling.Edges()
+	}
+	for _, e := range scan {
+		if !active[e.U] && !active[e.V] {
+			continue
+		}
+		stamp++
+		pendingDelta, nextDelta := 0.0, 0.0
+		for _, p := range [2]int{e.U, e.V} {
+			for _, i := range touch[p] {
+				if mark[i] == stamp {
+					continue
+				}
+				mark[i] = stamp
+				en := entries[i]
+				before := r.Dist.Dist(en.p0, en.p1)
+				after := r.Dist.Dist(swapped(en.p0, e.U, e.V), swapped(en.p1, e.U, e.V))
+				if en.pending {
+					pendingDelta += after - before
+				} else {
+					nextDelta += after - before
+				}
+			}
+		}
+		if !(pendingDelta < 0) {
+			continue
+		}
+		total := pendingDelta + r.Dist.Dist(e.U, e.V)
+		if lookahead > 0 {
+			total += lookahead * nextDelta
+		}
+		if !found || total < bestTotal {
+			bestTotal = total
+			bestGain = -pendingDelta
+			bp1, bp2 = e.U, e.V
+			found = true
+		}
+	}
+	return bp1, bp2, bestGain, found
+}
+
+// refForcePath walks the closest pending gate along its shortest path, the
+// no-improving-swap fallback of the reference implementation.
+func refForcePath(r *Router, pending []circuit.Gate, layout *Layout, out *circuit.Circuit) (int, error) {
+	best := 0
+	bestD := r.Dist.Dist(layout.Phys(pending[0].Q0), layout.Phys(pending[0].Q1))
+	for i := 1; i < len(pending); i++ {
+		d := r.Dist.Dist(layout.Phys(pending[i].Q0), layout.Phys(pending[i].Q1))
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	g := pending[best]
+	src, dst := layout.Phys(g.Q0), layout.Phys(g.Q1)
+	path := r.Dist.Path(src, dst)
+	if path == nil {
+		return 0, &DisconnectedError{Device: r.Dev.Name, A: src, B: dst}
+	}
+	swaps := 0
+	for i := 0; i+2 < len(path); i++ {
+		out.Append(circuit.NewSwap(path[i], path[i+1]))
+		layout.SwapPhysical(path[i], path[i+1])
+		swaps++
+	}
+	return swaps, nil
+}
+
+// randomRoutingCircuit builds a QAOA-flavor workload over n logical qubits:
+// an H wall, `gates` random two-qubit CPhase gates with occasional RZ
+// interleavings, and an RX mixer wall.
+func randomRoutingCircuit(n, gates int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.NewH(q))
+	}
+	for i := 0; i < gates; i++ {
+		if rng.Intn(5) == 0 {
+			c.Append(circuit.NewRZ(rng.Intn(n), 0.3))
+			continue
+		}
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		c.Append(circuit.NewCPhase(a, b, 0.7))
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.NewRX(q, 0.4))
+	}
+	return c
+}
+
+// TestScorerMatchesFullRecompute asserts the incremental scorer's routing is
+// byte-identical to the full-recompute reference across devices, distance
+// metrics (hop and reliability-weighted), lookahead settings and shuffled
+// edge scan orders — exact equality, not a tolerance: the incremental path
+// is engineered to reproduce the reference's floating-point accumulation
+// bit for bit.
+func TestScorerMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tokyo := device.Tokyo20()
+	melb := device.Melbourne15()
+	relDev := device.Tokyo20().WithRandomCalibration(rand.New(rand.NewSource(5)), 0.02, 0.01)
+	cases := []struct {
+		name string
+		dev  *device.Device
+		dist *graphs.DistanceMatrix
+	}{
+		{"tokyo-hop", tokyo, tokyo.HopDistances()},
+		{"melbourne-hop", melb, melb.HopDistances()},
+		{"tokyo-reliability", relDev, relDev.ReliabilityDistances()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, lookahead := range []float64{0, 0.5} {
+				for trial := 0; trial < 4; trial++ {
+					circ := randomRoutingCircuit(tc.dev.NQubits()-4, 60, rng)
+					r := &Router{Dev: tc.dev, Dist: tc.dist, LookaheadWeight: lookahead}
+					if trial > 0 {
+						order := append([]graphs.Edge(nil), tc.dev.Coupling.Edges()...)
+						rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+						r.edgeOrder = order
+					}
+					got, err := r.Route(circ, nil)
+					if err != nil {
+						t.Fatalf("lookahead=%v trial=%d: route: %v", lookahead, trial, err)
+					}
+					want, err := refRoute(r, circ, nil)
+					if err != nil {
+						t.Fatalf("lookahead=%v trial=%d: reference route: %v", lookahead, trial, err)
+					}
+					if got.SwapCount != want.SwapCount {
+						t.Fatalf("lookahead=%v trial=%d: SwapCount %d, reference %d", lookahead, trial, got.SwapCount, want.SwapCount)
+					}
+					if !reflect.DeepEqual(got.Circuit.Gates, want.Circuit.Gates) {
+						t.Fatalf("lookahead=%v trial=%d: routed gates diverge from reference", lookahead, trial)
+					}
+					if !got.Final.Equal(want.Final) {
+						t.Fatalf("lookahead=%v trial=%d: final layout %v, reference %v", lookahead, trial, got.Final, want.Final)
+					}
+				}
+			}
+		})
+	}
+}

@@ -152,6 +152,10 @@ type Gate = circuit.Gate
 // Layout is a logical-to-physical qubit assignment.
 type Layout = router.Layout
 
+// ErrTrialsWithoutRng reports stochastic routing trials requested without a
+// seed source (router misuse; compare with errors.Is).
+var ErrTrialsWithoutRng = router.ErrTrialsWithoutRng
+
 // Devices.
 
 // Device models target hardware (coupling graph + calibration).
