@@ -42,16 +42,18 @@ func main() {
 		trials    = flag.Int("router-trials", 0, "stochastic routing trials per circuit (0/1 = single-shot; trials run in parallel across GOMAXPROCS with a deterministic result)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "abort the suite after this long (0 = no deadline)")
 		listen    = flag.String("listen", "", "serve live Prometheus metrics, /healthz and pprof on this address (e.g. :8080) while the suite runs")
+		logOut    = flag.String("log", "", "write a JSON wide-event run summary line to this file (\"-\" for stderr, empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *simThr, *timeSlack, *instances, *nodes, *argShots, *argTraj, *trials, *seed, *timeout, *listen); err != nil {
+	if err := run(*out, *rev, *baseline, *timeThr, *countThr, *simThr, *timeSlack, *instances, *nodes, *argShots, *argTraj, *trials, *seed, *timeout, *listen, *logOut); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64, instances, nodes, argShots, argTraj, trials int, seed int64, timeout time.Duration, listen string) error {
+func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64, instances, nodes, argShots, argTraj, trials int, seed int64, timeout time.Duration, listen, logOut string) error {
+	runStart := time.Now()
 	rev = qaoac.RevisionFromEnv(rev)
 	if out == "" {
 		out = qaoac.DefaultBenchFilename(rev)
@@ -116,6 +118,21 @@ func run(out, rev, baseline string, timeThr, countThr, simThr, timeSlack float64
 	rep.AttachCollector(c)
 	if err := rep.WriteFile(out); err != nil {
 		return err
+	}
+	// One canonical wide-event summary line per run — the same log/slog JSON
+	// vocabulary qaoad emits per request, so one pipeline parses both.
+	logW, closeLog, err := qaoac.OpenLogWriter(logOut)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+	if logW != nil {
+		ev := (&obsv.WideEvent{}).
+			Str(obsv.FieldPhase, "bench").
+			Int(obsv.FieldRequests, int64(len(rep.Benchmarks))).
+			Float(obsv.FieldDurationMS, float64(time.Since(runStart).Microseconds())/1000.0).
+			Str(obsv.FieldOutcome, "ok")
+		ev.Emit(qaoac.NewWideLogger(logW), "run")
 	}
 	fmt.Printf("wrote %s: %d benchmarks, %d counters, time unit %.4fs\n",
 		out, len(rep.Benchmarks), len(rep.Counters), rep.TimeUnitSec)

@@ -13,12 +13,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/qaoac"
 )
 
@@ -52,8 +54,17 @@ func main() {
 		metrics = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the run to this path")
 		rev     = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
 		listen  = flag.String("listen", "", "serve live Prometheus metrics, /healthz sweep progress and pprof on this address (e.g. :8080) while the sweep runs")
+		logOut  = flag.String("log", "", "write one JSON wide-event summary line per figure to this file (\"-\" for stderr, empty disables)")
 	)
 	flag.Parse()
+
+	logW, closeLog, err := qaoac.OpenLogWriter(*logOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
+		os.Exit(1)
+	}
+	defer closeLog()
+	logger := qaoac.NewWideLogger(logW)
 
 	var col *qaoac.Collector
 	if *metrics != "" || *listen != "" {
@@ -83,7 +94,7 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "qaoa-exp: serving metrics on http://%s/metrics\n", obs.Addr())
 	}
-	if err := run(*fig, *scale, *format); err != nil {
+	if err := run(*fig, *scale, *format, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
 		os.Exit(1)
 	}
@@ -113,7 +124,7 @@ func scaleN(n int, s float64) int {
 	return v
 }
 
-func run(fig string, scale float64, format string) error {
+func run(fig string, scale float64, format string, logger *slog.Logger) error {
 	type job struct {
 		name string
 		run  func() ([]*qaoac.ExpTable, error)
@@ -250,6 +261,13 @@ func run(fig string, scale float64, format string) error {
 		fmt.Printf("(fig %s regenerated in %s)\n\n", j.name, time.Since(start).Round(time.Millisecond))
 		done++
 		setProgress("fig "+j.name, done, selected)
+		// One canonical wide-event line per figure — the same vocabulary the
+		// serving and bench binaries emit, so one pipeline parses all four.
+		ev := (&obsv.WideEvent{}).
+			Str(obsv.FieldPhase, "fig "+j.name).
+			Float(obsv.FieldDurationMS, float64(time.Since(start).Microseconds())/1000.0).
+			Str(obsv.FieldOutcome, "ok")
+		ev.Emit(logger, "figure")
 	}
 	if !matched {
 		return fmt.Errorf("unknown figure %q", fig)

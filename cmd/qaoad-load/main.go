@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -60,18 +62,27 @@ func main() {
 		queue     = flag.Int("queue", 0, "in-process server: admission queue bound (default 4×workers)")
 		out       = flag.String("metrics-out", "", "write the BENCH_*.json record to this path")
 		rev       = flag.String("rev", "", "revision stamped into the record (default $GITHUB_SHA, then \"dev\")")
+		logOut    = flag.String("log", "", "write one JSON wide-event summary line per phase to this file (\"-\" for stderr, empty disables)")
+		availBurn = flag.Float64("max-availability-burn", 0, "fail when the service-wide SLO availability burn rate exceeds this after the run (negative disables the gate)")
 	)
 	flag.Parse()
 	if err := run(*addr, *devName, *warmN, *requests, *clients, *overN, *overCli, *seed, *minRPS,
-		*minShed, *injectLat, *workers, *queue, *out, *rev); err != nil {
+		*minShed, *injectLat, *workers, *queue, *out, *rev, *logOut, *availBurn); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoad-load:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, devName string, warmN, requests, clients, overN, overCli int, seed int64, minRPS float64,
-	minShed int, injectLat time.Duration, workers, queue int, out, rev string) error {
+	minShed int, injectLat time.Duration, workers, queue int, out, rev, logOut string, availBurn float64) error {
 	col := obsv.New()
+
+	logW, closeLog, err := qaoac.OpenLogWriter(logOut)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+	logger := qaoac.NewWideLogger(logW)
 	if addr == "" {
 		// The optional injected pass latency models real-hardware compile
 		// times on machines too small for CPU-bound compiles to overlap
@@ -113,17 +124,34 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 	over := genCircuits(rng, overN, devName, "VIC", 16, 20, 12)
 
 	// Phase 1: warm. Every circuit compiles once; the cache now holds the
-	// working set the cached phase replays.
+	// working set the cached phase replays. Client-side latencies of this
+	// phase are the uncached sample the server-histogram cross-check uses.
+	_, uncachedBefore, err := scrapeHistogram(client, base, "qaoa_serve_request_uncached_ms")
+	if err != nil {
+		return err
+	}
+	warmLat := make([]float64, 0, warmN)
+	startWarm := time.Now()
 	for i, body := range warm {
+		t0 := time.Now()
 		st, _, err := post(client, base, body)
+		d := time.Since(t0)
 		if err != nil {
 			return fmt.Errorf("warm %d: %w", i, err)
 		}
 		if st != http.StatusOK {
 			return fmt.Errorf("warm %d: status %d", i, st)
 		}
+		warmLat = append(warmLat, float64(d.Microseconds())/1000.0)
 	}
-	fmt.Fprintf(os.Stderr, "qaoad-load: warm done (%d circuits)\n", warmN)
+	warmWall := time.Since(startWarm)
+	sort.Float64s(warmLat)
+	warmP50, warmP99 := pct(warmLat, 0.50), pct(warmLat, 0.99)
+	uncachedHist, err := scrapeHistogramDelta(client, base, "qaoa_serve_request_uncached_ms", uncachedBefore)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qaoad-load: warm done (%d circuits, p50 %.2fms p99 %.2fms)\n", warmN, warmP50, warmP99)
 
 	// Phase 2: cached throughput. Each client replays the warm working set
 	// round-robin from its own offset; every response must be a cache hit.
@@ -133,6 +161,10 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 		bad       int
 		firstErr  error
 	)
+	_, cachedBefore, err := scrapeHistogram(client, base, "qaoa_serve_request_cached_ms")
+	if err != nil {
+		return err
+	}
 	perClient := requests / clients
 	startCached := time.Now()
 	var wg sync.WaitGroup
@@ -166,8 +198,56 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 	sort.Float64s(latencies)
 	rps := float64(len(latencies)) / cachedWall.Seconds()
 	p50, p99 := pct(latencies, 0.50), pct(latencies, 0.99)
+	cachedHist, err := scrapeHistogramDelta(client, base, "qaoa_serve_request_cached_ms", cachedBefore)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("cached:   %d req in %s = %.0f req/s, p50 %.2fms p99 %.2fms\n",
 		len(latencies), cachedWall.Round(time.Millisecond), rps, p50, p99)
+
+	// Cross-check the two latency vantage points: the server's histogram
+	// quantiles must agree with the client-observed percentiles within one
+	// histogram bucket (the histogram's whole resolution). A larger gap
+	// means a response path records into the wrong histogram or not at all.
+	cachedSrvP50, cachedSrvP99 := cachedHist.Quantile(0.50), cachedHist.Quantile(0.99)
+	warmSrvP50, warmSrvP99 := uncachedHist.Quantile(0.50), uncachedHist.Quantile(0.99)
+	fmt.Printf("server:   cached p50 %.2fms p99 %.2fms, uncached p50 %.2fms p99 %.2fms\n",
+		cachedSrvP50, cachedSrvP99, warmSrvP50, warmSrvP99)
+	checks := []struct {
+		name           string
+		hist           obsv.HistogramStat
+		client, server float64
+	}{
+		{"cached p50", cachedHist, p50, cachedSrvP50},
+		{"cached p99", cachedHist, p99, cachedSrvP99},
+		{"uncached p50", uncachedHist, warmP50, warmSrvP50},
+		{"uncached p99", uncachedHist, warmP99, warmSrvP99},
+	}
+	// The client vantage adds connection and scheduling overhead the server
+	// never sees — cached loopback requests finish server-side in tens of
+	// microseconds while the client pays milliseconds of transport and
+	// local queuing, spanning many fine log-linear buckets. Below
+	// crossCheckSlackMS of absolute difference that overhead dominates the
+	// signal, so only larger gaps are held to the one-bucket rule; the gate
+	// bites on compile-dominated latencies (the uncached phase) where a
+	// misrecorded histogram would show up as tens of milliseconds of drift.
+	const crossCheckSlackMS = 10.0
+	for _, c := range checks {
+		if c.hist.Count == 0 {
+			return fmt.Errorf("server histogram for %s recorded no observations over the phase", c.name)
+		}
+		if math.Abs(c.client-c.server) <= crossCheckSlackMS {
+			continue
+		}
+		ci, si := c.hist.BucketIndex(c.client), c.hist.BucketIndex(c.server)
+		if diff := ci - si; diff < -1 || diff > 1 {
+			return fmt.Errorf("%s: client %.2fms (bucket %d) and server %.2fms (bucket %d) disagree by more than one bucket",
+				c.name, c.client, ci, c.server, si)
+		}
+	}
+
+	phaseEvent(logger, "warm", warmN, float64(warmN)/warmWall.Seconds(), warmP50, warmP99)
+	phaseEvent(logger, "cached", len(latencies), rps, p50, p99)
 
 	// Phase 3: overload. Distinct uncached compiles driven closed-loop:
 	// overload-clients workers each march through their slice of the burst
@@ -217,13 +297,33 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 	fmt.Printf("overload: %d req in %s: %d ok, %d shed (429), %d 5xx, %d other; server shed delta %d\n",
 		overN, overWall.Round(time.Millisecond), ok200, shed429, http5xx, other, serverShed)
 
+	ev := (&obsv.WideEvent{}).
+		Str(obsv.FieldPhase, "overload").
+		Int(obsv.FieldRequests, int64(overN)).
+		Float(obsv.FieldReqPerSec, float64(overN)/overWall.Seconds()).
+		Int(obsv.FieldShed, int64(shed429)).
+		Int(obsv.FieldHTTP5xx, int64(http5xx))
+	ev.Emit(logger, "load_phase")
+
+	// SLO burn-rate gate: the run must leave the service-wide availability
+	// objective unburned — overload shedding is 429s, which by design spend
+	// no availability budget, so any burn means a genuine server fault.
+	burn, err := scrapeGauge(client, base, `qaoa_slo_availability_burn_rate{preset="all"}`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slo:      availability burn rate %.4g (gate %.4g)\n", burn, availBurn)
+
 	if out != "" {
 		// In-process runs fold the server's own counters (shed, cache hits,
 		// singleflight shares) into the record; against a remote server the
 		// collector is empty and /metrics is the source of truth.
 		rep := obsv.NewReport("qaoad-load", qaoac.RevisionFromEnv(rev), col)
 		rep.Benchmarks = []obsv.Benchmark{
-			{Name: "serve/cached", Instances: len(latencies), ReqPerSec: rps, P50MS: p50, P99MS: p99},
+			{Name: "serve/warm", Instances: warmN, ReqPerSec: float64(warmN) / warmWall.Seconds(),
+				P50MS: warmP50, P99MS: warmP99, ServerP50MS: warmSrvP50, ServerP99MS: warmSrvP99},
+			{Name: "serve/cached", Instances: len(latencies), ReqPerSec: rps, P50MS: p50, P99MS: p99,
+				ServerP50MS: cachedSrvP50, ServerP99MS: cachedSrvP99},
 			{Name: "serve/overload", Instances: overN, ReqPerSec: float64(overN) / overWall.Seconds(),
 				Shed: int64(shed429), HTTP5xx: int64(http5xx)},
 		}
@@ -240,6 +340,9 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 	if int64(shed429) != serverShed {
 		return fmt.Errorf("shed accounting mismatch: clients saw %d 429s, server counted %d", shed429, serverShed)
 	}
+	if availBurn >= 0 && burn > availBurn {
+		return fmt.Errorf("availability burn rate %.4g exceeds the -max-availability-burn gate %.4g", burn, availBurn)
+	}
 	if minRPS > 0 && rps < minRPS {
 		return fmt.Errorf("cached throughput %.0f req/s below the -min-throughput gate %.0f", rps, minRPS)
 	}
@@ -247,6 +350,17 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 		return fmt.Errorf("overload phase shed %d requests, below the -min-shed gate %d", shed429, minShed)
 	}
 	return nil
+}
+
+// phaseEvent emits one wide-event summary line for a completed load phase.
+func phaseEvent(logger *slog.Logger, phase string, n int, rps, p50, p99 float64) {
+	ev := (&obsv.WideEvent{}).
+		Str(obsv.FieldPhase, phase).
+		Int(obsv.FieldRequests, int64(n)).
+		Float(obsv.FieldReqPerSec, rps).
+		Float(obsv.FieldP50MS, p50).
+		Float(obsv.FieldP99MS, p99)
+	ev.Emit(logger, "load_phase")
 }
 
 // genCircuits produces count deterministic compile-request bodies: random
@@ -314,6 +428,109 @@ func pct(sorted []float64, q float64) float64 {
 		i = len(sorted) - 1
 	}
 	return sorted[i]
+}
+
+// scrapeHistogram reads one histogram's cumulative bucket counts from the
+// Prometheus text endpoint: ascending bounds (the le labels, excluding
+// +Inf) and the cumulative counts including the final +Inf bucket. A
+// histogram that was never observed reads as empty (nil, nil).
+func scrapeHistogram(client *http.Client, base, name string) (bounds []float64, cum []int64, err error) {
+	r, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, nil, fmt.Errorf("scraping metrics: %w", err)
+	}
+	defer r.Body.Close()
+	prefix := name + `_bucket{le="`
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, prefix)
+		end := strings.Index(rest, `"}`)
+		if end < 0 {
+			return nil, nil, fmt.Errorf("malformed bucket line %q", line)
+		}
+		le, val := rest[:end], strings.TrimSpace(rest[end+2:])
+		c, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		if le == "+Inf" {
+			cum = append(cum, c)
+			continue
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		bounds = append(bounds, b)
+		cum = append(cum, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(cum) > 0 && len(cum) != len(bounds)+1 {
+		return nil, nil, fmt.Errorf("histogram %s: %d bounds but %d cumulative counts", name, len(bounds), len(cum))
+	}
+	return bounds, cum, nil
+}
+
+// scrapeHistogramDelta reads the histogram again and returns the per-bucket
+// counts accumulated since the before scrape — the phase-local distribution
+// even against a server with prior traffic.
+func scrapeHistogramDelta(client *http.Client, base, name string, beforeCum []int64) (obsv.HistogramStat, error) {
+	bounds, after, err := scrapeHistogram(client, base, name)
+	if err != nil {
+		return obsv.HistogramStat{}, err
+	}
+	if len(after) == 0 {
+		return obsv.HistogramStat{Name: name}, nil
+	}
+	if len(beforeCum) != 0 && len(beforeCum) != len(after) {
+		return obsv.HistogramStat{}, fmt.Errorf("histogram %s changed shape mid-run (%d -> %d buckets)", name, len(beforeCum), len(after))
+	}
+	counts := make([]int64, len(after)) // per-bucket, overflow last
+	var prev int64
+	for i, c := range after {
+		if len(beforeCum) != 0 {
+			c -= beforeCum[i]
+		}
+		counts[i] = c - prev
+		prev = c
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return obsv.HistogramStat{}, fmt.Errorf("histogram %s: bucket count went backwards over the phase", name)
+		}
+		total += c
+	}
+	return obsv.HistogramStat{Name: name, Bounds: bounds, Counts: counts, Count: total}, nil
+}
+
+// scrapeGauge reads one gauge sample (the series name including any label
+// set, verbatim) from the Prometheus text endpoint; missing series read 0.
+func scrapeGauge(client *http.Client, base, series string) (float64, error) {
+	r, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, fmt.Errorf("scraping metrics: %w", err)
+	}
+	defer r.Body.Close()
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, series)), 64)
+		if err != nil {
+			return 0, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		return v, nil
+	}
+	return 0, sc.Err()
 }
 
 // scrapeCounter reads one counter from the Prometheus text endpoint.

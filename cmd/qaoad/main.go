@@ -3,8 +3,10 @@
 // singleflight deduplication, admission control with load shedding,
 // per-preset circuit breakers, graceful degradation down the VIC→IC→IP→
 // NAIVE ladder and graceful drain on SIGINT/SIGTERM. Observability rides
-// along on the same listener: Prometheus /metrics, /healthz liveness,
-// /readyz readiness and /debug/pprof.
+// along on the same listener: Prometheus /metrics (with latency histograms
+// and SLO burn-rate gauges), /healthz liveness, /readyz readiness,
+// /debug/pprof and the /debug/requests live request inspector; -log emits
+// one canonical JSON line per request.
 //
 // Usage:
 //
@@ -46,18 +48,29 @@ func main() {
 		warmup       = flag.Bool("warmup", true, "compile a warm-up circuit on every registered device before reporting ready")
 		metricsOut   = flag.String("metrics-out", "", "write a BENCH_*.json metrics report of the serve session to this path on exit")
 		rev          = flag.String("rev", "", "revision stamped into the metrics report (default $GITHUB_SHA, then \"dev\")")
+		logOut       = flag.String("log", "", "write one canonical JSON log line per request to this file (\"-\" for stderr, empty disables)")
+		recent       = flag.Int("recent-requests", 64, "finished requests kept by the /debug/requests inspector ring")
+		traceReqs    = flag.Bool("trace-requests", false, "attach a decision-level trace to every compile flight and expose it on /debug/requests (debugging aid, expensive)")
 	)
 	flag.Parse()
 	if err := run(*listen, *workers, *queue, *cacheSize, *deadline, *maxDeadline, *budget,
-		*retries, *backoff, *drainTimeout, *warmup, *metricsOut, *rev); err != nil {
+		*retries, *backoff, *drainTimeout, *warmup, *metricsOut, *rev, *logOut, *recent, *traceReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoad:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen string, workers, queue, cacheSize int, deadline, maxDeadline, budget time.Duration,
-	retries int, backoff, drainTimeout time.Duration, warmup bool, metricsOut, rev string) error {
+	retries int, backoff, drainTimeout time.Duration, warmup bool, metricsOut, rev, logOut string,
+	recent int, traceReqs bool) error {
 	col := obsv.New()
+
+	logW, closeLog, err := qaoac.OpenLogWriter(logOut)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+
 	srv := serve.New(serve.Config{
 		Workers:         workers,
 		Queue:           queue,
@@ -68,6 +81,9 @@ func run(listen string, workers, queue, cacheSize int, deadline, maxDeadline, bu
 		Retries:         retries,
 		Backoff:         backoff,
 		Obs:             col,
+		Log:             obsv.NewLogger(logW),
+		RecentRequests:  recent,
+		TraceRequests:   traceReqs,
 	})
 
 	ln, err := net.Listen("tcp", listen)

@@ -8,11 +8,13 @@
 // on every file, including paths no test exercises.
 //
 // Flagged: any call to a recording or lookup method of obsv.Collector
-// (Add, Inc, Set, RecordSpan, StartSpan, Counter, Gauge) whose name
-// argument is not an identifier resolving to a constant declared in the
-// obsv package. The obsv package itself and _test.go files are exempt
-// (internal plumbing forwards names through variables; tests use scratch
-// collectors).
+// (Add, Inc, Set, Observe, RecordSpan, StartSpan, Counter, Gauge) or to a
+// field-attaching method of obsv.WideEvent (Str, Int, Float, Bool, DurMS)
+// whose name argument is neither a constant declared in the obsv package
+// nor a call to an obsv-package name-builder function (HistServePresetMS
+// and friends, which derive registered names from a preset). The obsv
+// package itself and _test.go files are exempt (internal plumbing forwards
+// names through variables; tests use scratch collectors).
 package obsvnames
 
 import (
@@ -25,15 +27,21 @@ import (
 // nameMethods are the Collector methods whose first argument is a metric
 // name.
 var nameMethods = map[string]bool{
-	"Add": true, "Inc": true, "Set": true,
+	"Add": true, "Inc": true, "Set": true, "Observe": true,
 	"RecordSpan": true, "StartSpan": true,
 	"Counter": true, "Gauge": true,
+}
+
+// wideMethods are the WideEvent methods whose first argument is a log
+// field name.
+var wideMethods = map[string]bool{
+	"Str": true, "Int": true, "Float": true, "Bool": true, "DurMS": true,
 }
 
 // Analyzer enforces that metric names are registry constants.
 var Analyzer = &analysis.Analyzer{
 	Name: "obsvnames",
-	Doc:  "metric names passed to obsv.Collector must be constants from internal/obsv/names.go",
+	Doc:  "metric and wide-event field names passed to obsv must be registry constants from internal/obsv/names.go",
 	Run:  run,
 }
 
@@ -61,24 +69,34 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		return
 	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || !nameMethods[fn.Name()] {
+	if !ok {
 		return
 	}
 	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil || !isObsvCollector(sig.Recv().Type()) {
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	var kind string // what the first argument names, for the message
+	switch {
+	case nameMethods[fn.Name()] && isObsvNamed(sig.Recv().Type(), "Collector"):
+		kind = "metric name for Collector."
+	case wideMethods[fn.Name()] && isObsvNamed(sig.Recv().Type(), "WideEvent"):
+		kind = "field name for WideEvent."
+	default:
 		return
 	}
 	arg := ast.Unparen(call.Args[0])
-	if constFromObsv(pass, arg) {
+	if nameFromObsv(pass, arg) {
 		return
 	}
 	pass.Reportf(call.Args[0].Pos(),
-		"metric name for Collector.%s must be a constant from internal/obsv/names.go, not %s",
-		fn.Name(), describeArg(pass, arg))
+		"%s%s must be a constant from internal/obsv/names.go, not %s",
+		kind, fn.Name(), describeArg(pass, arg))
 }
 
-// isObsvCollector reports whether t is obsv.Collector or *obsv.Collector.
-func isObsvCollector(t types.Type) bool {
+// isObsvNamed reports whether t is the obsv-package type name (or a
+// pointer to it).
+func isObsvNamed(t types.Type, name string) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
@@ -87,18 +105,31 @@ func isObsvCollector(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Collector" && obj.Pkg() != nil && analysis.PkgNamed(obj.Pkg().Path(), "obsv")
+	return obj.Name() == name && obj.Pkg() != nil && analysis.PkgNamed(obj.Pkg().Path(), "obsv")
 }
 
-// constFromObsv reports whether expr is an identifier or selector bound to
-// a constant declared in the obsv package.
-func constFromObsv(pass *analysis.Pass, expr ast.Expr) bool {
+// nameFromObsv reports whether expr is an identifier or selector bound to
+// a constant declared in the obsv package, or a call to an obsv-package
+// function (the name builders — HistServePresetMS and friends — derive
+// registered per-preset names, so their results are registry-vetted).
+func nameFromObsv(pass *analysis.Pass, expr ast.Expr) bool {
 	var id *ast.Ident
 	switch e := expr.(type) {
 	case *ast.Ident:
 		id = e
 	case *ast.SelectorExpr:
 		id = e.Sel
+	case *ast.CallExpr:
+		switch f := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		default:
+			return false
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		return ok && fn.Pkg() != nil && analysis.PkgNamed(fn.Pkg().Path(), "obsv")
 	default:
 		return false
 	}

@@ -15,10 +15,32 @@ func record(c *obsv.Collector) {
 	// Registry constants: fine.
 	c.Inc(obsv.CntCompilations)
 	c.RecordSpan(obsv.SpanCompile, time.Second)
+	c.Observe(obsv.HistRequestMS, 1.5)
+	// Registry name-builder calls: fine.
+	c.Observe(obsv.HistPresetMS("IC"), 2.5)
 
-	c.Inc("compile/compilations") // want `metric name for Collector.Inc must be a constant from internal/obsv/names.go, not literal "compile/compilations"`
-	c.Add(localName, 1)           // want `metric name for Collector.Add must be a constant from internal/obsv/names.go, not literal "app/rogue"`
-	_ = c.Counter("app/" + "x")   // want `metric name for Collector.Counter must be a constant`
+	c.Inc("compile/compilations")    // want `metric name for Collector.Inc must be a constant from internal/obsv/names.go, not literal "compile/compilations"`
+	c.Add(localName, 1)              // want `metric name for Collector.Add must be a constant from internal/obsv/names.go, not literal "app/rogue"`
+	_ = c.Counter("app/" + "x")      // want `metric name for Collector.Counter must be a constant`
+	c.Observe("serve/rogue_ms", 1.0) // want `metric name for Collector.Observe must be a constant`
+	c.Observe(deriveName("IC"), 1.0) // want `metric name for Collector.Observe must be a constant`
 
 	c.Inc("scratch/debug") //lint:allow obsvnames: throwaway metric in a debugging harness
+}
+
+// deriveName builds a name outside the registry package — not accepted.
+func deriveName(p string) string { return "serve/" + p }
+
+func wide(e *obsv.WideEvent) {
+	// Registry field constants: fine (values may be anything).
+	e.Str(obsv.FieldReqID, "req-1").
+		Str(obsv.FieldOutcome, "ok").
+		Float(obsv.HistRequestMS, 1.5)
+
+	e.Str("req_id", "req-2")        // want `field name for WideEvent.Str must be a constant from internal/obsv/names.go, not literal "req_id"`
+	e.Int(localName, 3)             // want `field name for WideEvent.Int must be a constant`
+	e.Bool("cache_hit", true)       // want `field name for WideEvent.Bool must be a constant`
+	e.DurMS("wait_ms", time.Second) // want `field name for WideEvent.DurMS must be a constant`
+
+	e.Float("scratch_ms", 1.0) //lint:allow obsvnames: throwaway field in a debugging harness
 }

@@ -8,7 +8,15 @@ import "time"
 const (
 	CntCompilations = "compile/compilations"
 	SpanCompile     = "compile/total"
+	HistRequestMS   = "serve/request_ms"
+	FieldReqID      = "req_id"
+	FieldOutcome    = "outcome"
 )
+
+// HistPresetMS is the fixture twin of the per-preset name builders
+// (HistServePresetMS and friends): a registry function deriving a
+// registered name, accepted by the analyzer as a name argument.
+func HistPresetMS(preset string) string { return "serve/preset_" + preset + "_ms" }
 
 // Collector is the fixture twin of obsv.Collector.
 type Collector struct{}
@@ -17,3 +25,13 @@ func (c *Collector) Inc(name string)                         {}
 func (c *Collector) Add(name string, v float64)              {}
 func (c *Collector) Counter(name string) float64             { return 0 }
 func (c *Collector) RecordSpan(name string, d time.Duration) {}
+func (c *Collector) Observe(name string, v float64)          {}
+
+// WideEvent is the fixture twin of obsv.WideEvent.
+type WideEvent struct{}
+
+func (e *WideEvent) Str(name, v string) *WideEvent                 { return e }
+func (e *WideEvent) Int(name string, v int64) *WideEvent           { return e }
+func (e *WideEvent) Float(name string, v float64) *WideEvent       { return e }
+func (e *WideEvent) Bool(name string, v bool) *WideEvent           { return e }
+func (e *WideEvent) DurMS(name string, d time.Duration) *WideEvent { return e }

@@ -137,7 +137,7 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 	}
 	traceStart := o.Trace.Len()
 	if o.Trace.Enabled() {
-		o.Trace.Meta(traceMeta(spec, dev, o))
+		o.Trace.Meta(traceMeta(ctx, spec, dev, o))
 	}
 	start := time.Now() //lint:allow determinism: measured pass span, stripped by the gates
 
@@ -195,20 +195,23 @@ func CompileSpecContext(ctx context.Context, spec Spec, dev *device.Device, opts
 }
 
 // traceMeta describes the compilation for the trace stream, including the
-// coupling graph so the exporters are self-contained.
-func traceMeta(spec Spec, dev *device.Device, o Options) trace.MetaInfo {
+// coupling graph so the exporters are self-contained. A request ID carried
+// by ctx (service compilations) is stamped into the meta event, joining the
+// trace to the request's log line and inspector record.
+func traceMeta(ctx context.Context, spec Spec, dev *device.Device, o Options) trace.MetaInfo {
 	edges := dev.Coupling.Edges()
 	coupling := make([][2]int, len(edges))
 	for i, e := range edges {
 		coupling[i] = [2]int{e.U, e.V}
 	}
 	return trace.MetaInfo{
-		Device:   dev.Name,
-		NQubits:  dev.NQubits(),
-		Coupling: coupling,
-		NLogical: spec.N,
-		Mapper:   o.Mapper.String(),
-		Strategy: o.Strategy.String(),
+		Device:    dev.Name,
+		NQubits:   dev.NQubits(),
+		Coupling:  coupling,
+		NLogical:  spec.N,
+		Mapper:    o.Mapper.String(),
+		Strategy:  o.Strategy.String(),
+		RequestID: obsv.RequestID(ctx),
 	}
 }
 

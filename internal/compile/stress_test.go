@@ -107,8 +107,8 @@ func TestCompileResilientCombinedStress(t *testing.T) {
 	params := qaoa.Params{Gamma: []float64{0.5}, Beta: []float64{0.2}}
 
 	faultAxis := []struct {
-		name  string
-		make  func() *faultinject.PassFaults
+		name string
+		make func() *faultinject.PassFaults
 	}{
 		{"clean", func() *faultinject.PassFaults { return &faultinject.PassFaults{} }},
 		{"errors", func() *faultinject.PassFaults { return &faultinject.PassFaults{ErrorEvery: 3} }},

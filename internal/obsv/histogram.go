@@ -1,0 +1,250 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Histogram is a fixed-boundary latency/size distribution with exact
+// integer bucket counts — the server-side source of truth for request
+// latency percentiles (replacing load-generator-only measurements).
+//
+// The boundary scheme is chosen at construction and never changes, so two
+// histograms with equal bounds are mergeable by plain count addition and
+// their JSON serialization is a pure function of the observed values:
+// byte-identical across runs, GOMAXPROCS settings and merge orders
+// (addition commutes). There is no rebucketing, no decay and no sampling —
+// determinism is the point.
+//
+// Concurrency: Observe and Merge are safe for concurrent use; counts are
+// guarded by a mutex (the serve hot path observes once per request, so a
+// sharded design would be over-engineering at the measured throughputs).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; values > bounds[last] land in the overflow bucket
+	counts []int64   // len(bounds)+1: counts[i] is values <= bounds[i], last is overflow
+	count  int64
+	// sumMilli accumulates the sum in integer 1/1000-unit quanta. Integer
+	// addition commutes exactly, so the serialized Sum is independent of
+	// observation and merge order — float64 accumulation would drift in the
+	// last ULP with goroutine interleaving and break the byte-identical
+	// contract. For millisecond histograms the quantum is one microsecond,
+	// the resolution the serve hot path measures at anyway.
+	sumMilli int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// It panics on empty or non-ascending bounds: boundary schemes are
+// compile-time decisions, not runtime data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obsv: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obsv: histogram bounds not ascending at %d: %g <= %g", i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// DefaultLatencyBounds returns the canonical log-linear millisecond bucket
+// scheme shared by every latency histogram of the pipeline: nine linear
+// steps per decade from 0.01 ms to 90 000 ms (90 s), 63 buckets plus
+// overflow. Log-linear keeps relative quantile error bounded (a quantile
+// is pinned to within ~11% of its true value) while the fixed boundaries
+// keep the JSON byte-stable. Every bound is of the form m/100, m/10 or
+// m*10^k for integer m in 1..9, so each is the float64 nearest the exact
+// decimal and renders as the short decimal in JSON.
+func DefaultLatencyBounds() []float64 {
+	out := make([]float64, 0, 63)
+	for m := 1; m <= 9; m++ {
+		out = append(out, float64(m)/100)
+	}
+	for m := 1; m <= 9; m++ {
+		out = append(out, float64(m)/10)
+	}
+	for scale := 1.0; scale <= 10000; scale *= 10 {
+		for m := 1; m <= 9; m++ {
+			out = append(out, float64(m)*scale)
+		}
+	}
+	return out
+}
+
+// Observe adds one value to the distribution. NaN is ignored (a NaN
+// latency is an upstream bug, not a data point); negative values land in
+// the first bucket.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := bucketIndex(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sumMilli += int64(math.Round(v * 1000))
+	h.mu.Unlock()
+}
+
+// bucketIndex returns the index of the bucket v falls in: the first bound
+// >= v, or len(bounds) for the overflow bucket. Binary search keeps the
+// hot path O(log buckets).
+func bucketIndex(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bounds[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Merge folds o's counts into h. Both histograms must share identical
+// bounds (the fixed-boundary contract is what makes merging exact); a
+// mismatch is an error, never a silent rebucket.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	stat := o.statLocked("")
+	o.mu.Unlock()
+	return h.MergeStat(stat)
+}
+
+// MergeStat folds a serialized snapshot (e.g. scraped from another
+// process) into h under the same equal-bounds contract as Merge.
+func (h *Histogram) MergeStat(stat HistogramStat) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(stat.Bounds) != len(h.bounds) {
+		return fmt.Errorf("obsv: merging histogram with %d bounds into %d", len(stat.Bounds), len(h.bounds))
+	}
+	for i, b := range stat.Bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("obsv: merging histogram with bound %g at %d, want %g", b, i, h.bounds[i])
+		}
+	}
+	if len(stat.Counts) != len(h.counts) {
+		return fmt.Errorf("obsv: merging histogram with %d counts into %d", len(stat.Counts), len(h.counts))
+	}
+	for i, c := range stat.Counts {
+		h.counts[i] += c
+	}
+	h.count += stat.Count
+	h.sumMilli += int64(math.Round(stat.Sum * 1000))
+	return nil
+}
+
+// Count returns the number of observed values.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values, quantized to 1/1000 of the unit
+// (see sumMilli).
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return float64(h.sumMilli) / 1000
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the nearest-rank sample — a deterministic value from
+// the fixed boundary set, pessimistic by at most one bucket width. An
+// empty histogram or a rank in the overflow bucket returns +Inf's stand-in
+// of the last bound (there is no finite upper bound beyond it).
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantile(h.bounds, h.counts, h.count, q)
+}
+
+// Stat snapshots the histogram under the given name for reports and
+// endpoints.
+func (h *Histogram) Stat(name string) HistogramStat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.statLocked(name)
+}
+
+func (h *Histogram) statLocked(name string) HistogramStat {
+	return HistogramStat{
+		Name:   name,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    float64(h.sumMilli) / 1000,
+	}
+}
+
+// HistogramStat is the serialized form of one histogram: the full bucket
+// scheme and exact counts, so any reader can recompute quantiles, merge
+// across reports, or re-expose the distribution without loss. Counts has
+// one more entry than Bounds (the final overflow bucket).
+type HistogramStat struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Quantile computes the q-th quantile of the serialized distribution, with
+// the same bucket-upper-bound convention as Histogram.Quantile.
+func (s HistogramStat) Quantile(q float64) float64 {
+	return quantile(s.Bounds, s.Counts, s.Count, q)
+}
+
+// BucketIndex returns the index of the bucket v falls in under s's bounds
+// (len(Bounds) for the overflow bucket) — the unit of the "within one
+// bucket" agreement checks between client- and server-side measurements.
+func (s HistogramStat) BucketIndex(v float64) int { return bucketIndex(s.Bounds, v) }
+
+// quantile is the shared nearest-rank implementation: find the bucket
+// containing the ceil(q*count)-th observation and return its upper bound.
+func quantile(bounds []float64, counts []int64, count int64, q float64) float64 {
+	if count == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// QuantileFromBuckets recomputes a quantile from raw (bounds, counts)
+// pairs — the form a Prometheus scrape yields. counts may have the same
+// length as bounds (no overflow information) or one more.
+func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return quantile(bounds, counts, total, q)
+}

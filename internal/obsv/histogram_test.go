@@ -1,0 +1,265 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// latencySample builds a deterministic log-uniform latency sample spanning
+// the full bucket range, including sub-bound and overflow values.
+func latencySample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// 10^[-3, 5.3): from below the first bound (0.01) to past the last
+		// (90000), exercising underflow clamping and the overflow bucket.
+		out = append(out, math.Pow(10, -3+rng.Float64()*8.3))
+	}
+	return out
+}
+
+func TestDefaultLatencyBoundsShape(t *testing.T) {
+	b := DefaultLatencyBounds()
+	if len(b) != 63 {
+		t.Fatalf("got %d bounds, want 63", len(b))
+	}
+	if b[0] != 0.01 || b[len(b)-1] != 90000 {
+		t.Errorf("range [%g, %g], want [0.01, 90000]", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	// Every bound must render as its short decimal so the JSON is readable
+	// and byte-stable across platforms.
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("000000")) || bytes.Contains(data, []byte("999999")) {
+		t.Errorf("bounds do not render as short decimals: %s", data)
+	}
+}
+
+// TestHistogramDeterministicJSON is the core determinism contract: the same
+// multiset of observations must serialize byte-identically regardless of
+// goroutine interleaving, GOMAXPROCS or observation order. CI runs this
+// under -race.
+func TestHistogramDeterministicJSON(t *testing.T) {
+	values := latencySample(5000, 42)
+	encode := func(procs int, order []float64) []byte {
+		t.Helper()
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		c := New()
+		var wg sync.WaitGroup
+		const workers = 8
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(order); i += workers {
+					c.Observe(HistServeRequestMS, order[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		data, err := json.Marshal(c.Snapshot().Hists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	reversed := make([]float64, len(values))
+	for i, v := range values {
+		reversed[len(values)-1-i] = v
+	}
+	base := encode(runtime.GOMAXPROCS(0), values)
+	for _, alt := range [][]byte{
+		encode(1, values),
+		encode(2, reversed),
+		encode(runtime.NumCPU(), reversed),
+	} {
+		if !bytes.Equal(base, alt) {
+			t.Fatalf("histogram JSON differs across GOMAXPROCS/order:\n%s\nvs\n%s", base, alt)
+		}
+	}
+}
+
+func TestHistogramMergeAssociativeAndCommutative(t *testing.T) {
+	parts := [][]float64{
+		latencySample(700, 1),
+		latencySample(900, 2),
+		latencySample(1100, 3),
+	}
+	fill := func(vals ...[]float64) *Histogram {
+		h := NewHistogram(DefaultLatencyBounds())
+		for _, vs := range vals {
+			for _, v := range vs {
+				h.Observe(v)
+			}
+		}
+		return h
+	}
+	mergeOf := func(order ...int) HistogramStat {
+		t.Helper()
+		acc := NewHistogram(DefaultLatencyBounds())
+		for _, i := range order {
+			if err := acc.Merge(fill(parts[i])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return acc.Stat("m")
+	}
+
+	direct := fill(parts...).Stat("m")
+	for _, order := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}} {
+		if got := mergeOf(order...); !reflect.DeepEqual(got, direct) {
+			t.Fatalf("merge order %v differs from direct fill", order)
+		}
+	}
+
+	// ((A+B)+C) == (A+(B+C)): associativity via intermediate histograms.
+	ab := fill(parts[0], parts[1])
+	if err := ab.Merge(fill(parts[2])); err != nil {
+		t.Fatal(err)
+	}
+	bc := fill(parts[1], parts[2])
+	a := fill(parts[0])
+	if err := a.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ab.Stat("m"), a.Stat("m")) {
+		t.Fatal("merge is not associative")
+	}
+}
+
+func TestHistogramMergeRejectsForeignBounds(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	if err := h.Merge(NewHistogram([]float64{1, 2, 3})); err == nil {
+		t.Fatal("merging mismatched bounds did not error")
+	}
+	if err := h.MergeStat(HistogramStat{Bounds: DefaultLatencyBounds(), Counts: []int64{1}}); err == nil {
+		t.Fatal("merging stat with truncated counts did not error")
+	}
+}
+
+// TestQuantileAgainstSortedOracle pins the quantile contract: the reported
+// value is exactly the upper bound of the bucket holding the nearest-rank
+// sample of the sorted data.
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 1000, 4096} {
+		values := latencySample(n, int64(n))
+		h := NewHistogram(DefaultLatencyBounds())
+		for _, v := range values {
+			h.Observe(v)
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		stat := h.Stat("q")
+		bounds := DefaultLatencyBounds()
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			oracle := sorted[rank-1]
+			idx := stat.BucketIndex(oracle)
+			want := bounds[len(bounds)-1]
+			if idx < len(bounds) {
+				want = bounds[idx]
+			}
+			if got := h.Quantile(q); got != want {
+				t.Errorf("n=%d q=%g: got %g, oracle %g lives in bucket %d (upper bound %g)",
+					n, q, got, oracle, idx, want)
+			}
+			if got := stat.Quantile(q); got != want {
+				t.Errorf("n=%d q=%g: stat quantile %g, want %g", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds())
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Error("NaN was counted as an observation")
+	}
+	h.Observe(-3)
+	if got := h.Quantile(1); got != 0.01 {
+		t.Errorf("negative value quantile = %g, want first bound 0.01", got)
+	}
+	h.Observe(1e9) // far past the last bound: overflow bucket
+	if got := h.Quantile(1); got != 90000 {
+		t.Errorf("overflow quantile = %g, want last bound 90000", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// 3 values <=1, 1 value in (1,2], none beyond.
+	if got := QuantileFromBuckets(bounds, []int64{3, 1, 0}, 0.5); got != 1 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	if got := QuantileFromBuckets(bounds, []int64{3, 1, 0}, 1); got != 2 {
+		t.Errorf("p100 = %g, want 2", got)
+	}
+	// Scrapes without an overflow entry (len(counts) == len(bounds)) work.
+	if got := QuantileFromBuckets(bounds, []int64{0, 0, 5}, 0.9); got != 4 {
+		t.Errorf("p90 = %g, want 4", got)
+	}
+}
+
+// TestCollectorHistogramsInReport verifies the report pipeline carries
+// histograms: AttachCollector embeds them sorted by name and StripTimings
+// zeroes the wall-clock-derived counts while keeping the boundary scheme.
+func TestCollectorHistogramsInReport(t *testing.T) {
+	c := New()
+	c.Observe(HistServeRequestMS, 3.5)
+	c.Observe(HistServeRequestMS, 7.0)
+	c.Observe(HistServeQueueWaitMS, 0.2)
+	rep := NewReport("test", "r1", nil)
+	rep.AttachCollector(c)
+	if len(rep.Histograms) != 2 {
+		t.Fatalf("report has %d histograms, want 2", len(rep.Histograms))
+	}
+	if rep.Histograms[0].Name > rep.Histograms[1].Name {
+		t.Error("report histograms not sorted by name")
+	}
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed.Histograms, rep.Histograms) {
+		t.Error("histograms did not survive the JSON round trip")
+	}
+
+	parsed.StripTimings()
+	for _, h := range parsed.Histograms {
+		if h.Count != 0 || h.Sum != 0 {
+			t.Errorf("StripTimings left counts in %s", h.Name)
+		}
+		if len(h.Bounds) == 0 {
+			t.Errorf("StripTimings dropped the boundary scheme of %s", h.Name)
+		}
+	}
+}

@@ -92,6 +92,102 @@ const (
 	GaugeServeQueueDepth = "serve/queue_depth"
 )
 
+// Histogram names (fixed-boundary latency distributions in milliseconds,
+// over DefaultLatencyBounds). The server-side request histograms are the
+// source of truth for latency percentiles: load generators cross-check
+// their client-observed quantiles against these, never the reverse.
+const (
+	// HistServeRequestMS is every POST /v1/compile request's total
+	// server-side duration; the Cached/Uncached variants split it by
+	// whether the response came from the compiled-circuit cache (a cache
+	// hit or a shared singleflight) or paid for a compile flight.
+	HistServeRequestMS         = "serve/request_ms"
+	HistServeRequestCachedMS   = "serve/request_cached_ms"
+	HistServeRequestUncachedMS = "serve/request_uncached_ms"
+	// HistServeQueueWaitMS is how long admitted flights waited for a
+	// worker slot (leaders only; singleflight waiters never queue).
+	HistServeQueueWaitMS = "serve/queue_wait_ms"
+)
+
+// ServePresetNames are the compile presets the service tracks per-preset
+// latency and SLO state for, in the paper's order. internal/serve asserts
+// this list matches compile.Presets (obsv cannot import compile).
+var ServePresetNames = []string{"NAIVE", "GreedyV", "QAIM", "IP", "IC", "VIC"}
+
+// HistServePresetMS returns the registered per-preset request-latency
+// histogram name ("serve/preset_ms/IC", ...). Unknown presets map to the
+// registered catch-all "serve/preset_ms/other" rather than forking an
+// unregistered series.
+func HistServePresetMS(preset string) string {
+	for _, p := range ServePresetNames {
+		if p == preset {
+			return "serve/preset_ms/" + p
+		}
+	}
+	return "serve/preset_ms/other"
+}
+
+// CntServePresetRequests and CntServePresetErrors return the registered
+// per-preset availability counters backing the SLO burn-rate computation:
+// requests is every response attributed to the preset, errors the subset
+// that failed the availability SLO (5xx server faults; shed and deadline
+// responses are well-behaved overload, not availability violations).
+func CntServePresetRequests(preset string) string {
+	for _, p := range ServePresetNames {
+		if p == preset {
+			return "serve/preset_requests/" + p
+		}
+	}
+	return "serve/preset_requests/other"
+}
+
+// CntServePresetErrors is documented with CntServePresetRequests.
+func CntServePresetErrors(preset string) string {
+	for _, p := range ServePresetNames {
+		if p == preset {
+			return "serve/preset_errors/" + p
+		}
+	}
+	return "serve/preset_errors/other"
+}
+
+// Canonical wide-event log field names. Every field of the one-line
+// per-request JSON log object is declared here: dashboards and the CI
+// log-schema gate key on these strings, so a typo at a producer would
+// silently fork a field the way an unregistered metric would fork a
+// series. The qaoalint obsvnames analyzer enforces that WideEvent
+// producers use these constants.
+const (
+	FieldReqID         = "req_id"
+	FieldDevice        = "device"
+	FieldPreset        = "preset"
+	FieldPresetUsed    = "preset_effective"
+	FieldCacheHit      = "cache_hit"
+	FieldShared        = "singleflight_shared"
+	FieldQueueWaitMS   = "queue_wait_ms"
+	FieldBreakerState  = "breaker"
+	FieldFallbackDepth = "fallback_depth"
+	FieldAttempts      = "attempts"
+	FieldMapMS         = "map_ms"
+	FieldOrderMS       = "order_ms"
+	FieldRouteMS       = "route_ms"
+	FieldDurationMS    = "duration_ms"
+	FieldOutcome       = "outcome"
+	FieldHTTPStatus    = "http_status"
+	FieldErr           = "err"
+	FieldSwaps         = "swaps"
+	FieldDepth         = "depth"
+	FieldGates         = "gates"
+	// Fields of the load-generator and sweep summary events.
+	FieldPhase     = "phase"
+	FieldRequests  = "requests"
+	FieldReqPerSec = "req_per_sec"
+	FieldP50MS     = "p50_ms"
+	FieldP99MS     = "p99_ms"
+	FieldShed      = "shed"
+	FieldHTTP5xx   = "http_5xx"
+)
+
 // NameKind classifies a registered metric name.
 type NameKind int
 
@@ -100,6 +196,7 @@ const (
 	KindCounter NameKind = iota
 	KindGauge
 	KindSpan
+	KindHistogram
 )
 
 // String names the kind.
@@ -111,6 +208,8 @@ func (k NameKind) String() string {
 		return "gauge"
 	case KindSpan:
 		return "span"
+	case KindHistogram:
+		return "histogram"
 	}
 	return "unknown"
 }
@@ -189,6 +288,67 @@ var registry = map[string]NameKind{
 
 	GaugeServeInflight:   KindGauge,
 	GaugeServeQueueDepth: KindGauge,
+
+	HistServeRequestMS:         KindHistogram,
+	HistServeRequestCachedMS:   KindHistogram,
+	HistServeRequestUncachedMS: KindHistogram,
+	HistServeQueueWaitMS:       KindHistogram,
+}
+
+// The per-preset series (latency histogram + availability counters per
+// evaluated preset, plus the "other" catch-alls) are registered
+// programmatically: one entry per preset name, derived through the same
+// builder functions the producers call.
+func init() {
+	for _, p := range append(append([]string(nil), ServePresetNames...), "other") {
+		registry[HistServePresetMS(p)] = KindHistogram
+		registry[CntServePresetRequests(p)] = KindCounter
+		registry[CntServePresetErrors(p)] = KindCounter
+	}
+}
+
+// fieldRegistry is the complete set of canonical wide-event log fields.
+var fieldRegistry = map[string]bool{
+	FieldReqID:         true,
+	FieldDevice:        true,
+	FieldPreset:        true,
+	FieldPresetUsed:    true,
+	FieldCacheHit:      true,
+	FieldShared:        true,
+	FieldQueueWaitMS:   true,
+	FieldBreakerState:  true,
+	FieldFallbackDepth: true,
+	FieldAttempts:      true,
+	FieldMapMS:         true,
+	FieldOrderMS:       true,
+	FieldRouteMS:       true,
+	FieldDurationMS:    true,
+	FieldOutcome:       true,
+	FieldHTTPStatus:    true,
+	FieldErr:           true,
+	FieldSwaps:         true,
+	FieldDepth:         true,
+	FieldGates:         true,
+	FieldPhase:         true,
+	FieldRequests:      true,
+	FieldReqPerSec:     true,
+	FieldP50MS:         true,
+	FieldP99MS:         true,
+	FieldShed:          true,
+	FieldHTTP5xx:       true,
+}
+
+// FieldRegistered reports whether name is a canonical wide-event field.
+func FieldRegistered(name string) bool { return fieldRegistry[name] }
+
+// RegisteredFields returns every wide-event field name, sorted.
+func RegisteredFields() []string {
+	out := make([]string, 0, len(fieldRegistry))
+	for n := range fieldRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // NameRegistered reports whether name is a known metric name.
@@ -231,6 +391,11 @@ func (s Snapshot) Unregistered() []string {
 	for _, sp := range s.Spans {
 		if k, ok := registry[sp.Name]; !ok || k != KindSpan {
 			out = append(out, sp.Name)
+		}
+	}
+	for _, h := range s.Hists {
+		if k, ok := registry[h.Name]; !ok || k != KindHistogram {
+			out = append(out, h.Name)
 		}
 	}
 	sort.Strings(out)

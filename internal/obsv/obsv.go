@@ -25,6 +25,7 @@ type Collector struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	spans    map[string]*spanAccum
+	hists    map[string]*Histogram
 }
 
 type spanAccum struct {
@@ -38,6 +39,7 @@ func New() *Collector {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		spans:    make(map[string]*spanAccum),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -120,6 +122,40 @@ func (s Span) End() time.Duration {
 	return d
 }
 
+// Observe adds one value to the named histogram, creating it over the
+// canonical log-linear latency bounds (DefaultLatencyBounds) on first use.
+// All collector histograms share that one boundary scheme: it is what
+// makes every exported distribution mergeable and the BENCH JSON
+// byte-stable. No-op on nil.
+func (c *Collector) Observe(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		h = NewHistogram(DefaultLatencyBounds())
+		c.hists[name] = h
+	}
+	c.mu.Unlock()
+	h.Observe(v)
+}
+
+// HistogramStatOf snapshots the named histogram (zero-valued stat with a
+// nil Bounds slice when absent or nil collector).
+func (c *Collector) HistogramStatOf(name string) HistogramStat {
+	if c == nil {
+		return HistogramStat{Name: name}
+	}
+	c.mu.Lock()
+	h := c.hists[name]
+	c.mu.Unlock()
+	if h == nil {
+		return HistogramStat{Name: name}
+	}
+	return h.Stat(name)
+}
+
 // Counter returns the named counter's current value (0 when absent or nil).
 func (c *Collector) Counter(name string) int64 {
 	if c == nil {
@@ -150,6 +186,7 @@ func (c *Collector) Reset() {
 	c.counters = make(map[string]int64)
 	c.gauges = make(map[string]float64)
 	c.spans = make(map[string]*spanAccum)
+	c.hists = make(map[string]*Histogram)
 	c.mu.Unlock()
 }
 
@@ -164,11 +201,12 @@ type SpanStat struct {
 }
 
 // Snapshot is a point-in-time copy of the collector's state with
-// deterministic ordering (span list sorted by name).
+// deterministic ordering (span and histogram lists sorted by name).
 type Snapshot struct {
 	Counters map[string]int64
 	Gauges   map[string]float64
 	Spans    []SpanStat
+	Hists    []HistogramStat
 }
 
 // Snapshot copies the collector's current state. A nil collector yields a
@@ -183,6 +221,7 @@ func (c *Collector) Snapshot() Snapshot {
 		Counters: make(map[string]int64, len(c.counters)),
 		Gauges:   make(map[string]float64, len(c.gauges)),
 		Spans:    make([]SpanStat, 0, len(c.spans)),
+		Hists:    make([]HistogramStat, 0, len(c.hists)),
 	}
 	for k, v := range c.counters {
 		snap.Counters[k] = v
@@ -200,6 +239,21 @@ func (c *Collector) Snapshot() Snapshot {
 			MaxSec:   s.max.Seconds(),
 		})
 	}
+	for name, h := range c.hists {
+		snap.Hists = append(snap.Hists, h.Stat(name))
+	}
 	sort.Slice(snap.Spans, func(i, j int) bool { return snap.Spans[i].Name < snap.Spans[j].Name })
+	sort.Slice(snap.Hists, func(i, j int) bool { return snap.Hists[i].Name < snap.Hists[j].Name })
 	return snap
+}
+
+// Hist returns the named histogram of the snapshot, or nil if nothing was
+// observed under that name.
+func (s Snapshot) Hist(name string) *HistogramStat {
+	for i := range s.Hists {
+		if s.Hists[i].Name == name {
+			return &s.Hists[i]
+		}
+	}
+	return nil
 }

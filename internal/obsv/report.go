@@ -68,6 +68,12 @@ type Benchmark struct {
 	// responses, observed by the client during the phase.
 	Shed    int64 `json:"shed,omitempty"`
 	HTTP5xx int64 `json:"http_5xx,omitempty"`
+	// ServerP50MS/ServerP99MS are the server-side latency quantiles for the
+	// phase, read from the service's request histogram on /metrics. Recorded
+	// next to the client-observed P50MS/P99MS so the two vantage points can
+	// be cross-checked (they must agree within one histogram bucket).
+	ServerP50MS float64 `json:"server_p50_ms,omitempty"`
+	ServerP99MS float64 `json:"server_p99_ms,omitempty"`
 }
 
 // Report is the stable machine-readable metrics artifact. It combines the
@@ -89,6 +95,10 @@ type Report struct {
 	Counters    map[string]int64   `json:"counters,omitempty"`
 	Gauges      map[string]float64 `json:"gauges,omitempty"`
 	Spans       []SpanStat         `json:"spans,omitempty"`
+	// Histograms carries the collector's latency histograms (exact bucket
+	// counts, deterministic bounds). omitempty: older readers ignore it,
+	// older reports simply lack it — no schema bump needed.
+	Histograms []HistogramStat `json:"histograms,omitempty"`
 }
 
 // NewReport builds a report stamped with the current UTC time, carrying a
@@ -110,6 +120,7 @@ func NewReport(tool, revision string, c *Collector) *Report {
 func (r *Report) AttachCollector(c *Collector) {
 	snap := c.Snapshot()
 	r.Spans = snap.Spans
+	r.Histograms = snap.Hists
 	r.Counters = nil
 	r.Gauges = nil
 	if len(snap.Counters) > 0 {
@@ -139,6 +150,7 @@ func (r *Report) Benchmark(name string) (Benchmark, bool) {
 func (r *Report) MarshalIndent() ([]byte, error) {
 	sort.Slice(r.Benchmarks, func(i, j int) bool { return r.Benchmarks[i].Name < r.Benchmarks[j].Name })
 	sort.Slice(r.Spans, func(i, j int) bool { return r.Spans[i].Name < r.Spans[j].Name })
+	sort.Slice(r.Histograms, func(i, j int) bool { return r.Histograms[i].Name < r.Histograms[j].Name })
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return nil, err
@@ -221,6 +233,19 @@ func (r *Report) StripTimings() {
 	for i := range r.Spans {
 		s := &r.Spans[i]
 		s.TotalSec, s.MeanSec, s.MinSec, s.MaxSec = 0, 0, 0, 0
+	}
+	for i := range r.Histograms {
+		h := &r.Histograms[i]
+		// Bucket counts are wall-clock-derived (which bucket a request lands
+		// in depends on machine speed); the bounds are deterministic and stay.
+		for j := range h.Counts {
+			h.Counts[j] = 0
+		}
+		h.Count, h.Sum = 0, 0
+	}
+	for i := range r.Benchmarks {
+		b := &r.Benchmarks[i]
+		b.ServerP50MS, b.ServerP99MS = 0, 0
 	}
 }
 

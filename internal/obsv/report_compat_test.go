@@ -56,6 +56,62 @@ func TestParseReportIgnoresUnknownFields(t *testing.T) {
 	}
 }
 
+// The histogram and server-quantile additions ride on the existing schema
+// version as omitempty fields: reports written before them still parse
+// (nil Histograms, zero quantiles), and a reader built before them decodes
+// a new report cleanly, ignoring what it does not know — both directions of
+// compatibility, no schema bump.
+func TestReportHistogramFieldsCompatBothWays(t *testing.T) {
+	// Old report, new reader: no histograms key anywhere.
+	old := fmt.Sprintf(`{"schema": %d, "tool": "qaoad", "revision": "r0",
+		"benchmarks": [{"name": "serve/cached", "p50_ms": 1.5}]}`, SchemaVersion)
+	r, err := ParseReport([]byte(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Histograms != nil {
+		t.Errorf("old report decoded with histograms: %v", r.Histograms)
+	}
+	if b, ok := r.Benchmark("serve/cached"); !ok || b.ServerP50MS != 0 {
+		t.Errorf("old benchmark gained server quantiles: %+v", b)
+	}
+
+	// New report, old reader: decode into a struct frozen at the pre-
+	// histogram shape. encoding/json drops unknown fields, so the old
+	// binary keeps working on new artifacts.
+	c := New()
+	c.Observe(HistServeRequestMS, 2.5)
+	cur := NewReport("qaoad", "r1", nil)
+	cur.AttachCollector(c)
+	cur.Benchmarks = append(cur.Benchmarks, Benchmark{Name: "serve/cached", P50MS: 1.5, ServerP50MS: 2})
+	data, err := cur.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldReader struct {
+		Schema     int    `json:"schema"`
+		Tool       string `json:"tool"`
+		Benchmarks []struct {
+			Name  string  `json:"name"`
+			P50MS float64 `json:"p50_ms"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &oldReader); err != nil {
+		t.Fatalf("old reader failed on new report: %v", err)
+	}
+	if oldReader.Schema != SchemaVersion || len(oldReader.Benchmarks) != 1 || oldReader.Benchmarks[0].P50MS != 1.5 {
+		t.Errorf("old reader misread the new report: %+v", oldReader)
+	}
+	// And this build still round-trips its own artifact.
+	r2, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Histograms) != 1 || r2.Histograms[0].Name != HistServeRequestMS {
+		t.Errorf("new report lost its histograms: %+v", r2.Histograms)
+	}
+}
+
 // A baseline written by a newer schema must fail with a clear error naming
 // both versions — never a panic, never a silent misread.
 func TestParseReportNewerSchemaClearError(t *testing.T) {

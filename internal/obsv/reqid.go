@@ -1,0 +1,39 @@
+package obsv
+
+import "context"
+
+// Request-ID context propagation. The serving layer mints one ID per HTTP
+// request and threads it here; every layer below — the compile passes, the
+// router, the simulator — reads the same context, so the ID joins the four
+// per-request observability surfaces without any layer knowing about HTTP:
+//
+//	X-Request-ID response header  (internal/serve)
+//	canonical wide-event log line (FieldReqID)
+//	/debug/requests inspector     (internal/serve inspector record)
+//	trace stream                  (trace.MetaInfo.RequestID)
+//
+// obsv owns the key because it is the one observability package everything
+// already imports and that imports nothing.
+
+// reqIDKey is the private context key type; a private type makes collisions
+// with foreign context values impossible.
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID. An empty id
+// returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx ("" when absent or ctx
+// is nil).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

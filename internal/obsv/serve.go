@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -51,6 +52,9 @@ type Handler struct {
 	ready    ReadyFunc
 	start    time.Time
 	mux      *http.ServeMux
+
+	mu  sync.Mutex
+	slo *SLOConfig
 }
 
 // NewHandler builds a Handler over col (nil col serves empty metrics — the
@@ -73,12 +77,29 @@ func NewHandler(col *Collector, progress ProgressFunc, ready ReadyFunc) *Handler
 // next to the standard observability endpoints.
 func (h *Handler) Mux() *http.ServeMux { return h.mux }
 
+// SetSLO enables SLO burn-rate gauges on /metrics, computed from the
+// collector's availability counters and latency histograms at scrape time
+// (see ComputeSLO). Safe to call concurrently with scrapes.
+func (h *Handler) SetSLO(cfg SLOConfig) {
+	cfg = cfg.WithDefaults()
+	h.mu.Lock()
+	h.slo = &cfg
+	h.mu.Unlock()
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	WriteMetricsText(w, h.col.Snapshot())
+	snap := h.col.Snapshot()
+	WriteMetricsText(w, snap)
+	h.mu.Lock()
+	slo := h.slo
+	h.mu.Unlock()
+	if slo != nil {
+		WriteSLOText(w, snap, *slo)
+	}
 }
 
 func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -169,6 +190,18 @@ func WriteMetricsText(w interface{ Write([]byte) (int, error) }, snap Snapshot) 
 		fmt.Fprintf(w, "# TYPE %s_seconds_sum counter\n%s_seconds_sum %g\n", base, base, s.TotalSec)
 		fmt.Fprintf(w, "# TYPE %s_seconds_min gauge\n%s_seconds_min %g\n", base, base, s.MinSec)
 		fmt.Fprintf(w, "# TYPE %s_seconds_max gauge\n%s_seconds_max %g\n", base, base, s.MaxSec)
+	}
+	for _, h := range snap.Hists { // already sorted by name
+		base := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", base, b, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", base, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", base, h.Count)
 	}
 }
 

@@ -1,0 +1,148 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Per-preset SLO tracking. Two objectives per preset, both computed from
+// data the collector already holds (availability counters, latency
+// histograms), so the SLO surface adds no new recording paths:
+//
+//   - availability: fraction of requests that did not fail with a server
+//     fault (5xx). Shed (429) and deadline (504) responses are deliberate,
+//     well-behaved overload handling and do not burn availability budget.
+//   - latency: fraction of requests answered within LatencyThresholdMS.
+//
+// Burn rate is the standard SRE normalization: observed bad fraction
+// divided by allowed bad fraction (1 - target). Burn 0 means a clean
+// window, 1 means spending budget exactly as fast as allowed, >1 means the
+// objective is being violated; the load-generator gate requires
+// availability burn 0 under its throughput gate.
+
+// SLOConfig defines the service-level objectives.
+type SLOConfig struct {
+	// AvailabilityTarget is the minimum fraction of non-5xx responses
+	// (default 0.999).
+	AvailabilityTarget float64
+	// LatencyThresholdMS / LatencyTarget: at least LatencyTarget of
+	// requests must finish within LatencyThresholdMS (defaults 250 ms,
+	// 0.99).
+	LatencyThresholdMS float64
+	LatencyTarget      float64
+}
+
+// WithDefaults fills zero fields with the default objectives.
+func (c SLOConfig) WithDefaults() SLOConfig {
+	if c.AvailabilityTarget == 0 {
+		c.AvailabilityTarget = 0.999
+	}
+	if c.LatencyThresholdMS == 0 {
+		c.LatencyThresholdMS = 250
+	}
+	if c.LatencyTarget == 0 {
+		c.LatencyTarget = 0.99
+	}
+	return c
+}
+
+// SLOStatus is the computed state of one preset's objectives (or the
+// service-wide aggregate under Preset "all").
+type SLOStatus struct {
+	Preset           string  `json:"preset"`
+	Requests         int64   `json:"requests"`
+	Errors           int64   `json:"errors"`
+	Slow             int64   `json:"slow"`
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+}
+
+// burnRate normalizes an observed bad fraction by the allowed one.
+func burnRate(bad, total int64, target float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	allowed := 1 - target
+	if allowed <= 0 {
+		allowed = 1e-9 // a 100% target makes any violation an immediate infinite burn; clamp to something printable
+	}
+	return (float64(bad) / float64(total)) / allowed
+}
+
+// slowAbove counts histogram observations strictly above the threshold:
+// every bucket whose upper bound exceeds it. The bucket granularity makes
+// the count pessimistic by at most one bucket, consistent with the
+// bucket-upper-bound quantile convention.
+func slowAbove(h HistogramStat, thresholdMS float64) int64 {
+	var slow int64
+	for i, c := range h.Counts {
+		if i >= len(h.Bounds) || h.Bounds[i] > thresholdMS {
+			slow += c
+		}
+	}
+	return slow
+}
+
+// ComputeSLO derives the per-preset and aggregate SLO state from a
+// collector snapshot. Presets with no traffic are omitted; the aggregate
+// "all" row (from the serve/requests counters and the service-wide request
+// histogram) is always present when any request was served. Results are
+// sorted by preset name with "all" first.
+func ComputeSLO(snap Snapshot, cfg SLOConfig) []SLOStatus {
+	cfg = cfg.WithDefaults()
+	hists := make(map[string]HistogramStat, len(snap.Hists))
+	for _, h := range snap.Hists {
+		hists[h.Name] = h
+	}
+	var out []SLOStatus
+	if total := snap.Counters[CntServeRequests]; total > 0 {
+		errs := snap.Counters[CntServeErrors]
+		slow := slowAbove(hists[HistServeRequestMS], cfg.LatencyThresholdMS)
+		out = append(out, SLOStatus{
+			Preset: "all", Requests: total, Errors: errs, Slow: slow,
+			AvailabilityBurn: burnRate(errs, total, cfg.AvailabilityTarget),
+			LatencyBurn:      burnRate(slow, total, cfg.LatencyTarget),
+		})
+	}
+	for _, p := range append(append([]string(nil), ServePresetNames...), "other") {
+		total := snap.Counters[CntServePresetRequests(p)]
+		if total == 0 {
+			continue
+		}
+		errs := snap.Counters[CntServePresetErrors(p)]
+		slow := slowAbove(hists[HistServePresetMS(p)], cfg.LatencyThresholdMS)
+		out = append(out, SLOStatus{
+			Preset: p, Requests: total, Errors: errs, Slow: slow,
+			AvailabilityBurn: burnRate(errs, total, cfg.AvailabilityTarget),
+			LatencyBurn:      burnRate(slow, total, cfg.LatencyTarget),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].Preset == "all") != (out[j].Preset == "all") {
+			return out[i].Preset == "all"
+		}
+		return out[i].Preset < out[j].Preset
+	})
+	return out
+}
+
+// WriteSLOText renders the SLO state in the Prometheus text exposition
+// format: qaoa_slo_availability_burn_rate{preset="..."} and
+// qaoa_slo_latency_burn_rate{preset="..."} gauges, deterministically
+// ordered. It composes with WriteMetricsText on the same /metrics page.
+func WriteSLOText(w interface{ Write([]byte) (int, error) }, snap Snapshot, cfg SLOConfig) {
+	statuses := ComputeSLO(snap, cfg)
+	if len(statuses) == 0 {
+		return
+	}
+	writeSeries := func(metric string, value func(SLOStatus) float64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", metric)
+		for _, s := range statuses {
+			// %q escapes quotes/backslashes/newlines — a superset of what the
+			// Prometheus label grammar requires.
+			fmt.Fprintf(w, "%s{preset=%q} %g\n", metric, s.Preset, value(s))
+		}
+	}
+	writeSeries("qaoa_slo_availability_burn_rate", func(s SLOStatus) float64 { return s.AvailabilityBurn })
+	writeSeries("qaoa_slo_latency_burn_rate", func(s SLOStatus) float64 { return s.LatencyBurn })
+}

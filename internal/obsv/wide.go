@@ -1,0 +1,106 @@
+package obsv
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Canonical wide-event logging: instead of scattering a request's story
+// across many small log lines, each request emits exactly one JSON object
+// carrying everything an operator needs to answer "why was this request
+// slow?" — id, preset, cache hit/miss, queue wait, breaker state, fallback
+// depth, per-pass durations, outcome. One line per request keeps log
+// volume proportional to traffic, makes every line self-joining (grep one
+// req_id, get the whole story), and lets the CI log-schema gate parse a
+// single sample line to validate the producer.
+//
+// Field names are registry constants (names.go, Field*); the qaoalint
+// obsvnames analyzer rejects literals at WideEvent call sites exactly as
+// it does for metric names.
+
+// NewLogger builds the stdlib log/slog JSON logger every binary shares:
+// one JSON object per line on w, millisecond timestamps, no source
+// locations (wide events identify themselves by their fields, not by call
+// sites). A nil writer yields a disabled logger that discards everything,
+// so call sites need no nil checks.
+func NewLogger(w io.Writer) *slog.Logger {
+	if w == nil {
+		return slog.New(discardHandler{})
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}
+
+// discardHandler is a slog.Handler that drops everything (slog.DiscardHandler
+// arrives only in go 1.24; this module builds at 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// WideEvent accumulates the attributes of one canonical log line. The zero
+// value is ready to use. It is not safe for concurrent use: one request
+// handler owns one event.
+type WideEvent struct {
+	attrs []slog.Attr
+}
+
+// Str adds a string field. Field names must be Field* registry constants.
+func (e *WideEvent) Str(name, v string) *WideEvent {
+	e.attrs = append(e.attrs, slog.String(name, v))
+	return e
+}
+
+// Int adds an integer field.
+func (e *WideEvent) Int(name string, v int64) *WideEvent {
+	e.attrs = append(e.attrs, slog.Int64(name, v))
+	return e
+}
+
+// Float adds a float field.
+func (e *WideEvent) Float(name string, v float64) *WideEvent {
+	e.attrs = append(e.attrs, slog.Float64(name, v))
+	return e
+}
+
+// Bool adds a boolean field.
+func (e *WideEvent) Bool(name string, v bool) *WideEvent {
+	e.attrs = append(e.attrs, slog.Bool(name, v))
+	return e
+}
+
+// DurMS adds a duration field in (fractional) milliseconds — the one time
+// unit every latency surface of the pipeline shares.
+func (e *WideEvent) DurMS(name string, d time.Duration) *WideEvent {
+	e.attrs = append(e.attrs, slog.Float64(name, float64(d.Microseconds())/1000.0))
+	return e
+}
+
+// Unregistered returns the attached field names missing from the field
+// registry — the runtime half of the wide-event schema gate (the static
+// half is the obsvnames analyzer).
+func (e *WideEvent) Unregistered() []string {
+	var out []string
+	for _, a := range e.attrs {
+		if !FieldRegistered(a.Key) {
+			out = append(out, a.Key)
+		}
+	}
+	return out
+}
+
+// Emit writes the event as one log line under msg at info level. A nil
+// logger discards the event.
+func (e *WideEvent) Emit(l *slog.Logger, msg string) {
+	if l == nil {
+		return
+	}
+	l.LogAttrs(context.Background(), slog.LevelInfo, msg, e.attrs...)
+}
+
+// WideEventMsgRequest is the canonical msg value of per-request wide
+// events; the CI log-schema gate selects sample lines by it.
+const WideEventMsgRequest = "request"

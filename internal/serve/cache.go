@@ -6,9 +6,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/obsv"
+	"repro/internal/trace"
 )
 
 // outcome is one compiled artifact: the immutable payload a cache entry
@@ -17,20 +19,32 @@ import (
 // to all waiters" a structural guarantee rather than a test-only
 // observation.
 type outcome struct {
-	circuitText   string
-	qasm          string
-	swaps         int
-	depth         int
-	gates         int
-	initial       []int
-	final         []int
-	effective     string
-	requested     string
-	degraded      bool
-	degradedWhy   string
-	attempts      int
-	deviceName    string
-	deviceID      string
+	circuitText string
+	qasm        string
+	swaps       int
+	depth       int
+	gates       int
+	initial     []int
+	final       []int
+	effective   string
+	requested   string
+	degraded    bool
+	degradedWhy string
+	attempts    int
+	deviceName  string
+	deviceID    string
+	// Observability facts of the compile that produced the artifact: how
+	// far the fallback ladder descended and the per-pass durations, surfaced
+	// on wide-event lines and inspector records (cache hits report the
+	// original compile's pass times).
+	fallbackDepth int
+	mapTime       time.Duration
+	orderTime     time.Duration
+	routeTime     time.Duration
+	compileTime   time.Duration
+	// trace holds the compile's decision-level events when the server runs
+	// with Config.TraceRequests; nil otherwise.
+	trace []trace.Event
 }
 
 // cache is a mutex-guarded LRU of compiled outcomes keyed by the canonical
@@ -122,6 +136,11 @@ type flight struct {
 	done chan struct{}
 	out  *outcome
 	err  error
+	// queueWait and breaker are set by the leader before finish closes
+	// done; waiters read them afterwards (the channel close orders the
+	// accesses).
+	queueWait time.Duration
+	breaker   string
 }
 
 // flightGroup deduplicates concurrent compiles by key.

@@ -214,6 +214,60 @@ func TestChaosStorm(t *testing.T) {
 		}(c)
 	}
 
+	// Inspector scraper: GET /debug/requests mid-storm must always return a
+	// well-formed page (no torn reads, no races with handlers mutating
+	// records), in both JSON and text form. Runs until the storm ends.
+	scrapeDone := make(chan struct{})
+	stopScrape := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopScrape:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			url := ts.URL + "/debug/requests"
+			if i%3 == 2 {
+				url += "?format=text"
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Errorf("inspector scrape: %v", err)
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("inspector scrape: status %d", resp.StatusCode)
+				return
+			}
+			if i%3 == 2 {
+				if !bytes.Contains(data, []byte("ACTIVE")) {
+					t.Errorf("inspector text page malformed: %.200s", data)
+				}
+				continue
+			}
+			var page struct {
+				Total  uint64                   `json:"total_requests"`
+				Active []map[string]interface{} `json:"active"`
+				Recent []map[string]interface{} `json:"recent"`
+			}
+			if err := json.Unmarshal(data, &page); err != nil {
+				t.Errorf("inspector page not JSON: %v\n%.200s", err, data)
+				return
+			}
+			if int(page.Total) < len(page.Active) {
+				t.Errorf("inspector invariant broken: total %d < active %d", page.Total, len(page.Active))
+			}
+			for _, r := range page.Active {
+				if r["id"] == "" || r["id"] == nil {
+					t.Errorf("active record without id: %v", r)
+				}
+			}
+		}
+	}()
+
 	// Calibration reloader: concurrent epoch bumps + cache invalidation
 	// while the storm runs.
 	reloadDone := make(chan struct{})
@@ -241,7 +295,16 @@ func TestChaosStorm(t *testing.T) {
 
 	wg.Wait()
 	<-reloadDone
+	close(stopScrape)
+	<-scrapeDone
 	t.Logf("statuses: %v kinds: %v faults-injected-calls: %d", statuses, kinds, faults.Calls())
+
+	// Every request the storm fired must have registered with the inspector.
+	if clients*perClient > 0 {
+		if _, recent := s.InspectorSnapshot(); len(recent) == 0 {
+			t.Error("inspector saw no finished requests after the storm")
+		}
+	}
 
 	// The storm must have actually exercised the machinery.
 	if statuses[http.StatusOK] == 0 {
@@ -309,6 +372,11 @@ func TestChaosStorm(t *testing.T) {
 	if err := s.Drain(dctx); err != nil {
 		t.Errorf("drain: %v", err)
 	}
+	// No leaked inspector records: every request that registered must have
+	// deregistered by the time the server drained.
+	if n := s.ActiveRequests(); n != 0 {
+		t.Errorf("inspector leaks %d active records after drain", n)
+	}
 	ts.Close()
 	s.Close()
 	client.CloseIdleConnections()
@@ -372,6 +440,9 @@ func TestDeadlineStormDrainsClean(t *testing.T) {
 	defer cancel()
 	if err := s.Drain(dctx); err != nil {
 		t.Errorf("drain after deadline storm: %v", err)
+	}
+	if n := s.ActiveRequests(); n != 0 {
+		t.Errorf("inspector leaks %d active records after deadline storm", n)
 	}
 	t.Logf("drained in %s", time.Since(start).Round(time.Millisecond))
 	ts.Close()

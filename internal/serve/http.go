@@ -38,8 +38,9 @@ func NewHTTPServer(h http.Handler) *http.Server {
 // shutdown — the hardened replacement for the bare listener the -listen
 // flags used to return.
 type ObsServer struct {
-	srv *http.Server
-	ln  net.Listener
+	srv     *http.Server
+	ln      net.Listener
+	handler *obsv.Handler
 
 	mu     sync.Mutex
 	ready  bool
@@ -57,10 +58,21 @@ func ServeObs(addr string, col *obsv.Collector, progress obsv.ProgressFunc) (*Ob
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
 	o.ln = ln
-	o.srv = NewHTTPServer(obsv.NewHandler(col, progress, o.Readiness))
+	o.handler = obsv.NewHandler(col, progress, o.Readiness)
+	o.srv = NewHTTPServer(o.handler)
 	go o.srv.Serve(ln) // returns on Shutdown/Close; nothing useful to do with the error
 	return o, nil
 }
+
+// Handle mounts an additional route next to the standard observability
+// endpoints (e.g. a binary-specific debug page). Call before the first
+// request touches the pattern.
+func (o *ObsServer) Handle(pattern string, h http.Handler) {
+	o.handler.Mux().Handle(pattern, h)
+}
+
+// SetSLO enables SLO burn-rate gauges on this server's /metrics page.
+func (o *ObsServer) SetSLO(cfg obsv.SLOConfig) { o.handler.SetSLO(cfg) }
 
 // Addr is the bound listen address (useful with ":0").
 func (o *ObsServer) Addr() net.Addr { return o.ln.Addr() }

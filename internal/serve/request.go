@@ -85,7 +85,7 @@ type CompileResponse struct {
 	CacheKey string `json:"cache_key"`
 	// Cached is true when the result was served from the compiled-circuit
 	// cache (including singleflight waiters of the same flight).
-	Cached bool `json:"cached"`
+	Cached bool   `json:"cached"`
 	Device string `json:"device"`
 	// PresetRequested and PresetEffective record graceful degradation: they
 	// differ when the fallback ladder or an open circuit breaker routed the

@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/obsv"
 	"repro/internal/qasm"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value is usable: sensible
@@ -83,6 +85,19 @@ type Config struct {
 	Hook compile.Hook
 	// Progress optionally feeds the /healthz progress payload.
 	Progress obsv.ProgressFunc
+	// Log receives one canonical wide-event line per request (build with
+	// obsv.NewLogger); nil disables request logging.
+	Log *slog.Logger
+	// RecentRequests sizes the /debug/requests finished-request ring
+	// (default 64).
+	RecentRequests int
+	// TraceRequests attaches a decision-level tracer to every compile
+	// flight and stores the events on the inspector record — expensive, for
+	// debugging sessions, not sustained production traffic.
+	TraceRequests bool
+	// SLO configures the burn-rate gauges on /metrics (zero fields take the
+	// obsv.SLOConfig defaults).
+	SLO obsv.SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -137,14 +152,19 @@ var errAllBreakersOpen = errors.New("serve: circuit breaker open for every prese
 // Server is the qaoad compile service. Construct with New, mount Handler
 // on an HTTP server, and call MarkReady once warm-up (if any) completes.
 type Server struct {
-	cfg      Config
-	obs      *obsv.Collector
-	devices  *registry
-	cache    *cache
-	flights  *flightGroup
-	adm      *admission
-	breakers *breakerSet
-	mux      *http.ServeMux
+	cfg       Config
+	obs       *obsv.Collector
+	log       *slog.Logger
+	devices   *registry
+	cache     *cache
+	flights   *flightGroup
+	adm       *admission
+	breakers  *breakerSet
+	inspector *inspector
+	mux       *http.ServeMux
+
+	idBase string
+	reqSeq atomic.Uint64
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -160,13 +180,19 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		obs:      cfg.Obs,
-		devices:  newRegistry(),
-		cache:    newCache(cfg.CacheSize, cfg.Obs),
-		flights:  newFlightGroup(),
-		adm:      newAdmission(cfg.Workers, cfg.Queue, cfg.Obs),
-		breakers: newBreakerSet(cfg.Breaker, cfg.Now, cfg.Obs),
+		cfg:       cfg,
+		obs:       cfg.Obs,
+		log:       cfg.Log,
+		devices:   newRegistry(),
+		cache:     newCache(cfg.CacheSize, cfg.Obs),
+		flights:   newFlightGroup(),
+		adm:       newAdmission(cfg.Workers, cfg.Queue, cfg.Obs),
+		breakers:  newBreakerSet(cfg.Breaker, cfg.Now, cfg.Obs),
+		inspector: newInspector(cfg.RecentRequests),
+		// The ID base makes request IDs unique across restarts of the same
+		// service without any coordination; the per-process counter makes
+		// them unique within one.
+		idBase: fmt.Sprintf("req-%08x", uint32(time.Now().UnixNano())),
 	}
 	for name, dev := range cfg.Devices {
 		s.devices.register(name, dev)
@@ -174,13 +200,52 @@ func New(cfg Config) *Server {
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 
 	obsHandler := obsv.NewHandler(cfg.Obs, cfg.Progress, s.Readiness)
+	obsHandler.SetSLO(cfg.SLO)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/devices/{name}/calibration", s.handleCalibration)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /debug/requests", s.inspector.handle)
 	s.mux.Handle("/", obsHandler)
 	return s
+}
+
+// ActiveRequests reports how many compile requests are currently registered
+// with the live inspector — zero once the server has drained.
+func (s *Server) ActiveRequests() int { return s.inspector.activeCount() }
+
+// InspectorSnapshot returns copies of the inspector's active and recent
+// request records, as /debug/requests would serve them.
+func (s *Server) InspectorSnapshot() (active, recent []RequestRecord) {
+	return s.inspector.snapshot(time.Now())
+}
+
+// mintRequestID returns the request's ID: a well-formed client-supplied
+// X-Request-ID is honored (so callers can join service logs to their own),
+// anything else gets a fresh server-minted ID.
+func (s *Server) mintRequestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); validRequestID(id) {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", s.idBase, s.reqSeq.Add(1))
+}
+
+// validRequestID bounds what the service echoes back into headers, logs and
+// inspector pages: 1..64 chars of [A-Za-z0-9._-].
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Handler returns the server's HTTP handler (compile API + observability
@@ -260,14 +325,33 @@ func (s *Server) ReloadCalibration(name string, cal *device.Calibration) (epoch 
 	return epoch, invalidated, nil
 }
 
+// reqState is the handler-local observable state of one request: the
+// record-in-progress plus its start instant. It is owned by the handler
+// goroutine; the inspector only ever receives copies.
+type reqState struct {
+	rec   RequestRecord
+	start time.Time
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.obs.Inc(obsv.CntServeRequests)
 	span := s.obs.StartSpan(obsv.SpanServeRequest)
 	defer span.End()
 
+	id := s.mintRequestID(r)
+	w.Header().Set("X-Request-ID", id)
+	start := time.Now()
+	rs := &reqState{start: start, rec: RequestRecord{
+		ID:        id,
+		StartedAt: start.UTC().Format(time.RFC3339Nano),
+		started:   start,
+	}}
+	s.inspector.begin(rs.rec)
+
 	if ok, reason := s.Readiness(); !ok {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Status: "error", Kind: "draining", Error: "server not accepting work: " + reason})
+		s.finishRequest(rs, http.StatusServiceUnavailable, "draining", reason)
 		return
 	}
 
@@ -276,18 +360,31 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.obs.Inc(obsv.CntServeBadRequests)
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: "decoding request: " + err.Error()})
+		s.finishRequest(rs, http.StatusBadRequest, "bad_request", "decoding request: "+err.Error())
 		return
 	}
 	p, err := s.parseRequest(&req)
 	if err != nil {
 		s.obs.Inc(obsv.CntServeBadRequests)
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Status: "error", Kind: "bad_request", Error: err.Error()})
+		s.finishRequest(rs, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 
+	rs.rec.Device = p.devName
+	rs.rec.Preset = p.preset.String()
+	s.obs.Inc(obsv.CntServePresetRequests(rs.rec.Preset))
+	s.inspector.update(id, func(rec *RequestRecord) {
+		rec.Device = rs.rec.Device
+		rec.Preset = rs.rec.Preset
+	})
+
 	if out, ok := s.cache.get(p.key); ok {
 		s.obs.Inc(obsv.CntServeOK)
+		rs.rec.CacheHit = true
+		rs.fillOutcome(out)
 		writeJSON(w, http.StatusOK, buildResponse(p, out, true))
+		s.finishRequest(rs, http.StatusOK, "ok", "")
 		return
 	}
 
@@ -305,47 +402,129 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	f, leader := s.flights.join(p.key)
 	if leader {
 		s.flightWG.Add(1)
-		go s.runFlight(p, f)
+		go s.runFlight(p, f, id)
 	} else {
 		s.obs.Inc(obsv.CntServeSingleflightShared)
+		rs.rec.Shared = true
 	}
 
 	select {
 	case <-f.done:
-		s.respondFlight(w, p, f)
+		s.respondFlight(w, p, f, rs)
 	case <-ctx.Done():
 		if r.Context().Err() != nil {
 			// The client went away; nobody is listening to this response.
 			s.obs.Inc(obsv.CntServeClientGone)
+			s.finishRequest(rs, 0, "client_gone", "")
 			return
 		}
 		s.obs.Inc(obsv.CntServeDeadlineExceeded)
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Status: "error", Kind: "deadline", Error: "deadline exceeded waiting for compilation (the flight continues server-side)"})
+		s.finishRequest(rs, http.StatusGatewayTimeout, "deadline", "deadline exceeded waiting for compilation")
 	}
+}
+
+// fillOutcome copies a compiled outcome's observable facts onto the request
+// record.
+func (rs *reqState) fillOutcome(out *outcome) {
+	rs.rec.PresetEffective = out.effective
+	rs.rec.Attempts = out.attempts
+	rs.rec.FallbackDepth = out.fallbackDepth
+	rs.rec.MapMS = durMS(out.mapTime)
+	rs.rec.OrderMS = durMS(out.orderTime)
+	rs.rec.RouteMS = durMS(out.routeTime)
+	rs.rec.Swaps = out.swaps
+	rs.rec.Depth = out.depth
+	rs.rec.Gates = out.gates
+	rs.rec.Trace = out.trace
+}
+
+// finishRequest closes out one request's observability: final inspector
+// record, latency histograms, per-preset availability accounting, and the
+// canonical wide-event log line. Called exactly once per request, after the
+// response was written.
+func (s *Server) finishRequest(rs *reqState, status int, outcome, errMsg string) {
+	rec := &rs.rec
+	rec.DurationMS = durMS(time.Since(rs.start))
+	rec.Outcome = outcome
+	rec.HTTPStatus = status
+	rec.Err = errMsg
+	s.inspector.end(rec.ID, rs.rec)
+
+	s.obs.Observe(obsv.HistServeRequestMS, rec.DurationMS)
+	if rec.Preset != "" {
+		s.obs.Observe(obsv.HistServePresetMS(rec.Preset), rec.DurationMS)
+		if outcome == "compile_failed" {
+			s.obs.Inc(obsv.CntServePresetErrors(rec.Preset))
+		}
+	}
+	if outcome == "ok" {
+		if rec.CacheHit {
+			s.obs.Observe(obsv.HistServeRequestCachedMS, rec.DurationMS)
+		} else {
+			s.obs.Observe(obsv.HistServeRequestUncachedMS, rec.DurationMS)
+		}
+	}
+
+	if s.log == nil {
+		return
+	}
+	ev := (&obsv.WideEvent{}).
+		Str(obsv.FieldReqID, rec.ID).
+		Str(obsv.FieldDevice, rec.Device).
+		Str(obsv.FieldPreset, rec.Preset).
+		Str(obsv.FieldPresetUsed, rec.PresetEffective).
+		Bool(obsv.FieldCacheHit, rec.CacheHit).
+		Bool(obsv.FieldShared, rec.Shared).
+		Float(obsv.FieldQueueWaitMS, rec.QueueWaitMS).
+		Str(obsv.FieldBreakerState, rec.Breaker).
+		Int(obsv.FieldFallbackDepth, int64(rec.FallbackDepth)).
+		Int(obsv.FieldAttempts, int64(rec.Attempts)).
+		Float(obsv.FieldMapMS, rec.MapMS).
+		Float(obsv.FieldOrderMS, rec.OrderMS).
+		Float(obsv.FieldRouteMS, rec.RouteMS).
+		Float(obsv.FieldDurationMS, rec.DurationMS).
+		Str(obsv.FieldOutcome, rec.Outcome).
+		Int(obsv.FieldHTTPStatus, int64(rec.HTTPStatus)).
+		Int(obsv.FieldSwaps, int64(rec.Swaps)).
+		Int(obsv.FieldDepth, int64(rec.Depth)).
+		Int(obsv.FieldGates, int64(rec.Gates))
+	if rec.Err != "" {
+		ev.Str(obsv.FieldErr, rec.Err)
+	}
+	ev.Emit(s.log, obsv.WideEventMsgRequest)
 }
 
 // respondFlight translates a finished flight into this waiter's HTTP
 // response. Counters are per response, so shed/error accounting matches
 // what clients observed exactly.
-func (s *Server) respondFlight(w http.ResponseWriter, p *parsedRequest, f *flight) {
+func (s *Server) respondFlight(w http.ResponseWriter, p *parsedRequest, f *flight, rs *reqState) {
+	rs.rec.QueueWaitMS = durMS(f.queueWait)
+	rs.rec.Breaker = f.breaker
 	switch {
 	case f.err == nil:
 		s.obs.Inc(obsv.CntServeOK)
+		rs.fillOutcome(f.out)
 		writeJSON(w, http.StatusOK, buildResponse(p, f.out, false))
+		s.finishRequest(rs, http.StatusOK, "ok", "")
 	case errors.Is(f.err, errShed):
 		s.obs.Inc(obsv.CntServeShed)
 		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Status: "error", Kind: "shed", Error: "compile queue full"})
+		s.finishRequest(rs, http.StatusTooManyRequests, "shed", f.err.Error())
 	case errors.Is(f.err, errAllBreakersOpen):
 		s.obs.Inc(obsv.CntServeBreakerRejected)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Status: "error", Kind: "breaker_open", Error: f.err.Error()})
+		s.finishRequest(rs, http.StatusServiceUnavailable, "breaker_open", f.err.Error())
 	case errors.Is(f.err, context.DeadlineExceeded), errors.Is(f.err, context.Canceled):
 		s.obs.Inc(obsv.CntServeDeadlineExceeded)
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Status: "error", Kind: "deadline", Error: f.err.Error()})
+		s.finishRequest(rs, http.StatusGatewayTimeout, "deadline", f.err.Error())
 	default:
 		s.obs.Inc(obsv.CntServeErrors)
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Status: "error", Kind: "compile_failed", Error: f.err.Error()})
+		s.finishRequest(rs, http.StatusInternalServerError, "compile_failed", f.err.Error())
 	}
 }
 
@@ -353,13 +532,19 @@ func (s *Server) respondFlight(w http.ResponseWriter, p *parsedRequest, f *fligh
 // resilient compile itself, cache fill, waiter wake-up. It runs detached
 // from any single request's context — clients bound their own wait, never
 // each other's compile — under the server lifecycle context and compile
-// budget.
-func (s *Server) runFlight(p *parsedRequest, f *flight) {
+// budget. reqID is the ID of the request that opened the flight; it is
+// threaded through the compile context so the trace stream's meta event
+// joins the flight back to that request (waiters of the same flight share
+// the leader's compilation and therefore its trace).
+func (s *Server) runFlight(p *parsedRequest, f *flight, reqID string) {
 	defer s.flightWG.Done()
 
+	qstart := time.Now()
 	qctx, qcancel := context.WithTimeout(s.baseCtx, s.cfg.QueueTimeout)
 	release, err := s.adm.acquire(qctx)
 	qcancel()
+	f.queueWait = time.Since(qstart)
+	s.obs.Observe(obsv.HistServeQueueWaitMS, durMS(f.queueWait))
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			// Waiting a full queue timeout without reaching a worker is
@@ -372,6 +557,9 @@ func (s *Server) runFlight(p *parsedRequest, f *flight) {
 	defer release()
 
 	start, rerouted, ok := s.breakers.route(p.preset)
+	if state, _, _ := s.breakers.byPreset[p.preset].snapshot(); state != "" {
+		f.breaker = state
+	}
 	if !ok {
 		s.flights.finish(p.key, f, nil, errAllBreakersOpen)
 		return
@@ -381,6 +569,11 @@ func (s *Server) runFlight(p *parsedRequest, f *flight) {
 	cspan := s.obs.StartSpan(obsv.SpanServeCompile)
 	cctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.CompileBudget)
 	defer cancel()
+	cctx = obsv.WithRequestID(cctx, reqID)
+	var tr *trace.Tracer
+	if s.cfg.TraceRequests {
+		tr = trace.New()
+	}
 	fo := compile.FallbackOptions{
 		Retries:        s.cfg.Retries,
 		Backoff:        s.cfg.Backoff,
@@ -390,6 +583,7 @@ func (s *Server) runFlight(p *parsedRequest, f *flight) {
 		Optimize:       p.optimize,
 		Hook:           s.cfg.Hook,
 		Obs:            s.obs,
+		Trace:          tr,
 	}
 	res, err := compile.CompileSpecResilient(cctx, p.spec, p.dev, start, fo)
 	cspan.End()
@@ -399,7 +593,7 @@ func (s *Server) runFlight(p *parsedRequest, f *flight) {
 		s.flights.finish(p.key, f, nil, err)
 		return
 	}
-	out := buildOutcome(p, res, start, rerouted)
+	out := buildOutcome(p, res, start, rerouted, tr.Events())
 	s.cache.put(p.key, p.deviceID, out)
 	s.flights.finish(p.key, f, out, nil)
 }
@@ -424,20 +618,26 @@ func attemptsOf(res *compile.Result, err error, start compile.Preset) []compile.
 
 // buildOutcome freezes a compile result into the immutable cached
 // artifact.
-func buildOutcome(p *parsedRequest, res *compile.Result, start compile.Preset, rerouted bool) *outcome {
+func buildOutcome(p *parsedRequest, res *compile.Result, start compile.Preset, rerouted bool, trEvents []trace.Event) *outcome {
 	out := &outcome{
-		circuitText: res.Circuit.String(),
-		qasm:        qasm.Export(res.Native),
-		swaps:       res.SwapCount,
-		depth:       res.Depth,
-		gates:       res.GateCount,
-		initial:     layoutSlice(res.Initial),
-		final:       layoutSlice(res.Final),
-		requested:   p.preset.String(),
-		effective:   res.Fallback.Effective.String(),
-		deviceName:  p.devName,
-		deviceID:    p.deviceID,
-		attempts:    len(res.Fallback.Attempts),
+		circuitText:   res.Circuit.String(),
+		qasm:          qasm.Export(res.Native),
+		swaps:         res.SwapCount,
+		depth:         res.Depth,
+		gates:         res.GateCount,
+		initial:       layoutSlice(res.Initial),
+		final:         layoutSlice(res.Final),
+		requested:     p.preset.String(),
+		effective:     res.Fallback.Effective.String(),
+		deviceName:    p.devName,
+		deviceID:      p.deviceID,
+		attempts:      len(res.Fallback.Attempts),
+		fallbackDepth: fallbackDepth(res.Fallback.Attempts),
+		mapTime:       res.MapTime,
+		orderTime:     res.OrderTime,
+		routeTime:     res.RouteTime,
+		compileTime:   res.CompileTime,
+		trace:         trEvents,
 	}
 	out.degraded = rerouted || res.Fallback.Degraded
 	switch {
@@ -447,6 +647,20 @@ func buildOutcome(p *parsedRequest, res *compile.Result, start compile.Preset, r
 		out.degradedWhy = fmt.Sprintf("circuit breaker open for %s; started at %s", p.preset, start)
 	}
 	return out
+}
+
+// fallbackDepth counts how many rungs of the degradation ladder the
+// compilation descended: the number of distinct presets attempted beyond
+// the first (0 = no fallback).
+func fallbackDepth(attempts []compile.Attempt) int {
+	seen := make(map[compile.Preset]bool, len(attempts))
+	for _, a := range attempts {
+		seen[a.Preset] = true
+	}
+	if len(seen) == 0 {
+		return 0
+	}
+	return len(seen) - 1
 }
 
 func layoutSlice(l interface {

@@ -64,6 +64,10 @@ type MetaInfo struct {
 	NLogical int      `json:"n_logical"`
 	Mapper   string   `json:"mapper"`
 	Strategy string   `json:"strategy"`
+	// RequestID joins a service-originated trace to the request's other
+	// observability surfaces (X-Request-ID header, wide-event log line,
+	// /debug/requests inspector record). Empty for CLI compilations.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // PlacementInfo records one initial-mapping choice: logical qubit Logical

@@ -2,6 +2,9 @@ package qaoac
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/exp"
@@ -89,3 +92,26 @@ func RevisionFromEnv(rev string) string {
 	}
 	return "dev"
 }
+
+// OpenLogWriter resolves the conventional -log flag every binary shares:
+// "" disables (nil writer), "-" is stderr, anything else opens the file for
+// append. close is a no-op unless a file was opened; callers defer it
+// unconditionally.
+func OpenLogWriter(path string) (w io.Writer, close func() error, err error) {
+	switch path {
+	case "":
+		return nil, func() error { return nil }, nil
+	case "-":
+		return os.Stderr, func() error { return nil }, nil
+	default:
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("qaoac: opening log %s: %w", path, err)
+		}
+		return f, f.Close, nil
+	}
+}
+
+// NewWideLogger builds the shared one-JSON-object-per-line logger over w
+// (nil w yields a logger that discards everything). See obsv.NewLogger.
+func NewWideLogger(w io.Writer) *slog.Logger { return obsv.NewLogger(w) }
