@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -102,7 +103,7 @@ func BenchmarkDiscussion(b *testing.B) {
 	cfg := qaoac.DefaultDiscussion()
 	cfg.Instances = 10
 	for i := 0; i < b.N; i++ {
-		if _, err := qaoac.Discussion(cfg); err != nil {
+		if _, err := qaoac.Discussion(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -286,7 +287,7 @@ func BenchmarkExtLevels(b *testing.B) {
 	cfg := qaoac.DefaultExtLevels()
 	cfg.Instances = 4
 	for i := 0; i < b.N; i++ {
-		if _, err := qaoac.ExtLevels(cfg); err != nil {
+		if _, err := qaoac.ExtLevels(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,7 +298,7 @@ func BenchmarkExtMappers(b *testing.B) {
 	cfg := qaoac.DefaultExtMappers()
 	cfg.Instances = 4
 	for i := 0; i < b.N; i++ {
-		if _, err := qaoac.ExtMappers(cfg); err != nil {
+		if _, err := qaoac.ExtMappers(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -308,7 +309,7 @@ func BenchmarkExtCrosstalk(b *testing.B) {
 	cfg := qaoac.DefaultExtCrosstalk()
 	cfg.Instances = 4
 	for i := 0; i < b.N; i++ {
-		if _, err := qaoac.ExtCrosstalk(cfg); err != nil {
+		if _, err := qaoac.ExtCrosstalk(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -319,7 +320,7 @@ func BenchmarkExtOptimize(b *testing.B) {
 	cfg := qaoac.DefaultExtOptimize()
 	cfg.Instances = 4
 	for i := 0; i < b.N; i++ {
-		if _, err := qaoac.ExtOptimize(cfg); err != nil {
+		if _, err := qaoac.ExtOptimize(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -94,7 +94,7 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "qaoa-exp: serving metrics on http://%s/metrics\n", obs.Addr())
 	}
-	if err := run(*fig, *scale, *format, logger); err != nil {
+	if err := run(context.Background(), *fig, *scale, *format, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoa-exp:", err)
 		os.Exit(1)
 	}
@@ -124,7 +124,7 @@ func scaleN(n int, s float64) int {
 	return v
 }
 
-func run(fig string, scale float64, format string, logger *slog.Logger) error {
+func run(ctx context.Context, fig string, scale float64, format string, logger *slog.Logger) error {
 	type job struct {
 		name string
 		run  func() ([]*qaoac.ExpTable, error)
@@ -175,55 +175,61 @@ func run(fig string, scale float64, format string, logger *slog.Logger) error {
 		{"disc", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultDiscussion()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.Discussion(cfg)
+			t, err := qaoac.Discussion(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-levels", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtLevels()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtLevels(cfg)
+			t, err := qaoac.ExtLevels(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-mappers", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtMappers()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtMappers(cfg)
+			t, err := qaoac.ExtMappers(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-crosstalk", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtCrosstalk()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtCrosstalk(cfg)
+			t, err := qaoac.ExtCrosstalk(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-optimize", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtOptimize()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtOptimize(cfg)
+			t, err := qaoac.ExtOptimize(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-devices", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtDevices()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtDevices(cfg)
+			t, err := qaoac.ExtDevices(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-ordering", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtOrdering()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtOrdering(cfg)
+			t, err := qaoac.ExtOrdering(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-mitigation", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtMitigation()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtMitigation(cfg)
+			t, err := qaoac.ExtMitigation(ctx, cfg)
 			return wrap(t, err)
 		}},
 		{"ext-workloads", func() ([]*qaoac.ExpTable, error) {
 			cfg := qaoac.DefaultExtWorkloads()
 			cfg.Instances = scaleN(cfg.Instances, scale)
-			t, err := qaoac.ExtWorkloads(cfg)
+			t, err := qaoac.ExtWorkloads(ctx, cfg)
+			return wrap(t, err)
+		}},
+		{"ext-sweep", func() ([]*qaoac.ExpTable, error) {
+			cfg := qaoac.DefaultAngleSweep()
+			cfg.Instances = scaleN(cfg.Instances, scale)
+			t, err := qaoac.AngleSweep(ctx, cfg)
 			return wrap(t, err)
 		}},
 	}

@@ -1,9 +1,12 @@
 // Command qaoad-load is the deterministic load generator for qaoad. It
-// drives three phases against a server — warm (fill the compiled-circuit
+// drives four phases against a server — warm (fill the compiled-circuit
 // cache), cached (sustained throughput over the warm keys, measuring p50/
-// p99 latency and req/s), and overload (a deliberate burst of distinct
-// uncached compiles that must shed cleanly with 429s, never 5xx) — and
-// writes a schema-versioned BENCH record of the results.
+// p99 latency and req/s), sweep (an angle-tuning client: the same few
+// structures with ever-different angles, which must be served by binding
+// cached routed skeletons rather than recompiling), and overload (a
+// deliberate burst of distinct uncached compiles that must shed cleanly
+// with 429s, never 5xx) — and writes a schema-versioned BENCH record of
+// the results.
 //
 // The workload is a pure function of -seed: the same circuits in the same
 // order every run. Shed accounting is verified exactly: the client-observed
@@ -54,9 +57,12 @@ func main() {
 		clients   = flag.Int("clients", 16, "concurrent clients of the cached phase")
 		overN     = flag.Int("overload", 192, "distinct uncached circuits of the overload burst")
 		overCli   = flag.Int("overload-clients", 48, "concurrent clients of the overload burst")
+		sweepN    = flag.Int("sweep", 96, "angle-sweep phase: total distinct-angle requests (0 disables the phase)")
+		sweepG    = flag.Int("sweep-graphs", 4, "angle-sweep phase: distinct graph structures the angle points spread over")
 		seed      = flag.Int64("seed", 7, "workload seed: circuits and schedules are a pure function of it")
 		minRPS    = flag.Float64("min-throughput", 0, "fail unless the cached phase sustains at least this many req/s (0 = no gate)")
 		minShed   = flag.Int("min-shed", 0, "fail unless the overload phase sheds at least this many requests (0 = no gate)")
+		minSkel   = flag.Float64("min-skeleton-hit-rate", 0, "fail unless the sweep phase's skeleton-tier hit rate reaches this fraction (0 = no gate)")
 		injectLat = flag.Duration("inject-latency", 0, "in-process server: inject this much latency into every compile pass (makes overload shedding reproducible on small machines)")
 		workers   = flag.Int("workers", 4, "in-process server: maximum concurrent compile flights")
 		queue     = flag.Int("queue", 0, "in-process server: admission queue bound (default 4×workers)")
@@ -66,15 +72,15 @@ func main() {
 		availBurn = flag.Float64("max-availability-burn", 0, "fail when the service-wide SLO availability burn rate exceeds this after the run (negative disables the gate)")
 	)
 	flag.Parse()
-	if err := run(*addr, *devName, *warmN, *requests, *clients, *overN, *overCli, *seed, *minRPS,
-		*minShed, *injectLat, *workers, *queue, *out, *rev, *logOut, *availBurn); err != nil {
+	if err := run(*addr, *devName, *warmN, *requests, *clients, *overN, *overCli, *sweepN, *sweepG, *seed, *minRPS,
+		*minShed, *minSkel, *injectLat, *workers, *queue, *out, *rev, *logOut, *availBurn); err != nil {
 		fmt.Fprintln(os.Stderr, "qaoad-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, devName string, warmN, requests, clients, overN, overCli int, seed int64, minRPS float64,
-	minShed int, injectLat time.Duration, workers, queue int, out, rev, logOut string, availBurn float64) error {
+func run(addr, devName string, warmN, requests, clients, overN, overCli, sweepN, sweepG int, seed int64, minRPS float64,
+	minShed int, minSkel float64, injectLat time.Duration, workers, queue int, out, rev, logOut string, availBurn float64) error {
 	col := obsv.New()
 
 	logW, closeLog, err := qaoac.OpenLogWriter(logOut)
@@ -249,7 +255,57 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 	phaseEvent(logger, "warm", warmN, float64(warmN)/warmWall.Seconds(), warmP50, warmP99)
 	phaseEvent(logger, "cached", len(latencies), rps, p50, p99)
 
-	// Phase 3: overload. Distinct uncached compiles driven closed-loop:
+	// Phase 3: angle sweep. The same few structures with ever-different
+	// angles — an angle-tuning client's traffic. The first request per
+	// structure pays a routing pass; every later one must be served from
+	// the skeleton tier (bind the cached routed skeleton, no routing), the
+	// parameterized-compilation win the tier exists for.
+	var sweepP50, sweepP99, sweepRPS, skelRate float64
+	if sweepN > 0 {
+		if sweepG <= 0 {
+			sweepG = 1
+		}
+		if sweepG > sweepN {
+			sweepG = sweepN
+		}
+		sweepDocs := genAngleSweep(rng, sweepG, sweepN, devName, "IC")
+		skelBefore, err := scrapeCounter(client, base, "qaoa_serve_skeleton_hits_total")
+		if err != nil {
+			return err
+		}
+		sweepLat := make([]float64, 0, sweepN)
+		startSweep := time.Now()
+		for i, body := range sweepDocs {
+			t0 := time.Now()
+			st, _, err := post(client, base, body)
+			d := time.Since(t0)
+			if err != nil {
+				return fmt.Errorf("sweep %d: %w", i, err)
+			}
+			if st != http.StatusOK {
+				return fmt.Errorf("sweep %d: status %d", i, st)
+			}
+			sweepLat = append(sweepLat, float64(d.Microseconds())/1000.0)
+		}
+		sweepWall := time.Since(startSweep)
+		skelAfter, err := scrapeCounter(client, base, "qaoa_serve_skeleton_hits_total")
+		if err != nil {
+			return err
+		}
+		// The first touch of each structure routes; every later request is
+		// bindable, and the hit rate is measured against exactly those.
+		if bindable := sweepN - sweepG; bindable > 0 {
+			skelRate = float64(skelAfter-skelBefore) / float64(bindable)
+		}
+		sort.Float64s(sweepLat)
+		sweepRPS = float64(len(sweepLat)) / sweepWall.Seconds()
+		sweepP50, sweepP99 = pct(sweepLat, 0.50), pct(sweepLat, 0.99)
+		fmt.Printf("sweep:    %d req over %d structures in %s = %.0f req/s, p50 %.2fms p99 %.2fms, skeleton hit rate %.3f\n",
+			sweepN, sweepG, sweepWall.Round(time.Millisecond), sweepRPS, sweepP50, sweepP99, skelRate)
+		phaseEvent(logger, "sweep", sweepN, sweepRPS, sweepP50, sweepP99)
+	}
+
+	// Phase 4: overload. Distinct uncached compiles driven closed-loop:
 	// overload-clients workers each march through their slice of the burst
 	// back-to-back, so in-flight pressure stays above the server's
 	// workers+queue capacity for the whole phase regardless of connection-
@@ -324,9 +380,17 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 				P50MS: warmP50, P99MS: warmP99, ServerP50MS: warmSrvP50, ServerP99MS: warmSrvP99},
 			{Name: "serve/cached", Instances: len(latencies), ReqPerSec: rps, P50MS: p50, P99MS: p99,
 				ServerP50MS: cachedSrvP50, ServerP99MS: cachedSrvP99},
-			{Name: "serve/overload", Instances: overN, ReqPerSec: float64(overN) / overWall.Seconds(),
-				Shed: int64(shed429), HTTP5xx: int64(http5xx)},
 		}
+		if sweepN > 0 {
+			rep.Benchmarks = append(rep.Benchmarks, obsv.Benchmark{
+				Name: "serve/sweep", Instances: sweepN, ReqPerSec: sweepRPS,
+				P50MS: sweepP50, P99MS: sweepP99, SkeletonHitRate: skelRate,
+			})
+		}
+		rep.Benchmarks = append(rep.Benchmarks, obsv.Benchmark{
+			Name: "serve/overload", Instances: overN, ReqPerSec: float64(overN) / overWall.Seconds(),
+			Shed: int64(shed429), HTTP5xx: int64(http5xx),
+		})
 		if err := rep.WriteFile(out); err != nil {
 			return err
 		}
@@ -348,6 +412,9 @@ func run(addr, devName string, warmN, requests, clients, overN, overCli int, see
 	}
 	if minShed > 0 && shed429 < minShed {
 		return fmt.Errorf("overload phase shed %d requests, below the -min-shed gate %d", shed429, minShed)
+	}
+	if minSkel > 0 && sweepN > 0 && skelRate < minSkel {
+		return fmt.Errorf("sweep skeleton-tier hit rate %.3f below the -min-skeleton-hit-rate gate %.3f", skelRate, minSkel)
 	}
 	return nil
 }
@@ -398,6 +465,68 @@ func genCircuits(rng *rand.Rand, count int, devName, policy string, nmin, nmax, 
 			DeviceName: devName,
 			Circuit:    serve.CircuitDoc{N: n, Edges: edges},
 			Config:     serve.ConfigDoc{Policy: policy, P: p, Seed: int64(i + 1), DeadlineMS: 60000},
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			panic(err) // a struct we just built cannot fail to marshal
+		}
+		docs[i] = body
+	}
+	return docs
+}
+
+// genAngleSweep produces the angle-tuning workload: graphs distinct
+// ring-plus-chords structures (the genCircuits recipe) revisited
+// round-robin for count total requests, every request carrying a fresh
+// (γ, β) pair at p=1. Structure and seed repeat exactly across visits, so
+// all requests against one structure share an angle-free skeleton key
+// server-side; only the angles change between them.
+func genAngleSweep(rng *rand.Rand, graphs, count int, devName, policy string) [][]byte {
+	type structure struct {
+		n     int
+		edges [][2]int
+	}
+	structs := make([]structure, graphs)
+	for g := range structs {
+		n := 6 + rng.Intn(9) // the warm-phase size band (6..14 nodes)
+		seen := make(map[[2]int]bool)
+		var edges [][2]int
+		for v := 0; v < n; v++ {
+			e := [2]int{v, (v + 1) % n}
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		for c := 0; c < n/2; c++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+		structs[g] = structure{n: n, edges: edges}
+	}
+	docs := make([][]byte, count)
+	for i := range docs {
+		s := structs[i%graphs]
+		// A deterministic angle walk with every point distinct, avoiding the
+		// default schedule so no request collides with a warm-phase document.
+		gamma := 0.01 * float64(i+1)
+		beta := 0.007 * float64(i+1)
+		req := serve.CompileRequest{
+			DeviceName: devName,
+			Circuit:    serve.CircuitDoc{N: s.n, Edges: s.edges},
+			Config: serve.ConfigDoc{Policy: policy, P: 1, Seed: int64(i%graphs + 1), DeadlineMS: 60000,
+				Gamma: []float64{gamma}, Beta: []float64{beta}},
 		}
 		body, err := json.Marshal(req)
 		if err != nil {

@@ -14,6 +14,9 @@ const localName = "app/rogue"
 func record(c *obsv.Collector) {
 	// Registry constants: fine.
 	c.Inc(obsv.CntCompilations)
+	c.Inc(obsv.CntSkeletonCompiles)
+	c.Inc(obsv.CntCompileBinds)
+	c.Inc(obsv.CntServeSkeletonHits)
 	c.RecordSpan(obsv.SpanCompile, time.Second)
 	c.Observe(obsv.HistRequestMS, 1.5)
 	// Registry name-builder calls: fine.
@@ -35,6 +38,7 @@ func wide(e *obsv.WideEvent) {
 	// Registry field constants: fine (values may be anything).
 	e.Str(obsv.FieldReqID, "req-1").
 		Str(obsv.FieldOutcome, "ok").
+		Bool(obsv.FieldSkeletonHit, true).
 		Float(obsv.HistRequestMS, 1.5)
 
 	e.Str("req_id", "req-2")        // want `field name for WideEvent.Str must be a constant from internal/obsv/names.go, not literal "req_id"`

@@ -6,11 +6,15 @@ import "time"
 
 // Registered metric names.
 const (
-	CntCompilations = "compile/compilations"
-	SpanCompile     = "compile/total"
-	HistRequestMS   = "serve/request_ms"
-	FieldReqID      = "req_id"
-	FieldOutcome    = "outcome"
+	CntCompilations      = "compile/compilations"
+	CntSkeletonCompiles  = "compile/skeleton_compiles"
+	CntCompileBinds      = "compile/binds"
+	CntServeSkeletonHits = "serve/skeleton_hits"
+	SpanCompile          = "compile/total"
+	HistRequestMS        = "serve/request_ms"
+	FieldReqID           = "req_id"
+	FieldOutcome         = "outcome"
+	FieldSkeletonHit     = "skeleton_hit"
 )
 
 // HistPresetMS is the fixture twin of the per-preset name builders

@@ -143,6 +143,48 @@ func CompileResilient(ctx context.Context, prob *qaoa.Problem, params qaoa.Param
 // specs.
 func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, preset Preset, fo FallbackOptions) (*Result, error) {
 	fo = fo.withDefaults()
+	res, fb, err := runLadder(ctx, dev, preset, fo,
+		func(ctx context.Context, p Preset, rung, retry int) (*Result, error) {
+			return CompileSpecContext(ctx, spec, dev, attemptOptions(p, rung, retry, fo))
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Fallback = fb
+	return res, nil
+}
+
+// CompileSkeletonResilient is CompileSkeleton behind the same graceful-
+// degradation ladder CompileSpecResilient runs: each rung compiles a
+// skeleton with that rung's preset and per-attempt seed, so the returned
+// skeleton binds exactly what CompileSpecResilient would have produced
+// under the same fallback path. The skeleton's Fallback (and that of
+// every Result it binds) records the ladder's journey.
+func CompileSkeletonResilient(ctx context.Context, ps ParamSpec, dev *device.Device, preset Preset, fo FallbackOptions) (*Skeleton, error) {
+	if fo.Optimize {
+		return nil, ErrSkeletonOptimize
+	}
+	fo = fo.withDefaults()
+	sk, fb, err := runLadder(ctx, dev, preset, fo,
+		func(ctx context.Context, p Preset, rung, retry int) (*Skeleton, error) {
+			return CompileSkeleton(ctx, ps, dev, attemptOptions(p, rung, retry, fo))
+		})
+	if err != nil {
+		return nil, err
+	}
+	sk.fallback = fb
+	return sk, nil
+}
+
+// runLadder walks preset's degradation ladder, running attempt with
+// bounded retries per rung, and returns the first success together with
+// the FallbackInfo describing the path to it. fo must already carry its
+// defaults. It is the shared engine of CompileSpecResilient and
+// CompileSkeletonResilient — one set of retry/abort/observability
+// semantics, whatever artifact an attempt produces.
+func runLadder[T any](ctx context.Context, dev *device.Device, preset Preset, fo FallbackOptions,
+	attempt func(ctx context.Context, p Preset, rung, retry int) (T, error)) (T, *FallbackInfo, error) {
+	var zero T
 	var attempts []Attempt
 	var firstFailure string
 
@@ -161,12 +203,12 @@ func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, pr
 		for retry := 0; retry <= fo.Retries; retry++ {
 			if retry > 0 {
 				if err := sleepCtx(ctx, fo.Backoff<<uint(retry-1)); err != nil {
-					return nil, fmt.Errorf("compile: fallback aborted: %w", err)
+					return zero, nil, fmt.Errorf("compile: fallback aborted: %w", err)
 				}
 			}
-			res, err := attemptOnce(ctx, spec, dev, p, rung, retry, fo)
+			res, err := runAttempt(ctx, fo.AttemptTimeout, p, rung, retry, attempt)
 			if err == nil {
-				res.Fallback = &FallbackInfo{
+				fb := &FallbackInfo{
 					Requested: preset,
 					Effective: p,
 					Degraded:  p != preset,
@@ -177,14 +219,14 @@ func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, pr
 					fo.Obs.Inc(obsv.CntCompileResilient)
 					fo.Obs.Add(obsv.CntFallbackAttempts, int64(len(attempts)))
 					fo.Obs.Add(obsv.CntFallbackDepthTotal, int64(rung))
-					if res.Fallback.Degraded {
+					if fb.Degraded {
 						fo.Obs.Inc(obsv.CntFallbackDegraded)
 					}
 				}
 				if fo.Trace.Enabled() {
 					fo.Trace.Fallback(trace.FallbackInfo{Preset: p.String(), Retry: retry, Final: true})
 				}
-				return res, nil
+				return res, fb, nil
 			}
 			attempts = append(attempts, Attempt{Preset: p, Retry: retry, Err: err.Error()})
 			if firstFailure == "" {
@@ -196,26 +238,34 @@ func CompileSpecResilient(ctx context.Context, spec Spec, dev *device.Device, pr
 			if ctx.Err() != nil {
 				// The caller's deadline is spent; degrading further would
 				// only burn more of nothing.
-				return nil, fmt.Errorf("compile: fallback aborted after %d attempts: %w", len(attempts), err)
+				return zero, nil, fmt.Errorf("compile: fallback aborted after %d attempts: %w", len(attempts), err)
 			}
 			var insufficient *InsufficientQubitsError
 			if errors.As(err, &insufficient) {
 				// No preset can conjure missing qubits.
-				return nil, err
+				return zero, nil, err
 			}
 		}
 	}
-	return nil, &LadderError{Requested: preset, Attempts: attempts}
+	return zero, nil, &LadderError{Requested: preset, Attempts: attempts}
 }
 
-// attemptOnce runs a single ladder attempt with its own derived rng and
-// optional per-attempt timeout.
-func attemptOnce(ctx context.Context, spec Spec, dev *device.Device, p Preset, rung, retry int, fo FallbackOptions) (*Result, error) {
-	if fo.AttemptTimeout > 0 {
+// runAttempt runs a single ladder attempt under its optional per-attempt
+// timeout.
+func runAttempt[T any](ctx context.Context, timeout time.Duration, p Preset, rung, retry int,
+	attempt func(ctx context.Context, p Preset, rung, retry int) (T, error)) (T, error) {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, fo.AttemptTimeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	return attempt(ctx, p, rung, retry)
+}
+
+// attemptOptions derives the per-attempt compile options: a fresh
+// deterministic rng per (rung, retry) plus the carried-through fallback
+// options.
+func attemptOptions(p Preset, rung, retry int, fo FallbackOptions) Options {
 	rng := rand.New(rand.NewSource(fo.Seed + int64(rung)*1_000_033 + int64(retry)*7_919))
 	opts := p.Options(rng)
 	opts.PackingLimit = fo.PackingLimit
@@ -224,7 +274,7 @@ func attemptOnce(ctx context.Context, spec Spec, dev *device.Device, p Preset, r
 	opts.Hook = fo.Hook
 	opts.Obs = fo.Obs
 	opts.Trace = fo.Trace
-	return CompileSpecContext(ctx, spec, dev, opts)
+	return opts
 }
 
 // sleepCtx pauses for d unless ctx finishes first.

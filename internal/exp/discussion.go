@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/compile"
 	"repro/internal/device"
 	"repro/internal/graphs"
@@ -28,7 +30,7 @@ func DefaultDiscussion() DiscussionConfig {
 // IC (+QAIM) vs the NAIVE flow on the 8-qubit ring, plus the percentage
 // reductions (the paper reports 8.51% depth and 12.99% gate-count savings
 // against the temporal-planner baseline on the same workload).
-func Discussion(cfg DiscussionConfig) (*Table, error) {
+func Discussion(ctx context.Context, cfg DiscussionConfig) (*Table, error) {
 	dev := device.Ring(cfg.Nodes)
 	var naiveS, icS []metrics.Sample
 	for i := 0; i < cfg.Instances; i++ {
@@ -40,7 +42,7 @@ func Discussion(cfg DiscussionConfig) (*Table, error) {
 		prob := &qaoa.Problem{G: g, MaxCut: 1}
 		for _, preset := range []compile.Preset{compile.PresetNaive, compile.PresetIC} {
 			opts := preset.Options(instanceRNG(cfg.Seed, i*10+int(preset)))
-			res, err := compile.Compile(prob, structuralParams, dev, opts)
+			res, err := compile.CompileContext(ctx, prob, structuralParams, dev, opts)
 			if err != nil {
 				return nil, err
 			}

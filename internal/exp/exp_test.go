@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -232,7 +233,7 @@ func TestFig12PackingTradeoffs(t *testing.T) {
 
 func TestDiscussionICBeatsNaiveOnRing(t *testing.T) {
 	cfg := DiscussionConfig{Nodes: 8, Edges: 8, Instances: 20, Seed: 6}
-	tb, err := Discussion(cfg)
+	tb, err := Discussion(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

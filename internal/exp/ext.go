@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -36,7 +37,7 @@ func DefaultExtLevels() ExtLevelsConfig {
 // ExtLevels measures how NAIVE and IC compiled depth and gate count scale
 // with the QAOA level count p; the IC advantage compounds because every
 // level's cost layer is re-ordered under the live layout.
-func ExtLevels(cfg ExtLevelsConfig) (*Table, error) {
+func ExtLevels(ctx context.Context, cfg ExtLevelsConfig) (*Table, error) {
 	dev := device.Tokyo20()
 	t := &Table{
 		ID:      "ext-levels",
@@ -58,7 +59,7 @@ func ExtLevels(cfg ExtLevelsConfig) (*Table, error) {
 			}
 			prob := &qaoa.Problem{G: g, MaxCut: 1}
 			for _, preset := range []compile.Preset{compile.PresetNaive, compile.PresetIC} {
-				res, err := compile.Compile(prob, params, dev, preset.Options(instanceRNG(cfg.Seed, i*10+int(preset))))
+				res, err := compile.CompileContext(ctx, prob, params, dev, preset.Options(instanceRNG(cfg.Seed, i*10+int(preset))))
 				if err != nil {
 					return nil, err
 				}
@@ -94,7 +95,7 @@ func DefaultExtMappers() ExtMappersConfig {
 // ExtMappers ablates the initial-mapping policy — random, GreedyV, QAIM and
 // reverse traversal (Li et al.) — under a fixed ordering strategy (random),
 // reporting compiled depth, swaps, and the mapping pass's own cost.
-func ExtMappers(cfg ExtMappersConfig) (*Table, error) {
+func ExtMappers(ctx context.Context, cfg ExtMappersConfig) (*Table, error) {
 	dev := device.Tokyo20()
 	mappers := []compile.Mapper{compile.MapRandom, compile.MapGreedyV, compile.MapQAIM, compile.MapReverse}
 	t := &Table{
@@ -117,7 +118,7 @@ func ExtMappers(cfg ExtMappersConfig) (*Table, error) {
 				Strategy: compile.WholeRandom,
 				Rng:      instanceRNG(cfg.Seed, i*10+int(mapper)),
 			}
-			res, err := compile.Compile(prob, structuralParams, dev, opts)
+			res, err := compile.CompileContext(ctx, prob, structuralParams, dev, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +153,7 @@ func DefaultExtCrosstalk() ExtCrosstalkConfig {
 // ExtCrosstalk measures the depth cost of crosstalk-aware serialization
 // (§VI): IC-compiled circuits on melbourne are re-scheduled so no prone
 // coupler pair runs concurrently, for growing prone-set sizes.
-func ExtCrosstalk(cfg ExtCrosstalkConfig) (*Table, error) {
+func ExtCrosstalk(ctx context.Context, cfg ExtCrosstalkConfig) (*Table, error) {
 	dev := device.Melbourne15()
 	var edges [][2]int
 	for _, e := range dev.Coupling.Edges() {
@@ -181,7 +182,7 @@ func ExtCrosstalk(cfg ExtCrosstalkConfig) (*Table, error) {
 				return nil, err
 			}
 			prob := &qaoa.Problem{G: g, MaxCut: 1}
-			res, err := compile.Compile(prob, structuralParams, dev,
+			res, err := compile.CompileContext(ctx, prob, structuralParams, dev,
 				compile.PresetIC.Options(instanceRNG(cfg.Seed, i*10)))
 			if err != nil {
 				return nil, err
@@ -212,7 +213,7 @@ func DefaultExtOptimize() ExtOptimizeConfig {
 
 // ExtOptimize measures the native gate-count reduction the peephole
 // optimizer achieves on top of each compilation methodology.
-func ExtOptimize(cfg ExtOptimizeConfig) (*Table, error) {
+func ExtOptimize(ctx context.Context, cfg ExtOptimizeConfig) (*Table, error) {
 	dev := device.Tokyo20()
 	t := &Table{
 		ID:      "ext-optimize",
@@ -229,13 +230,13 @@ func ExtOptimize(cfg ExtOptimizeConfig) (*Table, error) {
 			}
 			prob := &qaoa.Problem{G: g, MaxCut: 1}
 			plainOpts := preset.Options(instanceRNG(cfg.Seed, i*10+int(preset)))
-			plain, err := compile.Compile(prob, structuralParams, dev, plainOpts)
+			plain, err := compile.CompileContext(ctx, prob, structuralParams, dev, plainOpts)
 			if err != nil {
 				return nil, err
 			}
 			optOpts := preset.Options(instanceRNG(cfg.Seed, i*10+int(preset)))
 			optOpts.Optimize = true
-			opt, err := compile.Compile(prob, structuralParams, dev, optOpts)
+			opt, err := compile.CompileContext(ctx, prob, structuralParams, dev, optOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -268,7 +269,7 @@ func DefaultExtDevices() ExtDevicesConfig {
 // heavy-hex falcon generation, and a plain grid. Sparser coupling costs
 // SWAPs — quantifying how much the paper's tokyo results depend on its
 // rich connectivity.
-func ExtDevices(cfg ExtDevicesConfig) (*Table, error) {
+func ExtDevices(ctx context.Context, cfg ExtDevicesConfig) (*Table, error) {
 	devs := []*device.Device{
 		device.Tokyo20(), device.Melbourne15(), device.Falcon27(), device.Grid(4, 4),
 	}
@@ -286,7 +287,7 @@ func ExtDevices(cfg ExtDevicesConfig) (*Table, error) {
 				return nil, err
 			}
 			prob := &qaoa.Problem{G: g, MaxCut: 1}
-			res, err := compile.Compile(prob, structuralParams, dev,
+			res, err := compile.CompileContext(ctx, prob, structuralParams, dev,
 				compile.PresetIC.Options(instanceRNG(cfg.Seed, i*10)))
 			if err != nil {
 				return nil, err
@@ -320,7 +321,7 @@ func DefaultExtOrdering() ExtOrderingConfig {
 // packing vs Misra–Gries edge coloring (Vizing's Δ+1 guarantee), reporting
 // the logical layer count against the MOQ = Δ lower bound and the routed
 // depth on tokyo.
-func ExtOrdering(cfg ExtOrderingConfig) (*Table, error) {
+func ExtOrdering(ctx context.Context, cfg ExtOrderingConfig) (*Table, error) {
 	dev := device.Tokyo20()
 	t := &Table{
 		ID:      "ext-ordering",
@@ -343,7 +344,7 @@ func ExtOrdering(cfg ExtOrderingConfig) (*Table, error) {
 			prob := &qaoa.Problem{G: g, MaxCut: 1}
 			opts := compile.Options{Mapper: compile.MapQAIM, Strategy: st.strategy,
 				Rng: instanceRNG(cfg.Seed, i*10)}
-			res, err := compile.Compile(prob, structuralParams, dev, opts)
+			res, err := compile.CompileContext(ctx, prob, structuralParams, dev, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -396,7 +397,7 @@ func DefaultExtMitigation() ExtMitigationConfig {
 // readout-error mitigation recovers: VIC-compiled circuits run on the noisy
 // melbourne model, ARG computed from raw counts and from mitigated counts.
 // Gate errors remain, so mitigation closes only the readout share.
-func ExtMitigation(cfg ExtMitigationConfig) (*Table, error) {
+func ExtMitigation(ctx context.Context, cfg ExtMitigationConfig) (*Table, error) {
 	dev := device.Melbourne15()
 	nm := sim.NoiseFromDevice(dev)
 	var rawSum, mitSum float64
@@ -420,8 +421,7 @@ func ExtMitigation(cfg ExtMitigationConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := compile.Compile(prob,
-			qaoa.Params{Gamma: []float64{gamma}, Beta: []float64{beta}},
+		res, err := compile.CompileContext(ctx, prob, qaoa.Params{Gamma: []float64{gamma}, Beta: []float64{beta}},
 			dev, compile.PresetVIC.Options(instanceRNG(cfg.Seed, i*10)))
 		if err != nil {
 			return nil, err
@@ -479,7 +479,7 @@ func DefaultExtWorkloads() ExtWorkloadsConfig {
 // small-world, and Barabási–Albert scale-free. Hub-heavy instances force
 // more cost layers (MOQ = max degree), the workload effect §V-E attributes
 // to disproportionate node connectivity.
-func ExtWorkloads(cfg ExtWorkloadsConfig) (*Table, error) {
+func ExtWorkloads(ctx context.Context, cfg ExtWorkloadsConfig) (*Table, error) {
 	dev := device.Tokyo20()
 	n := cfg.Nodes
 	families := []struct {
@@ -514,7 +514,7 @@ func ExtWorkloads(cfg ExtWorkloadsConfig) (*Table, error) {
 				return nil, err
 			}
 			prob := &qaoa.Problem{G: g, MaxCut: 1}
-			res, err := compile.Compile(prob, structuralParams, dev,
+			res, err := compile.CompileContext(ctx, prob, structuralParams, dev,
 				compile.PresetIC.Options(instanceRNG(cfg.Seed, i*10)))
 			if err != nil {
 				return nil, err

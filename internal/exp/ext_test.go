@@ -1,10 +1,13 @@
 package exp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestExtLevelsScaling(t *testing.T) {
 	cfg := ExtLevelsConfig{Nodes: 12, Degree: 3, Instances: 6, Levels: []int{1, 3}, Seed: 21}
-	tb, err := ExtLevels(cfg)
+	tb, err := ExtLevels(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +31,7 @@ func TestExtLevelsScaling(t *testing.T) {
 
 func TestExtMappersOrdering(t *testing.T) {
 	cfg := ExtMappersConfig{Nodes: 18, Degree: 3, Instances: 8, Seed: 22}
-	tb, err := ExtMappers(cfg)
+	tb, err := ExtMappers(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +56,7 @@ func TestExtMappersOrdering(t *testing.T) {
 func TestExtCrosstalkMonotone(t *testing.T) {
 	cfg := ExtCrosstalkConfig{Nodes: 10, EdgeProb: 0.5, Instances: 5,
 		ProneFracs: []float64{0, 1}, Seed: 23}
-	tb, err := ExtCrosstalk(cfg)
+	tb, err := ExtCrosstalk(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +73,7 @@ func TestExtCrosstalkMonotone(t *testing.T) {
 
 func TestExtOptimizeReduces(t *testing.T) {
 	cfg := ExtOptimizeConfig{Nodes: 14, Degree: 4, Instances: 6, Seed: 24}
-	tb, err := ExtOptimize(cfg)
+	tb, err := ExtOptimize(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func TestExtOptimizeReduces(t *testing.T) {
 
 func TestExtDevicesConnectivityMatters(t *testing.T) {
 	cfg := ExtDevicesConfig{Nodes: 14, Degree: 3, Instances: 6, Seed: 25}
-	tb, err := ExtDevices(cfg)
+	tb, err := ExtDevices(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +115,7 @@ func TestExtDevicesConnectivityMatters(t *testing.T) {
 
 func TestExtOrderingVizingAtBound(t *testing.T) {
 	cfg := ExtOrderingConfig{Nodes: 16, Degree: 6, Instances: 6, Seed: 26}
-	tb, err := ExtOrdering(cfg)
+	tb, err := ExtOrdering(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +133,7 @@ func TestExtOrderingVizingAtBound(t *testing.T) {
 func TestExtMitigationHelps(t *testing.T) {
 	cfg := ExtMitigationConfig{Nodes: 8, Degree: 3, Instances: 2,
 		Shots: 2048, Trajectories: 16, Seed: 27}
-	tb, err := ExtMitigation(cfg)
+	tb, err := ExtMitigation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,7 @@ func TestExtMitigationHelps(t *testing.T) {
 
 func TestExtWorkloadsHubsCostLayers(t *testing.T) {
 	cfg := ExtWorkloadsConfig{Nodes: 16, Instances: 6, Seed: 28}
-	tb, err := ExtWorkloads(cfg)
+	tb, err := ExtWorkloads(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

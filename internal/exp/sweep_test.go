@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// The sweep's two paths must produce the same landscape: the bind path is
+// byte-identical to the compile path per point (the skeleton oracle
+// contract), so the tables agree exactly.
+func TestAngleSweepBindMatchesCompilePerPoint(t *testing.T) {
+	cfg := AngleSweepConfig{Nodes: 8, Degree: 3, Instances: 2, GammaSteps: 3, BetaSteps: 3, Seed: 17}
+	bind, err := AngleSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CompilePerPoint = true
+	legacy, err := AngleSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bind.Rows) != len(legacy.Rows) {
+		t.Fatalf("row count: bind %d legacy %d", len(bind.Rows), len(legacy.Rows))
+	}
+	for i := range bind.Rows {
+		br, lr := bind.Rows[i], legacy.Rows[i]
+		for j := range br.Values {
+			if br.Values[j] != lr.Values[j] && !(br.Values[j] != br.Values[j] && lr.Values[j] != lr.Values[j]) {
+				t.Fatalf("row %d col %d: bind %v legacy %v", i, j, br.Values[j], lr.Values[j])
+			}
+		}
+	}
+}
+
+// The sweep compiles once per instance and binds per grid point — the
+// compile-work collapse the skeleton layer exists for.
+func TestAngleSweepCompilesOncePerInstance(t *testing.T) {
+	obs := obsv.New()
+	SetCollector(obs)
+	defer SetCollector(nil)
+	cfg := AngleSweepConfig{Nodes: 8, Degree: 3, Instances: 2, GammaSteps: 3, BetaSteps: 4, Seed: 17}
+	if _, err := AngleSweep(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Counter(obsv.CntSkeletonCompiles); got != 2 {
+		t.Errorf("skeleton compiles = %d, want 2 (one per instance)", got)
+	}
+	if got := obs.Counter(obsv.CntCompileBinds); got != 2*3*4 {
+		t.Errorf("binds = %d, want %d (one per grid point)", got, 2*3*4)
+	}
+	// The skeleton compile itself runs the spec pipeline once per instance;
+	// no per-point compilations happen on the bind path.
+	if got := obs.Counter(obsv.CntCompilations); got != 2 {
+		t.Errorf("pipeline compilations = %d, want 2 (skeleton compiles only)", got)
+	}
+}

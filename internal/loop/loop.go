@@ -47,6 +47,17 @@ func (e *SimEvaluator) Expectation(params qaoa.Params) (float64, error) {
 // noisy execution — the full in-the-loop flow the paper's §V-G runs on
 // ibmq_16_melbourne, against our simulator substitute. Each evaluation is
 // stochastic; use enough shots for stable gradients-free optimization.
+//
+// The circuit structure is angle-independent, so by default the evaluator
+// compiles a routed skeleton once (on the first Expectation call) and
+// binds each angle set into a reused buffer — the routing cost amortizes
+// over the whole optimization instead of recurring per evaluation. Set
+// CompilePerEval to recover the legacy full-compile-per-evaluation flow.
+//
+// A HardwareEvaluator is NOT goroutine-safe: Expectation mutates the
+// evaluator's lazily-initialized state (rng, noise model, skeleton, bind
+// buffer). Share work across goroutines with one evaluator per goroutine.
+// Configuration fields are frozen by the first Expectation call.
 type HardwareEvaluator struct {
 	Prob         *qaoa.Problem
 	Dev          *device.Device
@@ -64,6 +75,16 @@ type HardwareEvaluator struct {
 	// Obs, when non-nil, times each evaluation (span loop/expectation),
 	// counts them (loop/evaluations) and is forwarded to every compilation.
 	Obs *obsv.Collector
+	// CompilePerEval disables skeleton reuse: every Expectation call runs
+	// the full mapping/ordering/routing pipeline on the concrete angles,
+	// with the rng evolving across evaluations. This is the pre-skeleton
+	// behavior, kept as the test oracle and for A/B benchmarking.
+	CompilePerEval bool
+
+	// Lazily-initialized evaluation state (see ensure).
+	noise *sim.NoiseModel
+	skel  *compile.Skeleton
+	buf   compile.BindBuffer
 }
 
 // Levels returns the configured level count.
@@ -84,28 +105,65 @@ func (e *HardwareEvaluator) defaultSeed() int64 {
 	return int64(h.Sum64())
 }
 
-// Expectation compiles, noisily samples, and averages the cost.
-func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
+// ensure hoists the lazy initialization out of the evaluation path: the
+// default-seeded rng, the derived noise model, and (unless CompilePerEval)
+// the one-time skeleton compile. It is idempotent and called by every
+// Expectation, so a zero-value evaluator still works; calling it mutates
+// the evaluator, which is why sharing one across goroutines is unsafe.
+func (e *HardwareEvaluator) ensure() error {
 	if e.Prob == nil || e.Dev == nil {
-		return 0, fmt.Errorf("loop: HardwareEvaluator needs Prob and Dev")
+		return fmt.Errorf("loop: HardwareEvaluator needs Prob and Dev")
+	}
+	if e.Rng == nil {
+		e.Rng = rand.New(rand.NewSource(e.defaultSeed()))
+	}
+	if e.noise == nil {
+		e.noise = e.Noise
+		if e.noise == nil {
+			e.noise = sim.NoiseFromDevice(e.Dev)
+		}
+	}
+	if e.skel == nil && !e.CompilePerEval {
+		ps, err := compile.ParamSpecFromMaxCut(e.Prob, e.Levels())
+		if err != nil {
+			return err
+		}
+		copts := e.Preset.Options(e.Rng)
+		copts.Obs = e.Obs
+		skel, err := compile.CompileSkeleton(e.ctx(), ps, e.Dev, copts)
+		if err != nil {
+			return err
+		}
+		e.skel = skel
+	}
+	return nil
+}
+
+func (e *HardwareEvaluator) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background() //lint:allow ctxflow: a zero-value evaluator runs unbounded by design
+}
+
+// Expectation compiles (or binds the cached skeleton), noisily samples,
+// and averages the cost.
+func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
+	if err := e.ensure(); err != nil {
+		return 0, err
 	}
 	span := e.Obs.StartSpan(obsv.SpanLoopExpectation)
 	defer span.End()
 	e.Obs.Inc(obsv.CntLoopEvaluations)
-	if e.Rng == nil {
-		e.Rng = rand.New(rand.NewSource(e.defaultSeed()))
+	var res *compile.Result
+	var err error
+	if e.CompilePerEval {
+		copts := e.Preset.Options(e.Rng)
+		copts.Obs = e.Obs
+		res, err = compile.CompileContext(e.ctx(), e.Prob, params, e.Dev, copts)
+	} else {
+		res, err = e.skel.BindTo(&e.buf, params)
 	}
-	ctx := e.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	nm := e.Noise
-	if nm == nil {
-		nm = sim.NoiseFromDevice(e.Dev)
-	}
-	copts := e.Preset.Options(e.Rng)
-	copts.Obs = e.Obs
-	res, err := compile.CompileContext(ctx, e.Prob, params, e.Dev, copts)
 	if err != nil {
 		return 0, err
 	}
@@ -117,7 +175,7 @@ func (e *HardwareEvaluator) Expectation(params qaoa.Params) (float64, error) {
 	if traj <= 0 {
 		traj = 16
 	}
-	samples := sim.SampleNoisy(res.Circuit, nm, shots, traj, e.Rng)
+	samples := sim.SampleNoisy(res.Circuit, e.noise, shots, traj, e.Rng)
 	// The evaluator is called once per optimizer step over the same problem,
 	// so the dense cut table (cached on Prob) amortizes immediately and each
 	// sample costs one lookup instead of an edge scan.

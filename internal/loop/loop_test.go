@@ -10,6 +10,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/device"
 	"repro/internal/graphs"
+	"repro/internal/obsv"
 	"repro/internal/optimize"
 	"repro/internal/qaoa"
 )
@@ -257,3 +258,99 @@ var errFake = &fakeErr{}
 type fakeErr struct{}
 
 func (*fakeErr) Error() string { return "fake" }
+
+// The skeleton path must reproduce the legacy compile-per-evaluation path
+// exactly on the first evaluation: the skeleton compile consumes the rng
+// exactly as a concrete compile would, and the bound circuit is
+// byte-identical, so the first noisy sample stream coincides.
+func TestHardwareEvaluatorBindMatchesCompilePerEvalFirstCall(t *testing.T) {
+	g := graphs.MustRandomRegular(8, 3, rand.New(rand.NewSource(12)))
+	prob, err := qaoa.NewMaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := qaoa.Params{Gamma: []float64{0.8}, Beta: []float64{0.3}}
+	make1 := func(perEval bool) *HardwareEvaluator {
+		return &HardwareEvaluator{
+			Prob: prob, Dev: device.Melbourne15(), Preset: compile.PresetIC,
+			P: 1, Shots: 256, Trajectories: 4, CompilePerEval: perEval,
+		}
+	}
+	bind, perEval := make1(false), make1(true)
+	got, err := bind.Expectation(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perEval.Expectation(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("first evaluation differs: bind %v, compile-per-eval %v", got, want)
+	}
+}
+
+// Two zero-Rng skeleton-mode evaluators over the same instance must agree
+// across a sequence of evaluations (the deterministic-stream contract).
+func TestHardwareEvaluatorSkeletonDeterministic(t *testing.T) {
+	g := graphs.MustRandomRegular(8, 3, rand.New(rand.NewSource(13)))
+	prob, err := qaoa.NewMaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &HardwareEvaluator{Prob: prob, Dev: device.Melbourne15(), Preset: compile.PresetIC, P: 1, Shots: 128, Trajectories: 4}
+	b := &HardwareEvaluator{Prob: prob, Dev: device.Melbourne15(), Preset: compile.PresetIC, P: 1, Shots: 128, Trajectories: 4}
+	angles := []qaoa.Params{
+		{Gamma: []float64{0.8}, Beta: []float64{0.3}},
+		{Gamma: []float64{0.2}, Beta: []float64{0.9}},
+		{Gamma: []float64{-1.1}, Beta: []float64{0.05}},
+	}
+	for i, params := range angles {
+		va, err := a.Expectation(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.Expectation(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb {
+			t.Fatalf("evaluation %d: %v vs %v", i, va, vb)
+		}
+	}
+}
+
+// The whole point of the skeleton: a multi-evaluation loop pays for one
+// pipeline run. compile/compilations counts the skeleton's sentinel
+// compile only, and compile/binds counts every evaluation.
+func TestHardwareEvaluatorCompilesOnceBindsPerEval(t *testing.T) {
+	g := graphs.MustRandomRegular(8, 3, rand.New(rand.NewSource(14)))
+	prob, err := qaoa.NewMaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := obsv.New()
+	hw := &HardwareEvaluator{
+		Prob: prob, Dev: device.Melbourne15(), Preset: compile.PresetIC,
+		P: 1, Shots: 64, Trajectories: 2, Obs: obs,
+	}
+	const evals = 5
+	for i := 0; i < evals; i++ {
+		params := qaoa.Params{Gamma: []float64{0.1 * float64(i+1)}, Beta: []float64{0.05 * float64(i+1)}}
+		if _, err := hw.Expectation(params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := obs.Counter(obsv.CntCompilations); got != 1 {
+		t.Errorf("compile/compilations = %d, want 1 (the skeleton compile)", got)
+	}
+	if got := obs.Counter(obsv.CntSkeletonCompiles); got != 1 {
+		t.Errorf("compile/skeleton_compiles = %d, want 1", got)
+	}
+	if got := obs.Counter(obsv.CntCompileBinds); got != int64(evals) {
+		t.Errorf("compile/binds = %d, want %d", got, evals)
+	}
+	if got := obs.Counter(obsv.CntLoopEvaluations); got != int64(evals) {
+		t.Errorf("loop/evaluations = %d, want %d", got, evals)
+	}
+}

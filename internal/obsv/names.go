@@ -28,6 +28,8 @@ const (
 // Counter names (monotonic).
 const (
 	CntCompilations        = "compile/compilations"
+	CntSkeletonCompiles    = "compile/skeleton_compiles"
+	CntCompileBinds        = "compile/binds"
 	CntCompileSwaps        = "compile/swaps"
 	CntCompileGates        = "compile/gates"
 	CntCompileDepthTotal   = "compile/depth_total"
@@ -78,12 +80,18 @@ const (
 	CntServeCacheEvictions     = "serve/cache_evictions"
 	CntServeCacheInvalidations = "serve/cache_invalidations"
 	CntServeSingleflightShared = "serve/singleflight_shared"
-	CntServeCompiles           = "serve/compiles"
-	CntServeBreakerOpens       = "serve/breaker_opens"
-	CntServeBreakerRejected    = "serve/breaker_rejected"
-	CntServeBreakerRerouted    = "serve/breaker_rerouted"
-	CntServeBreakerProbes      = "serve/breaker_probes"
-	CntServeCalibReloads       = "serve/calib_reloads"
+	// Skeleton-tier cache counters: the tier is keyed without angles, so
+	// an angle-sweeping client hits it on every point after the first.
+	CntServeSkeletonHits          = "serve/skeleton_hits"
+	CntServeSkeletonMisses        = "serve/skeleton_misses"
+	CntServeSkeletonEvictions     = "serve/skeleton_evictions"
+	CntServeSkeletonInvalidations = "serve/skeleton_invalidations"
+	CntServeCompiles              = "serve/compiles"
+	CntServeBreakerOpens          = "serve/breaker_opens"
+	CntServeBreakerRejected       = "serve/breaker_rejected"
+	CntServeBreakerRerouted       = "serve/breaker_rerouted"
+	CntServeBreakerProbes         = "serve/breaker_probes"
+	CntServeCalibReloads          = "serve/calib_reloads"
 )
 
 // Gauge names (point-in-time values; never wall-clock readings).
@@ -163,6 +171,7 @@ const (
 	FieldPreset        = "preset"
 	FieldPresetUsed    = "preset_effective"
 	FieldCacheHit      = "cache_hit"
+	FieldSkeletonHit   = "skeleton_hit"
 	FieldShared        = "singleflight_shared"
 	FieldQueueWaitMS   = "queue_wait_ms"
 	FieldBreakerState  = "breaker"
@@ -227,6 +236,8 @@ var registry = map[string]NameKind{
 	SpanSimSampleNoisy:  KindSpan,
 
 	CntCompilations:        KindCounter,
+	CntSkeletonCompiles:    KindCounter,
+	CntCompileBinds:        KindCounter,
 	CntCompileSwaps:        KindCounter,
 	CntCompileGates:        KindCounter,
 	CntCompileDepthTotal:   KindCounter,
@@ -267,24 +278,28 @@ var registry = map[string]NameKind{
 	SpanServeRequest: KindSpan,
 	SpanServeCompile: KindSpan,
 
-	CntServeRequests:           KindCounter,
-	CntServeOK:                 KindCounter,
-	CntServeErrors:             KindCounter,
-	CntServeBadRequests:        KindCounter,
-	CntServeShed:               KindCounter,
-	CntServeDeadlineExceeded:   KindCounter,
-	CntServeClientGone:         KindCounter,
-	CntServeCacheHits:          KindCounter,
-	CntServeCacheMisses:        KindCounter,
-	CntServeCacheEvictions:     KindCounter,
-	CntServeCacheInvalidations: KindCounter,
-	CntServeSingleflightShared: KindCounter,
-	CntServeCompiles:           KindCounter,
-	CntServeBreakerOpens:       KindCounter,
-	CntServeBreakerRejected:    KindCounter,
-	CntServeBreakerRerouted:    KindCounter,
-	CntServeBreakerProbes:      KindCounter,
-	CntServeCalibReloads:       KindCounter,
+	CntServeRequests:              KindCounter,
+	CntServeOK:                    KindCounter,
+	CntServeErrors:                KindCounter,
+	CntServeBadRequests:           KindCounter,
+	CntServeShed:                  KindCounter,
+	CntServeDeadlineExceeded:      KindCounter,
+	CntServeClientGone:            KindCounter,
+	CntServeCacheHits:             KindCounter,
+	CntServeCacheMisses:           KindCounter,
+	CntServeCacheEvictions:        KindCounter,
+	CntServeCacheInvalidations:    KindCounter,
+	CntServeSingleflightShared:    KindCounter,
+	CntServeSkeletonHits:          KindCounter,
+	CntServeSkeletonMisses:        KindCounter,
+	CntServeSkeletonEvictions:     KindCounter,
+	CntServeSkeletonInvalidations: KindCounter,
+	CntServeCompiles:              KindCounter,
+	CntServeBreakerOpens:          KindCounter,
+	CntServeBreakerRejected:       KindCounter,
+	CntServeBreakerRerouted:       KindCounter,
+	CntServeBreakerProbes:         KindCounter,
+	CntServeCalibReloads:          KindCounter,
 
 	GaugeServeInflight:   KindGauge,
 	GaugeServeQueueDepth: KindGauge,
@@ -314,6 +329,7 @@ var fieldRegistry = map[string]bool{
 	FieldPreset:        true,
 	FieldPresetUsed:    true,
 	FieldCacheHit:      true,
+	FieldSkeletonHit:   true,
 	FieldShared:        true,
 	FieldQueueWaitMS:   true,
 	FieldBreakerState:  true,

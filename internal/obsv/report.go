@@ -74,6 +74,22 @@ type Benchmark struct {
 	// be cross-checked (they must agree within one histogram bucket).
 	ServerP50MS float64 `json:"server_p50_ms,omitempty"`
 	ServerP99MS float64 `json:"server_p99_ms,omitempty"`
+	// SkeletonHitRate is the fraction of the angle-sweep phase's
+	// second-and-later requests per structure that were served by binding a
+	// cached routed skeleton (qaoad-load's sweep phase; 0 when not run).
+	SkeletonHitRate float64 `json:"skeleton_hit_rate,omitempty"`
+
+	// Parameterized-compilation evidence fields, set by the qaoa-bench
+	// -parambind records. Evaluations is the number of objective
+	// evaluations (loop) or grid points (sweep) the record's workload ran;
+	// Compilations, SkeletonCompiles and Binds are the compile-work
+	// counter deltas over that workload. All deterministic under the fixed
+	// seed, so a before/after pair proves the compile-work reduction
+	// exactly. All omitempty — no schema bump.
+	Evaluations      int64 `json:"evaluations,omitempty"`
+	Compilations     int64 `json:"compilations,omitempty"`
+	SkeletonCompiles int64 `json:"skeleton_compiles,omitempty"`
+	Binds            int64 `json:"binds,omitempty"`
 }
 
 // Report is the stable machine-readable metrics artifact. It combines the
@@ -229,6 +245,7 @@ func (r *Report) StripTimings() {
 		b := &r.Benchmarks[i]
 		b.CompileSec, b.MapSec, b.OrderSec, b.RouteSec, b.CompileUnits = 0, 0, 0, 0, 0
 		b.SimSec, b.SimUnits = 0, 0
+		b.ReqPerSec, b.P50MS, b.P99MS, b.ServerP50MS, b.ServerP99MS = 0, 0, 0, 0, 0
 	}
 	for i := range r.Spans {
 		s := &r.Spans[i]

@@ -200,7 +200,7 @@ func (s *breakerSet) route(requested compile.Preset) (start compile.Preset, rero
 // observe folds a finished compilation into the breakers: every failed
 // attempt counts against its preset, the effective preset of a successful
 // result counts for it.
-func (s *breakerSet) observe(res *compile.Result, attempts []compile.Attempt) {
+func (s *breakerSet) observe(fb *compile.FallbackInfo, attempts []compile.Attempt) {
 	for _, a := range attempts {
 		if b, ok := s.byPreset[a.Preset]; ok {
 			if b.record(false) {
@@ -208,8 +208,8 @@ func (s *breakerSet) observe(res *compile.Result, attempts []compile.Attempt) {
 			}
 		}
 	}
-	if res != nil && res.Fallback != nil {
-		if b, ok := s.byPreset[res.Fallback.Effective]; ok {
+	if fb != nil {
+		if b, ok := s.byPreset[fb.Effective]; ok {
 			b.record(true)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compile"
 	"repro/internal/device"
 	"repro/internal/obsv"
 	"repro/internal/trace"
@@ -47,71 +48,114 @@ type outcome struct {
 	trace []trace.Event
 }
 
-// cache is a mutex-guarded LRU of compiled outcomes keyed by the canonical
-// request hash. Each entry remembers its deviceID so calibration reloads
-// can invalidate exactly the entries of the affected device revision.
-type cache struct {
+// skelEntry is one cached routed skeleton plus the compile-time facts every
+// binding of it shares: the breaker-chosen starting preset, whether the
+// request was rerouted, and the compile's decision trace. A skeleton entry
+// serves every angle set over the same (graph, device revision, preset,
+// seed, packing) — binding writes the angles into a pooled buffer without
+// repeating any routing work.
+type skelEntry struct {
+	skel     *compile.Skeleton
+	start    compile.Preset
+	rerouted bool
+	trace    []trace.Event
+}
+
+// cacheCounters names the obsv counters one LRU tier reports to, so the
+// compiled-circuit tier and the skeleton tier stay separately observable.
+type cacheCounters struct {
+	hits, misses, evictions, invalidations string
+}
+
+// lru is a mutex-guarded LRU keyed by the canonical request hash. Each
+// entry remembers its deviceID so calibration reloads can invalidate
+// exactly the entries of the affected device revision. The server runs two
+// tiers: the full-key tier holds immutable compiled outcomes, the
+// angle-free tier holds routed skeletons.
+type lru[V any] struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recent
 	items map[string]*list.Element
 	obs   *obsv.Collector
+	cnt   cacheCounters
 }
 
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key      string
 	deviceID string
-	out      *outcome
+	val      V
 }
 
-func newCache(max int, obs *obsv.Collector) *cache {
+func newLRU[V any](max int, obs *obsv.Collector, cnt cacheCounters) *lru[V] {
 	if max <= 0 {
 		max = 1024
 	}
-	return &cache{max: max, ll: list.New(), items: make(map[string]*list.Element), obs: obs}
+	return &lru[V]{max: max, ll: list.New(), items: make(map[string]*list.Element), obs: obs, cnt: cnt}
 }
 
-func (c *cache) get(key string) (*outcome, bool) {
+// newCache builds the compiled-circuit tier.
+func newCache(max int, obs *obsv.Collector) *lru[*outcome] {
+	return newLRU[*outcome](max, obs, cacheCounters{
+		hits:          obsv.CntServeCacheHits,
+		misses:        obsv.CntServeCacheMisses,
+		evictions:     obsv.CntServeCacheEvictions,
+		invalidations: obsv.CntServeCacheInvalidations,
+	})
+}
+
+// newSkelCache builds the angle-free skeleton tier.
+func newSkelCache(max int, obs *obsv.Collector) *lru[*skelEntry] {
+	return newLRU[*skelEntry](max, obs, cacheCounters{
+		hits:          obsv.CntServeSkeletonHits,
+		misses:        obsv.CntServeSkeletonMisses,
+		evictions:     obsv.CntServeSkeletonEvictions,
+		invalidations: obsv.CntServeSkeletonInvalidations,
+	})
+}
+
+func (c *lru[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.obs.Inc(obsv.CntServeCacheMisses)
-		return nil, false
+		c.obs.Inc(c.cnt.misses) //lint:allow obsvnames: registry constant injected via cacheCounters
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	c.obs.Inc(obsv.CntServeCacheHits)
-	return el.Value.(*cacheEntry).out, true
+	c.obs.Inc(c.cnt.hits) //lint:allow obsvnames: registry constant injected via cacheCounters
+	return el.Value.(*cacheEntry[V]).val, true
 }
 
-func (c *cache) put(key, deviceID string, out *outcome) {
+func (c *lru[V]) put(key, deviceID string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).out = out
+		el.Value.(*cacheEntry[V]).val = val
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, deviceID: deviceID, out: out})
+	c.items[key] = c.ll.PushFront(&cacheEntry[V]{key: key, deviceID: deviceID, val: val})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.obs.Inc(obsv.CntServeCacheEvictions)
+		delete(c.items, oldest.Value.(*cacheEntry[V]).key)
+		c.obs.Inc(c.cnt.evictions) //lint:allow obsvnames: registry constant injected via cacheCounters
 	}
 }
 
 // invalidateDevice drops every entry compiled against any epoch of the
 // named registered device, returning how many were dropped. Entries of
 // other devices are untouched.
-func (c *cache) invalidateDevice(name string) int {
+func (c *lru[V]) invalidateDevice(name string) int {
 	prefix := name + "@"
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*cacheEntry[V])
 		if strings.HasPrefix(e.deviceID, prefix) {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
@@ -119,11 +163,11 @@ func (c *cache) invalidateDevice(name string) int {
 		}
 		el = next
 	}
-	c.obs.Add(obsv.CntServeCacheInvalidations, int64(n))
+	c.obs.Add(c.cnt.invalidations, int64(n)) //lint:allow obsvnames: registry constant injected via cacheCounters
 	return n
 }
 
-func (c *cache) len() int {
+func (c *lru[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
@@ -132,9 +176,17 @@ func (c *cache) len() int {
 // flight is one in-progress compilation shared by every concurrent request
 // with the same cache key — singleflight deduplication. done is closed
 // exactly once, after out/err are set.
+//
+// Two flavors exist. An optimize flight is keyed on the full request hash
+// and carries a finished outcome. A skeleton flight is keyed on the
+// angle-free hash and carries the routed skeleton instead: every waiter —
+// each possibly holding different angles — binds its own parameters and
+// caches the result under its own full key, so one routing pass serves the
+// whole angle sweep that piled up behind it.
 type flight struct {
 	done chan struct{}
 	out  *outcome
+	skel *skelEntry
 	err  error
 	// queueWait and breaker are set by the leader before finish closes
 	// done; waiters read them afterwards (the channel close orders the

@@ -33,6 +33,7 @@ type RequestRecord struct {
 	Preset          string  `json:"preset,omitempty"`
 	PresetEffective string  `json:"preset_effective,omitempty"`
 	CacheHit        bool    `json:"cache_hit"`
+	SkeletonHit     bool    `json:"skeleton_hit,omitempty"`
 	Shared          bool    `json:"singleflight_shared,omitempty"`
 	QueueWaitMS     float64 `json:"queue_wait_ms,omitempty"`
 	Breaker         string  `json:"breaker,omitempty"`

@@ -126,8 +126,28 @@ type parsedRequest struct {
 	packing  int
 	optimize bool
 	emitQASM bool
-	key      string        // cache/singleflight key
+	key      string        // full cache/singleflight key (includes angles)
 	wait     time.Duration // client wait budget (0 = server default)
+
+	// Parameterized-compilation view of the same request: the angle-free
+	// structure, the angles to bind, and the angle-free skeleton-tier key.
+	// Unused (skelKey empty) for optimize requests — peephole rewriting is
+	// angle-dependent, so those can only be cached post-bind.
+	paramSpec compile.ParamSpec
+	gamma     []float64
+	beta      []float64
+	skelKey   string
+}
+
+// flightKey keys the singleflight group: skeleton-eligible requests
+// deduplicate on the angle-free key, so concurrent distinct-angle requests
+// over the same structure share a single routing pass and each waiter binds
+// its own angles.
+func (p *parsedRequest) flightKey() string {
+	if p.skelKey != "" {
+		return p.skelKey
+	}
+	return p.key
 }
 
 // parseRequest validates and canonicalizes req against the device registry.
@@ -269,6 +289,15 @@ func (s *Server) parseRequest(req *CompileRequest) (*parsedRequest, error) {
 		return nil, err
 	}
 
+	// The same request, angle-free: the skeleton tier compiles this once per
+	// structure and binds gamma/beta per request. The term order matches the
+	// spec's, so a bound skeleton is byte-identical to the direct compile.
+	p.gamma, p.beta = gamma, beta
+	p.paramSpec = compile.ParamSpec{N: c.N, P: levels, Terms: make([]compile.WeightedTerm, len(canon))}
+	for i, e := range canon {
+		p.paramSpec.Terms[i] = compile.WeightedTerm{U: e.u, V: e.v, Weight: e.w}
+	}
+
 	// Cache key: canonical graph hash × device(+epoch) × preset × config.
 	h := sha256.New()
 	fmt.Fprintf(h, "dev=%s\npreset=%s\nseed=%d\npacking=%d\noptimize=%t\nn=%d\np=%d\n",
@@ -280,6 +309,19 @@ func (s *Server) parseRequest(req *CompileRequest) (*parsedRequest, error) {
 		fmt.Fprintf(h, "%d %d %g\n", e.u, e.v, e.w)
 	}
 	p.key = hex.EncodeToString(h.Sum(nil))
+
+	// Skeleton-tier key: the full key's layout minus the angle lines, plus a
+	// marker so the two keyspaces can never collide. Optimize requests get
+	// no skeleton key — their gate structure depends on the angles.
+	if !p.optimize {
+		h = sha256.New()
+		fmt.Fprintf(h, "skeleton\ndev=%s\npreset=%s\nseed=%d\npacking=%d\nn=%d\np=%d\n",
+			p.deviceID, p.preset, p.seed, p.packing, c.N, levels)
+		for _, e := range canon {
+			fmt.Fprintf(h, "%d %d %g\n", e.u, e.v, e.w)
+		}
+		p.skelKey = hex.EncodeToString(h.Sum(nil))
+	}
 	return p, nil
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/device"
 	"repro/internal/obsv"
+	"repro/internal/qaoa"
 	"repro/internal/qasm"
 	"repro/internal/trace"
 )
@@ -156,7 +157,8 @@ type Server struct {
 	obs       *obsv.Collector
 	log       *slog.Logger
 	devices   *registry
-	cache     *cache
+	cache     *lru[*outcome]
+	skels     *lru[*skelEntry]
 	flights   *flightGroup
 	adm       *admission
 	breakers  *breakerSet
@@ -185,6 +187,7 @@ func New(cfg Config) *Server {
 		log:       cfg.Log,
 		devices:   newRegistry(),
 		cache:     newCache(cfg.CacheSize, cfg.Obs),
+		skels:     newSkelCache(cfg.CacheSize, cfg.Obs),
 		flights:   newFlightGroup(),
 		adm:       newAdmission(cfg.Workers, cfg.Queue, cfg.Obs),
 		breakers:  newBreakerSet(cfg.Breaker, cfg.Now, cfg.Obs),
@@ -304,23 +307,29 @@ func (s *Server) Close() { s.cancel() }
 // CacheLen reports the number of cached compiled circuits.
 func (s *Server) CacheLen() int { return s.cache.len() }
 
+// SkeletonCacheLen reports the number of cached routed skeletons.
+func (s *Server) SkeletonCacheLen() int { return s.skels.len() }
+
 // RegisterDevice adds (or replaces) a named device at calibration epoch 0
-// and invalidates any cache entries of the name's previous registration.
+// and invalidates any cache entries — compiled outcomes and routed
+// skeletons — of the name's previous registration.
 func (s *Server) RegisterDevice(name string, dev *device.Device) {
 	s.devices.register(name, dev)
 	s.cache.invalidateDevice(name)
+	s.skels.invalidateDevice(name)
 }
 
 // ReloadCalibration installs a new calibration for a registered device,
 // bumping its calibration epoch and invalidating exactly the cache entries
-// compiled against that device. It returns the new epoch and how many
-// entries were invalidated.
+// compiled against that device, across both tiers. It returns the new
+// epoch and how many entries were invalidated (outcomes plus skeletons).
 func (s *Server) ReloadCalibration(name string, cal *device.Calibration) (epoch int64, invalidated int, err error) {
 	epoch, err = s.devices.reload(name, cal)
 	if err != nil {
 		return 0, 0, err
 	}
 	invalidated = s.cache.invalidateDevice(name)
+	invalidated += s.skels.invalidateDevice(name)
 	s.obs.Inc(obsv.CntServeCalibReloads)
 	return epoch, invalidated, nil
 }
@@ -388,6 +397,30 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Skeleton tier: a full-key miss with a cached routed skeleton for the
+	// same angle-free structure is still a cache hit — binding the angles
+	// costs microseconds, not a routing pass. The bound outcome fills the
+	// full-key tier so the exact-angle repeat is a first-tier hit.
+	if p.skelKey != "" {
+		if se, ok := s.skels.get(p.skelKey); ok {
+			out, err := s.bindOutcome(p, se)
+			if err != nil {
+				s.obs.Inc(obsv.CntServeErrors)
+				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Status: "error", Kind: "compile_failed", Error: err.Error()})
+				s.finishRequest(rs, http.StatusInternalServerError, "compile_failed", err.Error())
+				return
+			}
+			s.cache.put(p.key, p.deviceID, out)
+			s.obs.Inc(obsv.CntServeOK)
+			rs.rec.CacheHit = true
+			rs.rec.SkeletonHit = true
+			rs.fillOutcome(out)
+			writeJSON(w, http.StatusOK, buildResponse(p, out, true))
+			s.finishRequest(rs, http.StatusOK, "ok", "")
+			return
+		}
+	}
+
 	// Client wait budget: request deadline_ms, clamped, else the default.
 	wait := s.cfg.DefaultDeadline
 	if p.wait > 0 {
@@ -399,7 +432,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 
-	f, leader := s.flights.join(p.key)
+	f, leader := s.flights.join(p.flightKey())
 	if leader {
 		s.flightWG.Add(1)
 		go s.runFlight(p, f, id)
@@ -475,6 +508,7 @@ func (s *Server) finishRequest(rs *reqState, status int, outcome, errMsg string)
 		Str(obsv.FieldPreset, rec.Preset).
 		Str(obsv.FieldPresetUsed, rec.PresetEffective).
 		Bool(obsv.FieldCacheHit, rec.CacheHit).
+		Bool(obsv.FieldSkeletonHit, rec.SkeletonHit).
 		Bool(obsv.FieldShared, rec.Shared).
 		Float(obsv.FieldQueueWaitMS, rec.QueueWaitMS).
 		Str(obsv.FieldBreakerState, rec.Breaker).
@@ -503,9 +537,24 @@ func (s *Server) respondFlight(w http.ResponseWriter, p *parsedRequest, f *fligh
 	rs.rec.Breaker = f.breaker
 	switch {
 	case f.err == nil:
+		out := f.out
+		if out == nil && f.skel != nil {
+			// Skeleton flight: this waiter binds its own angles — possibly
+			// different from every other waiter's — and caches the bound
+			// outcome under its own full key.
+			var err error
+			out, err = s.bindOutcome(p, f.skel)
+			if err != nil {
+				s.obs.Inc(obsv.CntServeErrors)
+				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Status: "error", Kind: "compile_failed", Error: err.Error()})
+				s.finishRequest(rs, http.StatusInternalServerError, "compile_failed", err.Error())
+				return
+			}
+			s.cache.put(p.key, p.deviceID, out)
+		}
 		s.obs.Inc(obsv.CntServeOK)
-		rs.fillOutcome(f.out)
-		writeJSON(w, http.StatusOK, buildResponse(p, f.out, false))
+		rs.fillOutcome(out)
+		writeJSON(w, http.StatusOK, buildResponse(p, out, false))
 		s.finishRequest(rs, http.StatusOK, "ok", "")
 	case errors.Is(f.err, errShed):
 		s.obs.Inc(obsv.CntServeShed)
@@ -536,8 +585,14 @@ func (s *Server) respondFlight(w http.ResponseWriter, p *parsedRequest, f *fligh
 // threaded through the compile context so the trace stream's meta event
 // joins the flight back to that request (waiters of the same flight share
 // the leader's compilation and therefore its trace).
+//
+// Skeleton-eligible flights (every non-optimize request) compile the
+// angle-free routed skeleton and publish it on the flight; each waiter then
+// binds its own angles in respondFlight. Optimize flights keep the concrete
+// compile and publish the finished outcome.
 func (s *Server) runFlight(p *parsedRequest, f *flight, reqID string) {
 	defer s.flightWG.Done()
+	fkey := p.flightKey()
 
 	qstart := time.Now()
 	qctx, qcancel := context.WithTimeout(s.baseCtx, s.cfg.QueueTimeout)
@@ -551,7 +606,7 @@ func (s *Server) runFlight(p *parsedRequest, f *flight, reqID string) {
 			// overload, same as an instantly full queue.
 			err = errShed
 		}
-		s.flights.finish(p.key, f, nil, err)
+		s.flights.finish(fkey, f, nil, err)
 		return
 	}
 	defer release()
@@ -561,7 +616,7 @@ func (s *Server) runFlight(p *parsedRequest, f *flight, reqID string) {
 		f.breaker = state
 	}
 	if !ok {
-		s.flights.finish(p.key, f, nil, errAllBreakersOpen)
+		s.flights.finish(fkey, f, nil, errAllBreakersOpen)
 		return
 	}
 
@@ -585,26 +640,61 @@ func (s *Server) runFlight(p *parsedRequest, f *flight, reqID string) {
 		Obs:            s.obs,
 		Trace:          tr,
 	}
-	res, err := compile.CompileSpecResilient(cctx, p.spec, p.dev, start, fo)
+	var out *outcome
+	var fb *compile.FallbackInfo
+	if p.skelKey != "" {
+		var sk *compile.Skeleton
+		sk, err = compile.CompileSkeletonResilient(cctx, p.paramSpec, p.dev, start, fo)
+		if err == nil {
+			fb = sk.Fallback()
+			f.skel = &skelEntry{skel: sk, start: start, rerouted: rerouted, trace: tr.Events()}
+			s.skels.put(p.skelKey, p.deviceID, f.skel)
+		}
+	} else {
+		var res *compile.Result
+		res, err = compile.CompileSpecResilient(cctx, p.spec, p.dev, start, fo)
+		if err == nil {
+			fb = res.Fallback
+			out = buildOutcome(p, res, start, rerouted, tr.Events())
+			s.cache.put(p.key, p.deviceID, out)
+		}
+	}
 	cspan.End()
 
-	s.breakers.observe(res, attemptsOf(res, err, start))
+	s.breakers.observe(fb, attemptsOf(fb, err, start))
 	if err != nil {
-		s.flights.finish(p.key, f, nil, err)
+		s.flights.finish(fkey, f, nil, err)
 		return
 	}
-	out := buildOutcome(p, res, start, rerouted, tr.Events())
-	s.cache.put(p.key, p.deviceID, out)
-	s.flights.finish(p.key, f, out, nil)
+	s.flights.finish(fkey, f, out, nil)
 }
 
-// attemptsOf extracts the failed-attempt list from a compile result or
-// error so every failure is charged to the preset that produced it. A
-// failure that carries no attempt breakdown (e.g. a deadline abort before
-// any rung finished) is charged to the starting rung.
-func attemptsOf(res *compile.Result, err error, start compile.Preset) []compile.Attempt {
-	if res != nil && res.Fallback != nil {
-		return res.Fallback.Attempts
+// bindBufs pools bind buffers across requests: a bind writes the angles
+// into a reused preallocated gate buffer, and buildOutcome copies
+// everything it keeps, so the buffer is safe to recycle as soon as the
+// outcome is built.
+var bindBufs = sync.Pool{New: func() any { return new(compile.BindBuffer) }}
+
+// bindOutcome materializes one request's angles over a cached routed
+// skeleton and freezes the result into an immutable outcome — the
+// skeleton-tier equivalent of a compile flight, minus all the routing work.
+func (s *Server) bindOutcome(p *parsedRequest, se *skelEntry) (*outcome, error) {
+	buf := bindBufs.Get().(*compile.BindBuffer)
+	defer bindBufs.Put(buf)
+	res, err := se.skel.BindTo(buf, qaoa.Params{Gamma: p.gamma, Beta: p.beta})
+	if err != nil {
+		return nil, err
+	}
+	return buildOutcome(p, res, se.start, se.rerouted, se.trace), nil
+}
+
+// attemptsOf extracts the failed-attempt list from a compile's fallback
+// info or error so every failure is charged to the preset that produced
+// it. A failure that carries no attempt breakdown (e.g. a deadline abort
+// before any rung finished) is charged to the starting rung.
+func attemptsOf(fb *compile.FallbackInfo, err error, start compile.Preset) []compile.Attempt {
+	if fb != nil {
+		return fb.Attempts
 	}
 	var ladderErr *compile.LadderError
 	if errors.As(err, &ladderErr) {
@@ -778,10 +868,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Ready       bool                   `json:"ready"`
 		Reason      string                 `json:"reason,omitempty"`
 		CacheLen    int                    `json:"cache_entries"`
+		SkelLen     int                    `json:"skeleton_entries"`
 		QueueDepth  int                    `json:"queue_depth"`
 		Breakers    map[string]breakerInfo `json:"breakers"`
 		DeviceNames []string               `json:"devices"`
-	}{ready, reason, s.cache.len(), s.adm.queueDepth(), breakers, s.devices.names()})
+	}{ready, reason, s.cache.len(), s.skels.len(), s.adm.queueDepth(), breakers, s.devices.names()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -220,8 +220,13 @@ func TestCalibrationReloadInvalidatesExactlyAffectedEntries(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&rl); err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK || rl.Epoch != 1 || rl.Invalidated != 1 {
+	// Both of melbourne's entries go: the compiled outcome and the routed
+	// skeleton that produced it.
+	if resp.StatusCode != http.StatusOK || rl.Epoch != 1 || rl.Invalidated != 2 {
 		t.Fatalf("reload: status %d epoch %d invalidated %d", resp.StatusCode, rl.Epoch, rl.Invalidated)
+	}
+	if s.SkeletonCacheLen() != 1 {
+		t.Fatalf("skeleton cache length %d after reload, want 1 (tokyo's survives)", s.SkeletonCacheLen())
 	}
 
 	// Tokyo's entry survived; melbourne recompiles under the new epoch and
@@ -649,5 +654,167 @@ func TestMetricNamesPassRegistry(t *testing.T) {
 	snap := col.Snapshot()
 	if bad := snap.Unregistered(); len(bad) != 0 {
 		t.Errorf("unregistered metric names recorded: %v", bad)
+	}
+}
+
+// angleRequest is ringRequest with explicit per-level angles.
+func angleRequest(devName string, n int, seed int64, policy string, gamma, beta []float64) CompileRequest {
+	r := ringRequest(devName, n, seed, policy)
+	r.Config.P = len(gamma)
+	r.Config.Gamma = gamma
+	r.Config.Beta = beta
+	return r
+}
+
+// An angle-tuning client — same structure, different angles per request —
+// pays exactly one routing pass: the second request misses the full-key
+// tier but hits the skeleton tier and binds.
+func TestDistinctAnglesHitSkeletonTier(t *testing.T) {
+	s, ts, col := newTestServer(t, Config{})
+
+	st1, got1, _ := postCompile(t, ts.URL, angleRequest("tokyo", 6, 3, "IC", []float64{0.5}, []float64{0.2}))
+	if st1 != http.StatusOK || got1.Cached {
+		t.Fatalf("first request: status %d cached %v", st1, got1.Cached)
+	}
+	st2, got2, _ := postCompile(t, ts.URL, angleRequest("tokyo", 6, 3, "IC", []float64{0.9}, []float64{0.1}))
+	if st2 != http.StatusOK {
+		t.Fatalf("second request: status %d", st2)
+	}
+	if !got2.Cached {
+		t.Error("distinct-angle request was not served from the skeleton tier")
+	}
+	if got2.CacheKey == got1.CacheKey {
+		t.Error("distinct angles shared a full cache key")
+	}
+	if got2.Circuit == got1.Circuit {
+		t.Error("distinct angles produced identical circuits")
+	}
+	// Identical routing: the angles only change rotation phases.
+	if got2.Swaps != got1.Swaps || got2.Depth != got1.Depth || got2.Gates != got1.Gates {
+		t.Errorf("routed metrics differ across angles: %+v vs %+v", got2, got1)
+	}
+	if n := col.Counter(obsv.CntServeCompiles); n != 1 {
+		t.Errorf("%d compile flights, want 1", n)
+	}
+	if n := col.Counter(obsv.CntServeSkeletonHits); n != 1 {
+		t.Errorf("skeleton hits = %d, want 1", n)
+	}
+	if s.CacheLen() != 2 || s.SkeletonCacheLen() != 1 {
+		t.Errorf("cache lens: full %d skel %d, want 2/1", s.CacheLen(), s.SkeletonCacheLen())
+	}
+
+	// The bound outcome filled the full-key tier: the exact repeat is a
+	// first-tier hit, not another bind.
+	st3, got3, _ := postCompile(t, ts.URL, angleRequest("tokyo", 6, 3, "IC", []float64{0.9}, []float64{0.1}))
+	if st3 != http.StatusOK || !got3.Cached || got3.Circuit != got2.Circuit {
+		t.Fatalf("repeat request: status %d cached %v", st3, got3.Cached)
+	}
+	if n := col.Counter(obsv.CntServeSkeletonHits); n != 1 {
+		t.Errorf("skeleton hits after full-tier hit = %d, want still 1", n)
+	}
+}
+
+// A skeleton-tier bind must be byte-identical to the circuit a cold server
+// compiles directly for the same document — the service-level form of the
+// Bind/Compile oracle contract.
+func TestSkeletonBindMatchesDirectCompile(t *testing.T) {
+	req := angleRequest("melbourne", 8, 7, "IC", []float64{0.8, 0.4}, []float64{0.4, 0.2})
+
+	_, ts1, _ := newTestServer(t, Config{})
+	st, direct, _ := postCompile(t, ts1.URL, req)
+	if st != http.StatusOK {
+		t.Fatalf("direct compile: status %d", st)
+	}
+
+	_, ts2, col2 := newTestServer(t, Config{})
+	// Warm the skeleton tier with different angles, then bind the target's.
+	if st, _, _ := postCompile(t, ts2.URL, angleRequest("melbourne", 8, 7, "IC", []float64{0.1, 0.2}, []float64{0.3, 0.4})); st != http.StatusOK {
+		t.Fatalf("warm compile: status %d", st)
+	}
+	st, bound, _ := postCompile(t, ts2.URL, req)
+	if st != http.StatusOK || !bound.Cached {
+		t.Fatalf("bound compile: status %d cached %v", st, bound.Cached)
+	}
+	if n := col2.Counter(obsv.CntServeSkeletonHits); n != 1 {
+		t.Fatalf("skeleton hits = %d, want 1", n)
+	}
+	if bound.Circuit != direct.Circuit || bound.CacheKey != direct.CacheKey {
+		t.Error("skeleton-bound circuit differs from direct compile")
+	}
+	if bound.Swaps != direct.Swaps || bound.Depth != direct.Depth || bound.Gates != direct.Gates {
+		t.Errorf("bound metrics %+v differ from direct %+v", bound, direct)
+	}
+}
+
+// Optimize requests are angle-dependent post-bind, so they bypass the
+// skeleton tier entirely.
+func TestOptimizeRequestsBypassSkeletonTier(t *testing.T) {
+	s, ts, col := newTestServer(t, Config{})
+	req := angleRequest("tokyo", 6, 3, "IC", []float64{0.5}, []float64{0.2})
+	req.Config.Optimize = true
+	if st, _, _ := postCompile(t, ts.URL, req); st != http.StatusOK {
+		t.Fatalf("optimize compile failed")
+	}
+	req2 := angleRequest("tokyo", 6, 3, "IC", []float64{0.9}, []float64{0.1})
+	req2.Config.Optimize = true
+	if st, got, _ := postCompile(t, ts.URL, req2); st != http.StatusOK || got.Cached {
+		t.Fatalf("second optimize request: status %d cached %v", st, got.Cached)
+	}
+	if s.SkeletonCacheLen() != 0 {
+		t.Errorf("skeleton cache has %d entries for optimize traffic, want 0", s.SkeletonCacheLen())
+	}
+	if n := col.Counter(obsv.CntServeSkeletonHits) + col.Counter(obsv.CntServeSkeletonMisses); n != 0 {
+		t.Errorf("skeleton tier touched %d times by optimize traffic, want 0", n)
+	}
+	if n := col.Counter(obsv.CntServeCompiles); n != 2 {
+		t.Errorf("%d compile flights, want 2", n)
+	}
+}
+
+// Concurrent distinct-angle requests over one structure share a single
+// skeleton flight: one routing pass, every waiter binds its own angles.
+func TestDistinctAngleSingleflight(t *testing.T) {
+	hook := compile.Hook(func(string) error { time.Sleep(5 * time.Millisecond); return nil })
+	_, ts, col := newTestServer(t, Config{Workers: 1, Hook: hook})
+	const n = 6
+	var wg sync.WaitGroup
+	circuits := make([]string, n)
+	status := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := angleRequest("tokyo", 6, 3, "IC", []float64{0.1 * float64(i+1)}, []float64{0.05 * float64(i+1)})
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			status[i] = resp.StatusCode
+			var ok CompileResponse
+			if resp.StatusCode == http.StatusOK {
+				if json.NewDecoder(resp.Body).Decode(&ok) == nil {
+					circuits[i] = ok.Circuit
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if status[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status[i])
+		}
+		if circuits[i] == "" {
+			t.Fatalf("request %d: empty circuit", i)
+		}
+		for j := 0; j < i; j++ {
+			if circuits[i] == circuits[j] {
+				t.Errorf("requests %d and %d with distinct angles got identical circuits", i, j)
+			}
+		}
+	}
+	if got := col.Counter(obsv.CntServeCompiles); got != 1 {
+		t.Errorf("%d compile flights for %d distinct-angle requests, want 1", got, n)
 	}
 }

@@ -80,6 +80,8 @@ type (
 	ExtMitigationConfig = exp.ExtMitigationConfig
 	// ExtWorkloadsConfig parameterizes the workload-family study.
 	ExtWorkloadsConfig = exp.ExtWorkloadsConfig
+	// AngleSweepConfig parameterizes the (γ,β) landscape sweep.
+	AngleSweepConfig = exp.AngleSweepConfig
 )
 
 // Defaults and runners for the extension experiments.
@@ -100,6 +102,8 @@ var (
 	ExtMitigation        = exp.ExtMitigation
 	DefaultExtWorkloads  = exp.DefaultExtWorkloads
 	ExtWorkloads         = exp.ExtWorkloads
+	DefaultAngleSweep    = exp.DefaultAngleSweep
+	AngleSweep           = exp.AngleSweep
 )
 
 // Measurement post-processing.

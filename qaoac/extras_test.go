@@ -1,6 +1,7 @@
 package qaoac
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -190,12 +191,12 @@ func TestFacadeExtConfigs(t *testing.T) {
 	// Defaults must be sane and runnable at tiny scale.
 	lv := DefaultExtLevels()
 	lv.Instances, lv.Levels = 2, []int{1}
-	if _, err := ExtLevels(lv); err != nil {
+	if _, err := ExtLevels(context.Background(), lv); err != nil {
 		t.Error(err)
 	}
 	dv := DefaultExtDevices()
 	dv.Instances = 2
-	if _, err := ExtDevices(dv); err != nil {
+	if _, err := ExtDevices(context.Background(), dv); err != nil {
 		t.Error(err)
 	}
 }
