@@ -1,6 +1,7 @@
-// qaoalint is the repo's invariant checker: a multichecker over the five
+// qaoalint is the repo's invariant checker: a multichecker over the nine
 // analyzers of internal/analysis (determinism, obsvnames, ctxflow,
-// errcmp, hotpath). It runs in two modes:
+// errcmp, hotpath, poolsafe, leakcheck, lockorder, allowdoc). It runs in
+// two modes:
 //
 // Standalone, from the module root (loads packages itself, test files
 // included):
@@ -13,9 +14,21 @@
 //	go build -o qaoalint ./cmd/qaoalint
 //	go vet -vettool=$(pwd)/qaoalint ./...
 //
-// Individual analyzers can be disabled with -<name>=false. Exit status:
-// 0 clean, 1 on driver errors, 2 when diagnostics were reported (vet
-// convention).
+// Individual analyzers can be disabled with -<name>=false.
+//
+// -json switches standalone mode to machine-readable output: a JSON array
+// of findings, each {"file","line","col","analyzer","message","allowed"},
+// sorted by position. By default only live findings (allowed=false)
+// appear — a clean tree prints []. -include-allowed adds the findings
+// that //lint:allow escapes suppressed, so the blast radius of every
+// escape stays auditable. In vet-unit mode -json emits the x/tools
+// unitchecker JSON object ({"pkg": {"analyzer": [{posn, message}]}}) on
+// stdout so `go vet -json` aggregates it.
+//
+// Exit status, both modes: 0 clean (allowed-only findings are clean),
+// 1 on driver/load errors, 2 when live diagnostics were reported (vet
+// convention). With -json the findings go to stdout and the exit code is
+// the only failure signal CI needs.
 package main
 
 import (
@@ -32,31 +45,50 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allowdoc"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/errcmp"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/leakcheck"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/obsvnames"
+	"repro/internal/analysis/poolsafe"
 )
 
 // version participates in the go command's content-based vet caching: it
 // must change when the analyzers change behavior, or cached clean results
 // would mask new diagnostics. Bump on any analyzer change.
-const version = "qaoalint-1.0.0"
+const version = "qaoalint-2.0.0"
 
-var all = []*analysis.Analyzer{
-	determinism.Analyzer,
-	obsvnames.Analyzer,
-	ctxflow.Analyzer,
-	errcmp.Analyzer,
-	hotpath.Analyzer,
+var all = buildAll()
+
+func buildAll() []*analysis.Analyzer {
+	base := []*analysis.Analyzer{
+		determinism.Analyzer,
+		obsvnames.Analyzer,
+		ctxflow.Analyzer,
+		errcmp.Analyzer,
+		hotpath.Analyzer,
+		poolsafe.Analyzer,
+		leakcheck.Analyzer,
+		lockorder.Analyzer,
+	}
+	// allowdoc audits the escape comments of every analyzer, itself
+	// included.
+	names := []string{"allowdoc"}
+	for _, a := range base {
+		names = append(names, a.Name)
+	}
+	return append(base, allowdoc.New(names...))
 }
 
 func main() {
 	var vFlag string
 	flag.StringVar(&vFlag, "V", "", "print version and exit (the go command probes -V=full)")
 	printFlags := flag.Bool("flags", false, "print the tool's flags as JSON and exit (the go command probes this)")
-	_ = flag.Bool("json", false, "accepted for vet protocol compatibility (ignored)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (standalone: array of findings on stdout; vet unit: unitchecker object)")
+	includeAllowed := flag.Bool("include-allowed", false, "with -json, also emit findings suppressed by //lint:allow escapes (allowed=true)")
 	enabled := map[string]*bool{}
 	for _, a := range all {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
@@ -97,26 +129,71 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runVetUnit(args[0], active))
+		os.Exit(runVetUnit(args[0], active, *jsonOut))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(runStandalone(args, active))
+	os.Exit(runStandalone(args, active, *jsonOut, *includeAllowed))
+}
+
+// jsonFinding is one -json output record: position, analyzer, message,
+// and the allow-escape state (true when a //lint:allow suppressed it).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
 }
 
 // runStandalone loads the named patterns (with tests) and reports every
-// diagnostic in vet format.
-func runStandalone(patterns []string, active []*analysis.Analyzer) int {
+// diagnostic in vet format, or as a JSON array with -json.
+func runStandalone(patterns []string, active []*analysis.Analyzer, jsonOut, includeAllowed bool) int {
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
 		return 1
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, active)
+	diags, suppressed, err := analysis.RunAnalyzersVerbose(pkgs, active)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
 		return 1
+	}
+	if jsonOut {
+		out := diags
+		if includeAllowed {
+			out = append(out, suppressed...)
+			analysis.SortDiagnostics(out)
+		}
+		findings := []jsonFinding{} // encode a clean tree as [], not null
+		seen := map[jsonFinding]bool{}
+		for _, d := range out {
+			f := jsonFinding{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Allowed:  d.Allowed,
+			}
+			if seen[f] {
+				continue // a file analyzed under both a package and its test variant
+			}
+			seen[f] = true
+			findings = append(findings, f)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+			return 1
+		}
+		if len(diags) > 0 {
+			return 2
+		}
+		return 0
 	}
 	seen := map[string]bool{}
 	for _, d := range diags {
@@ -152,7 +229,7 @@ type vetConfig struct {
 
 // runVetUnit analyzes one compilation unit described by cfgPath, speaking
 // enough of the x/tools unitchecker protocol for `go vet -vettool`.
-func runVetUnit(cfgPath string, active []*analysis.Analyzer) int {
+func runVetUnit(cfgPath string, active []*analysis.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
@@ -223,6 +300,27 @@ func runVetUnit(cfgPath string, active []*analysis.Analyzer) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
 		return 1
+	}
+	if jsonOut {
+		// The unitchecker JSON shape: {"pkg": {"analyzer": [{posn, message}]}}.
+		// `go vet -json` reads this from stdout and aggregates; diagnostics
+		// reported this way exit 0 by the protocol's convention.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := map[string][]jsonDiag{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{Posn: d.Position.String(), Message: d.Message})
+		}
+		out := map[string]map[string][]jsonDiag{cfg.ImportPath: byAnalyzer}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "qaoalint: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position, d.Message, d.Analyzer)

@@ -1,0 +1,77 @@
+// Package allowdoc audits the escape hatch itself. Every //lint:allow
+// comment must name a registered analyzer and carry a trailing rationale
+// — an allow is a reviewed exception, and an exception nobody can explain
+// is indistinguishable from a silenced bug. A typo'd analyzer name is
+// worse: the comment suppresses nothing and reads as if it did.
+//
+// allowdoc findings deliberately ignore //lint:allow escapes: a malformed
+// allow must not be able to silence the auditor that flags malformed
+// allows.
+package allowdoc
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// New builds the analyzer for a given set of registered analyzer names.
+// The driver passes every analyzer it runs (including allowdoc itself, so
+// an allowdoc allow can be allowed — and must be documented like any
+// other).
+func New(names ...string) *analysis.Analyzer {
+	known := map[string]bool{}
+	for _, n := range names {
+		known[n] = true
+	}
+	return &analysis.Analyzer{
+		Name: "allowdoc",
+		Doc:  "every //lint:allow must name a registered analyzer and state a rationale",
+		Run: func(pass *analysis.Pass) (any, error) {
+			return run(pass, known)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, known map[string]bool) (any, error) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checkComment(pass, c, known)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkComment(pass *analysis.Pass, c *ast.Comment, known map[string]bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "lint:allow") {
+		return
+	}
+	// Report directly: an escape comment must not suppress the audit of
+	// escape comments.
+	report := func(format string, args ...any) {
+		pass.Report(analysis.Diagnostic{
+			Position: pass.Fset.Position(c.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+			Analyzer: pass.Analyzer.Name,
+		})
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+	if rest == "" {
+		report("lint:allow names no analyzer")
+		return
+	}
+	name, rationale, _ := strings.Cut(rest, " ")
+	name = strings.TrimSuffix(name, ":")
+	if !known[name] {
+		report("lint:allow names unknown analyzer %q", name)
+		return
+	}
+	if strings.TrimSpace(rationale) == "" {
+		report("lint:allow %s has no rationale: state why the invariant does not apply", name)
+	}
+}

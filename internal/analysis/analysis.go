@@ -49,7 +49,14 @@ type Pass struct {
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
 
-	allowed allowIndex
+	// ReportSuppressed, when set by the driver, receives the diagnostics
+	// an //lint:allow escape suppressed (with Allowed true) — the
+	// machine-readable output modes surface them so an allow's blast
+	// radius stays visible.
+	ReportSuppressed func(Diagnostic)
+
+	allowed   allowIndex
+	callgraph *CallGraph
 }
 
 // Diagnostic is one finding. Position is resolved against the reporting
@@ -59,19 +66,28 @@ type Diagnostic struct {
 	Position token.Position
 	Message  string
 	Analyzer string
+	// Allowed marks a finding suppressed by an //lint:allow escape; such
+	// diagnostics only flow through Pass.ReportSuppressed.
+	Allowed bool
 }
 
 // Reportf reports a formatted diagnostic at pos unless an //lint:allow
-// escape covers it.
+// escape covers it, in which case the suppressed finding goes to
+// ReportSuppressed (when the driver asked for it).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.Allowed(pos) {
-		return
-	}
-	p.Report(Diagnostic{
+	d := Diagnostic{
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
-	})
+	}
+	if p.Allowed(pos) {
+		if p.ReportSuppressed != nil {
+			d.Allowed = true
+			p.ReportSuppressed(d)
+		}
+		return
+	}
+	p.Report(d)
 }
 
 // Allowed reports whether pos is covered by a //lint:allow escape for this
@@ -141,24 +157,34 @@ func PkgNamed(path string, names ...string) bool {
 // RunAnalyzers applies every analyzer to every package and returns the
 // combined diagnostics sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
+	diags, _, err := RunAnalyzersVerbose(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersVerbose is RunAnalyzers plus the findings that //lint:allow
+// escapes suppressed, each marked Allowed, so callers (the -json output
+// mode) can surface the blast radius of every escape. Both slices come
+// back sorted by position.
+func RunAnalyzersVerbose(pkgs []*Package, analyzers []*Analyzer) (diags, suppressed []Diagnostic, err error) {
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Report:    func(d Diagnostic) { out = append(out, d) },
+				Analyzer:         a,
+				Fset:             pkg.Fset,
+				Files:            pkg.Syntax,
+				Pkg:              pkg.Types,
+				TypesInfo:        pkg.Info,
+				Report:           func(d Diagnostic) { diags = append(diags, d) },
+				ReportSuppressed: func(d Diagnostic) { suppressed = append(suppressed, d) },
 			}
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
 			}
 		}
 	}
-	SortDiagnostics(out)
-	return out, nil
+	SortDiagnostics(diags)
+	SortDiagnostics(suppressed)
+	return diags, suppressed, nil
 }
 
 // SortDiagnostics orders diagnostics by file, line, column, then analyzer.

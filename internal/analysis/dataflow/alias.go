@@ -1,0 +1,72 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Aliases computes must-alias groups of local variables inside one
+// function body: a flow-insensitive union-find where `x := y` and `x = y`
+// with pointer-like types (pointer, slice, map, channel, interface) join x
+// and y into one group. Flow-insensitivity over-approximates — a variable
+// reassigned away from the group stays in it — which is the safe direction
+// for poolsafe (an alias of a pooled value stays suspect). The returned
+// function maps each variable to its group representative; variables never
+// unioned represent themselves.
+func Aliases(body ast.Node, info *types.Info) func(*types.Var) *types.Var {
+	parent := map[*types.Var]*types.Var{}
+	var find func(*types.Var) *types.Var
+	find = func(v *types.Var) *types.Var {
+		p, ok := parent[v]
+		if !ok || p == v {
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	union := func(a, b *types.Var) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	asVar := func(e ast.Expr) *types.Var {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			l, r := asVar(as.Lhs[i]), asVar(as.Rhs[i])
+			if l == nil || r == nil || !pointerLike(l.Type()) {
+				continue
+			}
+			union(l, r)
+		}
+		return true
+	})
+	return find
+}
+
+// pointerLike reports whether values of t share underlying storage when
+// copied.
+func pointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}

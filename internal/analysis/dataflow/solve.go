@@ -1,0 +1,146 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Set is a fact set over analyzer-chosen fact values.
+type Set[T comparable] map[T]bool
+
+// Clone returns an independent copy of s.
+func (s Set[T]) Clone() Set[T] {
+	out := make(Set[T], len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s Set[T]) equal(o Set[T]) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardUnion runs a forward may-analysis to fixpoint: a block's in-set
+// is the union of its predecessors' out-sets (the entry block starts from
+// the empty set), and transfer maps an in-set to an out-set by walking the
+// block's nodes. transfer must be monotone in its input and must not
+// retain or mutate the passed set beyond returning it (possibly the same
+// map, updated). Returns every block's in-set at fixpoint — analyzers
+// replay transfer over the stable in-sets to attach diagnostics, so the
+// solving pass itself stays silent.
+func ForwardUnion[T comparable](g *Graph, transfer func(b *Block, in Set[T]) Set[T]) map[*Block]Set[T] {
+	ins := make([]Set[T], len(g.Blocks))
+	outs := make([]Set[T], len(g.Blocks))
+	inWork := make([]bool, len(g.Blocks))
+	var work []*Block
+	// Seed in index order: index order is roughly topological for the
+	// reducible graphs the builder produces, so the fixpoint is cheap.
+	for _, bl := range g.Blocks {
+		work = append(work, bl)
+		inWork[bl.Index] = true
+	}
+	for len(work) > 0 {
+		bl := work[0]
+		work = work[1:]
+		inWork[bl.Index] = false
+		in := Set[T]{}
+		for _, p := range bl.Preds {
+			for k := range outs[p.Index] {
+				in[k] = true
+			}
+		}
+		ins[bl.Index] = in
+		out := transfer(bl, in.Clone())
+		if out.equal(outs[bl.Index]) && outs[bl.Index] != nil {
+			continue
+		}
+		outs[bl.Index] = out
+		for _, s := range bl.Succs {
+			if !inWork[s.Index] {
+				work = append(work, s)
+				inWork[s.Index] = true
+			}
+		}
+	}
+	res := make(map[*Block]Set[T], len(g.Blocks))
+	for _, bl := range g.Blocks {
+		if ins[bl.Index] == nil {
+			ins[bl.Index] = Set[T]{}
+		}
+		res[bl] = ins[bl.Index]
+	}
+	return res
+}
+
+// Def is one definition event: an assignment (or declaration) that gives
+// Var a value at Node.
+type Def struct {
+	Var  *types.Var
+	Node ast.Node
+}
+
+// ReachingDefs computes, for every block, the set of definitions that may
+// reach its entry: the classic gen/kill reaching-definitions analysis,
+// with assignments and value-spec declarations as definition events.
+// Compound assignments (+=) and IncDec count as definitions too — they
+// change the value — but definitions through pointers or via range
+// key/value clauses are not modeled.
+func ReachingDefs(g *Graph, info *types.Info) map[*Block]Set[Def] {
+	return ForwardUnion(g, func(b *Block, in Set[Def]) Set[Def] {
+		for _, n := range b.Nodes {
+			for _, d := range defsOf(n, info) {
+				for k := range in {
+					if k.Var == d.Var {
+						delete(in, k)
+					}
+				}
+				in[d] = true
+			}
+		}
+		return in
+	})
+}
+
+// defsOf lists the variables a single block node defines.
+func defsOf(n ast.Node, info *types.Info) []Def {
+	var out []Def
+	record := func(e ast.Expr, at ast.Node) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			out = append(out, Def{Var: v, Node: at})
+		} else if v, ok := info.Uses[id].(*types.Var); ok {
+			out = append(out, Def{Var: v, Node: at})
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			record(lhs, n)
+		}
+	case *ast.IncDecStmt:
+		record(n.X, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						record(name, vs)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package sim2 is a foreign fixture package: its functions are outside
+// the hotpath allowlist, so calling them from a kernel breaks the proof.
+package sim2
+
+// Fidelity is deliberately allocation-free — the analyzer still rejects
+// it, because vet cannot see across the package boundary.
+func Fidelity(buf []float64) float64 {
+	var s float64
+	for _, v := range buf {
+		s += v * v
+	}
+	return s
+}

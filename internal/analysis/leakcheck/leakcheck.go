@@ -1,0 +1,244 @@
+// Package leakcheck enforces goroutine exit discipline: every `go`
+// statement must reach a completion signal — a WaitGroup.Done, a channel
+// close or send, a receive from a cancellation channel (a Done() call or a
+// struct{}-element done channel), or a range over a channel — on all
+// paths. A goroutine that can run to completion, or spin forever, without
+// ever signalling is invisible to Drain/Wait machinery: under churn those
+// leak one at a time until the race detector or an fd limit notices.
+//
+// The body is resolved structurally: a `go func(){…}()` literal is
+// analyzed directly, a `go s.method(x)` call into a same-package function
+// is followed one level, and anything else (cross-package calls, function
+// values) is unanalyzable and must carry an explicit //lint:allow
+// leakcheck with a rationale. Paths ending in panic/os.Exit/log.Fatal are
+// not leaks (the goroutine never outlives them). A select that offers a
+// cancellation receive in any clause satisfies the discipline for every
+// clause of that select — the canonical worker loop
+// `for { select { case <-ctx.Done(): return; case job := <-jobs: … } }`
+// re-offers cancellation on every iteration.
+//
+// The check assumes loops with conditions (and range loops) terminate;
+// only `for {}`-style loops count as potential infinite executions.
+// Test files are exempt.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer flags goroutines without a guaranteed completion signal.
+var Analyzer = &analysis.Analyzer{
+	Name: "leakcheck",
+	Doc:  "every go statement must reach a WaitGroup.Done, channel close/send, or cancellation receive on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cg := pass.CallGraph()
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, cg, g)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkGo(pass *analysis.Pass, cg *analysis.CallGraph, g *ast.GoStmt) {
+	body := resolveBody(pass, cg, g.Call)
+	if body == nil {
+		pass.Reportf(g.Pos(), "goroutine body is not analyzable (call through a function value or another package); document its exit with //lint:allow leakcheck")
+		return
+	}
+	graph := dataflow.New(body)
+	for _, call := range graph.Defers {
+		if isSignalCall(pass.TypesInfo, call) {
+			return // a deferred Done/close covers every exit at once
+		}
+	}
+	offers := offeringSelects(pass.TypesInfo, body)
+	match := func(n ast.Node) bool {
+		found := false
+		dataflow.Inspect(n, func(sub ast.Node) bool {
+			if found {
+				return false
+			}
+			if offers[sub] {
+				found = true
+				return false
+			}
+			if isSignalNode(pass.TypesInfo, sub) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+		// A range over a channel blocks until close: its head is a signal.
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.TypesInfo.TypeOf(r.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if graph.PathAvoiding(match) {
+		pass.Reportf(g.Pos(), "goroutine may finish or loop forever without reaching a WaitGroup.Done, channel close/send, or cancellation receive")
+	}
+}
+
+// resolveBody finds the function body a go statement runs: a literal, or
+// the declaration of a same-package callee (one level).
+func resolveBody(pass *analysis.Pass, cg *analysis.CallGraph, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn, dyn := analysis.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || dyn {
+		return nil
+	}
+	if decl := cg.DeclOf(fn); decl != nil {
+		return decl.Body
+	}
+	return nil
+}
+
+// isSignalNode reports whether a single expression/statement node is a
+// completion signal.
+func isSignalNode(info *types.Info, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.CallExpr:
+		return isSignalCall(info, n)
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW && isCancellationRecv(info, n.X)
+	}
+	return false
+}
+
+// isSignalCall matches wg.Done() (any sync.WaitGroup receiver) and
+// close(ch).
+func isSignalCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name == "close" {
+			if _, ok := info.Uses[fn].(*types.Builtin); ok {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn.Sel.Name != "Done" {
+			return false
+		}
+		t := info.TypeOf(fn.X)
+		if t == nil {
+			return false
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+		}
+	}
+	return false
+}
+
+// isCancellationRecv reports whether receiving from e observes
+// cancellation: e is a call to a Done() method (context.Context and
+// friends) or a channel whose element type is struct{} — the done-channel
+// convention. Receives from data channels (time.Ticker.C, job queues) do
+// not count: draining work is not an exit signal.
+func isCancellationRecv(info *types.Info, e ast.Expr) bool {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	if st, ok := ch.Elem().Underlying().(*types.Struct); ok {
+		return st.NumFields() == 0
+	}
+	return false
+}
+
+// offeringSelects finds selects with a cancellation receive in some
+// clause and marks every comm statement of those selects as satisfying:
+// a blocked goroutine sitting in such a select always has the exit door
+// open, whichever clause actually fires.
+func offeringSelects(info *types.Info, body *ast.BlockStmt) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		offering := false
+		for _, cl := range sel.Body.List {
+			cc := cl.(*ast.CommClause)
+			if commIsCancellation(info, cc.Comm) {
+				offering = true
+				break
+			}
+		}
+		if !offering {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if comm := cl.(*ast.CommClause).Comm; comm != nil {
+				out[comm] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// commIsCancellation reports whether a select comm statement receives a
+// cancellation signal.
+func commIsCancellation(info *types.Info, comm ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	default:
+		return false
+	}
+	u, ok := expr.(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	return isCancellationRecv(info, u.X)
+}

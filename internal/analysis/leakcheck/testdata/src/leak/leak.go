@@ -1,0 +1,148 @@
+// Package leak exercises the leakcheck analyzer: every go statement must
+// reach a completion signal on all paths, or carry a documented allow.
+package leak
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+var jobs = make(chan int)
+var results = make(chan int)
+var done = make(chan struct{})
+
+func leakPlain() {
+	go func() { // want `goroutine may finish or loop forever without reaching a WaitGroup.Done, channel close/send, or cancellation receive`
+		work()
+	}()
+}
+
+func leakForever() {
+	go func() { // want `goroutine may finish or loop forever without reaching a WaitGroup.Done, channel close/send, or cancellation receive`
+		for {
+			work()
+		}
+	}()
+}
+
+func leakBranch(b bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine may finish or loop forever without reaching a WaitGroup.Done, channel close/send, or cancellation receive`
+		if b {
+			wg.Done() // only one path signals
+		}
+	}()
+	wg.Wait()
+}
+
+func leakSelectLoop() {
+	go func() { // want `goroutine may finish or loop forever without reaching a WaitGroup.Done, channel close/send, or cancellation receive`
+		for {
+			select {
+			case j := <-jobs: // draining work is not an exit signal
+				_ = j
+			}
+		}
+	}()
+}
+
+func leakUnanalyzable(fn func()) {
+	go fn() // want `goroutine body is not analyzable`
+}
+
+func okWGDefer() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func okClose() {
+	go func() {
+		work()
+		close(results)
+	}()
+}
+
+func okSend() {
+	go func() {
+		results <- compute()
+	}()
+}
+
+func okDoneChan() {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func okCtxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func okRange() {
+	go func() {
+		for j := range jobs { // blocks until close: the head is a signal
+			_ = j
+		}
+	}()
+}
+
+func okExitPath(bad bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if bad {
+			os.Exit(1) // the goroutine never outlives the process
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// named is a same-package body the analyzer follows one level.
+func named(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func okNamed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go named(&wg)
+	wg.Wait()
+}
+
+// leakNamed follows the call one level and finds no signal inside.
+func leakNamed() {
+	go work() // want `goroutine may finish or loop forever without reaching a WaitGroup.Done, channel close/send, or cancellation receive`
+}
+
+func allowed(fn func()) {
+	//lint:allow leakcheck: fixture-sanctioned — fn is documented to return when the listener closes
+	go fn()
+}
+
+func work()        {}
+func compute() int { return 1 }

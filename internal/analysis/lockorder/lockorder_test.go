@@ -1,0 +1,58 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "serve")
+}
+
+// TestTiersCoverRealServe pins the recorded tier table to the real
+// internal/serve tree: every lock class the package actually acquires has
+// a tier, and no stale class lingers in the table. A new mutex in serve
+// fails this test until its place in the order is recorded.
+func TestTiersCoverRealServe(t *testing.T) {
+	pkgs, err := analysis.Load(".", "repro/internal/serve")
+	if err != nil {
+		t.Fatalf("loading internal/serve: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("internal/serve did not load")
+	}
+	found := map[string]bool{}
+	for _, pkg := range pkgs {
+		// Load pulls in module dependencies; only serve's own locks are
+		// governed by the tier table.
+		if pkg.Types.Path() != "repro/internal/serve" {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  lockorder.Analyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		for _, class := range lockorder.ClassesIn(pass) {
+			found[class] = true
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("no lock classes found in internal/serve; ClassesIn is broken")
+	}
+	for class := range found {
+		if _, ok := lockorder.Tiers[class]; !ok {
+			t.Errorf("serve acquires lock class %q but lockorder.Tiers has no entry for it", class)
+		}
+	}
+	for class := range lockorder.Tiers {
+		if !found[class] {
+			t.Errorf("lockorder.Tiers records %q but internal/serve never acquires it; drop the stale entry", class)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+// Package compile is the fixture twin of the real compiler: calling into
+// it while holding a serve lock is the flagged slow-work pattern.
+package compile
+
+// Route stands in for a multi-millisecond compilation pass.
+func Route() int { return 1 }

@@ -1,0 +1,103 @@
+// Package serve exercises the lockorder analyzer: locks nest only inward
+// along the recorded tier order, and no slow work runs under a lock.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"compile"
+)
+
+// lru matches the real tier-70 cache class (generic instances collapse to
+// the origin name).
+type lru[V any] struct {
+	mu sync.Mutex
+	m  map[string]V
+}
+
+// registry matches the real tier-60 class.
+type registry struct {
+	mu   sync.RWMutex
+	snap int
+}
+
+// flightGroup matches the real tier-50 class.
+type flightGroup struct {
+	mu sync.Mutex
+	n  int
+}
+
+// rogue is deliberately absent from lockorder.Tiers.
+type rogue struct{ mu sync.Mutex }
+
+func okInward(r *registry, c *lru[int]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.mu.Lock() // registry (60) -> lru (70): inward, fine
+	c.m["k"] = 1
+	c.mu.Unlock()
+}
+
+func okSequential(c *lru[int], r *registry) {
+	c.mu.Lock()
+	c.m["k"] = 1
+	c.mu.Unlock()
+	r.mu.Lock() // the lru lock was released: no nesting
+	r.snap++
+	r.mu.Unlock()
+}
+
+func badOutward(c *lru[int], r *registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.mu.Lock() // want `acquiring registry\.mu \(tier 60\) while holding lru\.mu \(tier 70\) violates the serve lock order`
+	r.mu.Unlock()
+}
+
+func badSameTier(a *lru[int], b *lru[string]) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquiring lru\.mu \(tier 70\) while holding lru\.mu \(tier 70\) violates the serve lock order`
+	b.mu.Unlock()
+}
+
+func badDeferHeld(f *flightGroup, c *lru[int]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The deferred unlock has not run yet: the lock is held here.
+	f.mu.Lock() // want `acquiring flightGroup\.mu \(tier 50\) while holding lru\.mu \(tier 70\) violates the serve lock order`
+	f.mu.Unlock()
+}
+
+func badSlowUnderLock(c *lru[int]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m["k"] = compile.Route() // want `call into compile while holding lru\.mu: no compile/simulate/network work under a serve lock`
+}
+
+func badSleepUnderLock(r *registry) {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding registry\.mu: serve locks guard map surgery only`
+	r.mu.Unlock()
+}
+
+func badUnknownClass(x *rogue) {
+	x.mu.Lock() // want `lock class "rogue\.mu" has no recorded tier: add it to lockorder\.Tiers before using it in serve`
+	x.mu.Unlock()
+}
+
+func okSlowOutsideLock(c *lru[int]) {
+	v := compile.Route()
+	c.mu.Lock()
+	c.m["k"] = v
+	c.mu.Unlock()
+}
+
+func allowedEscape(c *lru[int], r *registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:allow lockorder: fixture-sanctioned — startup-only path, no concurrent lockers yet
+	r.mu.Lock()
+	r.mu.Unlock()
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestObsvNames(t *testing.T) {
-	analysistest.Run(t, obsvnames.Analyzer, "app")
+	analysistest.Run(t, obsvnames.Analyzer, "app", "app2")
 }

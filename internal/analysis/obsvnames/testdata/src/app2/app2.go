@@ -1,0 +1,19 @@
+// Package app2 extends the obsvnames fixture tree: an aliased registry
+// import and the recording methods app.go leaves out (Set, Gauge,
+// StartSpan) must resolve exactly like the plain-import cases.
+package app2
+
+import (
+	o "obsv"
+)
+
+func gauges(c *o.Collector) {
+	// Aliased import: constants still resolve to the obsv package.
+	c.Set(o.HistRequestMS, 3.0)
+	_ = c.Gauge(o.HistRequestMS)
+	c.StartSpan(o.SpanCompile)
+
+	c.Set("serve/queue_depth", 4)  // want `metric name for Collector.Set must be a constant from internal/obsv/names.go, not literal "serve/queue_depth"`
+	_ = c.Gauge("serve/rogue")     // want `metric name for Collector.Gauge must be a constant`
+	c.StartSpan("compile/scratch") // want `metric name for Collector.StartSpan must be a constant`
+}

@@ -30,6 +30,9 @@ func (c *Collector) Add(name string, v float64)              {}
 func (c *Collector) Counter(name string) float64             { return 0 }
 func (c *Collector) RecordSpan(name string, d time.Duration) {}
 func (c *Collector) Observe(name string, v float64)          {}
+func (c *Collector) Set(name string, v float64)              {}
+func (c *Collector) Gauge(name string) float64               { return 0 }
+func (c *Collector) StartSpan(name string)                   {}
 
 // WideEvent is the fixture twin of obsv.WideEvent.
 type WideEvent struct{}

@@ -346,15 +346,19 @@ func (s *Skeleton) Bind(params qaoa.Params) (*Result, error) {
 //
 //qaoa:hotpath
 func (s *Skeleton) BindTo(buf *BindBuffer, params qaoa.Params) (*Result, error) {
+	//lint:allow hotpath: once-per-bind prologue outside the per-slot loops; Validate allocates only when rejecting
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	//lint:allow hotpath: Params.P is a len accessor
 	if params.P() != s.p {
 		return nil, fmt.Errorf("compile: binding %d-level params on a %d-level skeleton", params.P(), s.p) //lint:allow hotpath: guarded cold error path
 	}
 	buf.circ.NQubits = s.circ.NQubits
+	//lint:allow hotpath: high-water reuse — the copy grows buf once, then binds are allocation-free (BenchmarkSkeletonBindTo)
 	buf.circ.Gates = append(buf.circ.Gates[:0], s.circ.Gates...)
 	buf.native.NQubits = s.native.NQubits
+	//lint:allow hotpath: high-water reuse — the copy grows buf once, then binds are allocation-free (BenchmarkSkeletonBindTo)
 	buf.native.Gates = append(buf.native.Gates[:0], s.native.Gates...)
 	writeSlots(buf.circ.Gates, s.circCost, s.circMix, s.terms, params)
 	writeSlots(buf.native.Gates, s.nativeCost, s.nativeMix, s.terms, params)

@@ -147,6 +147,7 @@ func (h *Handler) Serve(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
 	}
+	//lint:allow leakcheck: the goroutine ends when the returned listener is closed; srv.Serve's error is discarded by design
 	go func() {
 		// Hardened against slow or abandoned clients; see internal/serve
 		// for the full rationale.

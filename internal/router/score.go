@@ -394,7 +394,7 @@ func (s *scorer) invalidate(p int) {
 		ei := s.incList[k]
 		if !s.queued[ei] && (ap || s.candPos[ei] >= 0 || s.activeCnt[s.incOther[k]] > 0) {
 			s.queued[ei] = true
-			s.dirtyEdges = append(s.dirtyEdges, ei)
+			s.dirtyEdges = append(s.dirtyEdges, ei) //lint:allow hotpath: amortized high-water — capacity is bounded by the edge count and reached on the first pass
 		}
 	}
 }
@@ -551,7 +551,7 @@ func (s *scorer) scoreEdge(ei, u, v int) {
 	if cand {
 		if s.candPos[ei] < 0 {
 			s.candPos[ei] = int32(len(s.candList))
-			s.candList = append(s.candList, int32(ei))
+			s.candList = append(s.candList, int32(ei)) //lint:allow hotpath: amortized high-water — capacity is bounded by the edge count and reached on the first pass
 		}
 	} else if p := s.candPos[ei]; p >= 0 {
 		last := len(s.candList) - 1
@@ -599,7 +599,7 @@ func (s *scorer) applySwap(a, b int) {
 			if pend {
 				// Only pending entries can become ready to emit; lookahead
 				// entries stay off the dirty list.
-				s.dirty = append(s.dirty, i)
+				s.dirty = append(s.dirty, i) //lint:allow hotpath: amortized high-water — capacity is bounded by the entry count and reached on the first pass
 			}
 			// Every edge whose score includes this entry is incident to an
 			// old or new endpoint. The endpoints in {a, b} — at least one

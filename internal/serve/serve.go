@@ -685,6 +685,7 @@ func (s *Server) bindOutcome(p *parsedRequest, se *skelEntry) (*outcome, error) 
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow poolsafe: buildOutcome deep-copies everything it keeps (strings, fresh layout slices); nothing in the outcome aliases buf — TestBindOutcomeCopiesPooledBuffer guards this
 	return buildOutcome(p, res, se.start, se.rerouted, se.trace), nil
 }
 

@@ -818,3 +818,61 @@ func TestDistinctAngleSingleflight(t *testing.T) {
 		t.Errorf("%d compile flights for %d distinct-angle requests, want 1", got, n)
 	}
 }
+
+// The skeleton tier binds every request's angles into one pooled
+// BindBuffer, so an outcome must not alias the buffer: the next bind
+// overwrites it. bindOutcome's contract (and its //lint:allow poolsafe
+// escape) is that buildOutcome deep-copies everything it keeps — this
+// test rebinds with different angles and asserts the first outcome is
+// bitwise untouched.
+func TestBindOutcomeCopiesPooledBuffer(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	if st, _, _ := postCompile(t, ts.URL, angleRequest("tokyo", 6, 3, "IC", []float64{0.1}, []float64{0.2})); st != http.StatusOK {
+		t.Fatal("warm compile failed")
+	}
+
+	req1 := angleRequest("tokyo", 6, 3, "IC", []float64{0.5}, []float64{0.2})
+	req2 := angleRequest("tokyo", 6, 3, "IC", []float64{0.9}, []float64{0.7})
+	p1, err := s.parseRequest(&req1)
+	if err != nil {
+		t.Fatalf("parse req1: %v", err)
+	}
+	p2, err := s.parseRequest(&req2)
+	if err != nil {
+		t.Fatalf("parse req2: %v", err)
+	}
+	se, ok := s.skels.get(p1.skelKey)
+	if !ok {
+		t.Fatalf("skeleton entry not cached under %q", p1.skelKey)
+	}
+
+	out1, err := s.bindOutcome(p1, se)
+	if err != nil {
+		t.Fatalf("first bind: %v", err)
+	}
+	circuit1 := out1.circuitText
+	qasm1 := out1.qasm
+	initial1 := append([]int(nil), out1.initial...)
+	final1 := append([]int(nil), out1.final...)
+
+	out2, err := s.bindOutcome(p2, se)
+	if err != nil {
+		t.Fatalf("second bind: %v", err)
+	}
+	if out2.circuitText == circuit1 {
+		t.Fatal("distinct angles bound to identical circuits; the test is not exercising a rebind")
+	}
+	if out1.circuitText != circuit1 || out1.qasm != qasm1 {
+		t.Error("first outcome's circuit changed after the pooled buffer was rebound")
+	}
+	for i := range initial1 {
+		if out1.initial[i] != initial1[i] {
+			t.Fatalf("first outcome's initial layout changed after rebind at %d", i)
+		}
+	}
+	for i := range final1 {
+		if out1.final[i] != final1[i] {
+			t.Fatalf("first outcome's final layout changed after rebind at %d", i)
+		}
+	}
+}

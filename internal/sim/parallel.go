@@ -41,6 +41,8 @@ func parallelFor(n int, f func(lo, hi int)) {
 // apply1QParallel is the fan-out variant of Apply1Q: amplitude pair k is
 // (i, i|bit) with i = (k &^ (bit−1))<<1 | (k & (bit−1)); pairs are
 // independent, so chunking over k is safe.
+//
+//qaoa:hotpath
 func (s *State) apply1QParallel(q int, m [2][2]complex128) {
 	bit := 1 << uint(q)
 	mask := bit - 1

@@ -149,6 +149,8 @@ func (s *State) apply1QCross(bit int, a, b, c, d float64) {
 // unique basis index with both bits clear and the remaining bits of k in
 // order. Combined with parallelFor this iterates exactly the touched
 // subset of a two-qubit kernel instead of scanning all 2^n amplitudes.
+//
+//qaoa:hotpath
 func expand2(k, loBit, hiBit int) int {
 	loMask, hiMask := loBit-1, hiBit-1
 	i := (k&^loMask)<<1 | (k & loMask)
@@ -156,6 +158,8 @@ func expand2(k, loBit, hiBit int) int {
 }
 
 // sortBits returns the two bit masks in increasing order.
+//
+//qaoa:hotpath
 func sortBits(a, b int) (int, int) {
 	if a > b {
 		return b, a
@@ -299,7 +303,7 @@ func (s *State) SampleInto(rng *rand.Rand, shots int, out []uint64, cdf []float6
 	}
 	acc := buildCDF(s.Amp, cdf)
 	for k := 0; k < shots; k++ {
-		out = append(out, uint64(searchCDF(cdf, rng.Float64()*acc)))
+		out = append(out, uint64(searchCDF(cdf, rng.Float64()*acc))) //lint:allow hotpath: appends into the caller's presized buffer; grows only when the caller under-allocates
 	}
 	return out
 }
